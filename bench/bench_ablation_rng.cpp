@@ -1,0 +1,78 @@
+// Ablation: RNG quality and seed sensitivity (the Sec. II-C discussion).
+// Sweeps four generators (the paper's CA, an LFSR as in Tommiska & Vuori, a
+// good xorshift, and a deliberately weak LCG) across the six paper seeds on
+// mBF6_2 and mShubert2D, and reports statistical quality metrics alongside
+// GA outcomes — the Meysenburg/Cantu-Paz question in miniature.
+#include "bench/common.hpp"
+#include "fitness/functions.hpp"
+#include "prng/lfsr.hpp"
+#include "prng/quality.hpp"
+#include "prng/rng_module.hpp"
+
+namespace {
+
+const char* kind_name(gaip::prng::RngKind k) {
+    switch (k) {
+        case gaip::prng::RngKind::kCellularAutomaton: return "CA 90/150";
+        case gaip::prng::RngKind::kLfsr: return "LFSR16";
+        case gaip::prng::RngKind::kWeakLcg: return "WeakLCG";
+        case gaip::prng::RngKind::kXorShift: return "xorshift16";
+    }
+    return "?";
+}
+
+}  // namespace
+
+int main() {
+    using namespace gaip;
+    bench::banner("Ablation — RNG quality and seed sensitivity",
+                  "Sec. II-C: programmable seeds + RNG quality vs. GA performance");
+
+    const auto kinds = {prng::RngKind::kCellularAutomaton, prng::RngKind::kLfsr,
+                        prng::RngKind::kXorShift, prng::RngKind::kWeakLcg};
+
+    // Statistical quality of each generator.
+    util::TextTable qual({"Generator", "Period", "chi2(nibbles,15dof)", "chi2(bytes,255dof)",
+                          "serial corr", "bit balance"});
+    for (const auto kind : kinds) {
+        std::uint16_t state = 1;
+        const prng::QualityReport q = prng::measure_quality(
+            [&] { return state = prng::rng_step(kind, state); }, 65535);
+        qual.add(kind_name(kind), static_cast<unsigned long long>(q.period),
+                 q.chi_square_nibbles, q.chi_square_bytes, q.serial_correlation, q.bit_balance);
+    }
+    qual.print();
+
+    // GA outcome sweeps.
+    for (const auto fn : {fitness::FitnessId::kMBf6_2, fitness::FitnessId::kMShubert2D}) {
+        std::printf("\nGA best fitness on %s (pop 32, 32 gens, XR 10, mut 1):\n",
+                    fitness::fitness_name(fn).c_str());
+        util::TextTable table({"Generator", "2961", "061F", "B342", "AAAA", "A0A0", "FFFF",
+                               "mean", "spread(max-min)"});
+        for (const auto kind : kinds) {
+            std::vector<std::string> row{kind_name(kind)};
+            std::vector<double> bests;
+            for (const std::uint16_t seed : bench::kPaperSeeds) {
+                const core::GaParameters p{.pop_size = 32, .n_gens = 32, .xover_threshold = 10,
+                                           .mut_threshold = 1, .seed = seed};
+                const core::RunResult r = bench::run_hw(fn, p, false, kind);
+                bests.push_back(r.best_fitness);
+                row.push_back(std::to_string(r.best_fitness));
+            }
+            const util::Summary s = util::summarize(bests);
+            row.push_back(util::TextTable::to_cell(s.mean));
+            row.push_back(util::TextTable::to_cell(s.max - s.min));
+            table.add_row(std::move(row));
+        }
+        table.print();
+        table.write_csv(bench::out_path(std::string("ablation_rng_") +
+                                        fitness::fitness_name(fn) + ".csv"));
+    }
+
+    std::cout << "\nReadings: (a) the seed alone moves the outcome by hundreds-to-thousands of\n"
+                 "fitness points for EVERY generator — the paper's case for a programmable\n"
+                 "seed; (b) the weak LCG's alternating low bit skews the 4-bit operator\n"
+                 "decisions, generally hurting or destabilizing results vs. the maximal-\n"
+                 "period generators (the Cantu-Paz effect).\n";
+    return 0;
+}

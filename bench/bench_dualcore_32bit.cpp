@@ -1,0 +1,62 @@
+// Fig. 6 reproduction: the 32-bit GA engine composed from two 16-bit cores,
+// exercised on 32-bit workloads, with the probability-composition equations
+// of Sec. III-D.1 demonstrated numerically.
+#include "bench/common.hpp"
+#include "core/dual_core.hpp"
+#include "fitness/functions.hpp"
+
+int main() {
+    using namespace gaip;
+    bench::banner("Fig. 6 — 32-bit GA from two 16-bit cores",
+                  "Sec. III-D.1: lockstep dual-core scaling with scalingLogic_parSel");
+
+    // Probability composition (the paper's equations).
+    util::TextTable ptab({"per-half threshold", "per-half rate", "composed 32-bit rate"});
+    for (const std::uint8_t t : {4, 7, 10, 12}) {
+        const double p = t / 16.0;
+        ptab.add(static_cast<unsigned>(t), p, core::compose_probability(p, p));
+    }
+    ptab.print();
+
+    util::TextTable table({"Workload", "Pop", "Gens", "Best (hex)", "Best fitness", "Optimum",
+                           "GA cycles"});
+
+    // 32-bit OneMax.
+    {
+        core::DualGaConfig cfg;
+        cfg.pop_size = 64;
+        cfg.n_gens = 96;
+        cfg.fitness = [](std::uint32_t x) { return fitness::onemax32(x); };
+        core::DualGaSystem sys(cfg);
+        const core::DualRunResult r = sys.run();
+        char hex[16];
+        std::snprintf(hex, sizeof(hex), "%08X", r.best_candidate);
+        table.add("OneMax32", 64, 96, hex, r.best_fitness, 32u * 2047u,
+                  static_cast<unsigned long long>(r.ga_cycles));
+    }
+
+    // 32-bit sphere (distance to a hidden target): needs coordinated MSB
+    // and LSB evolution, the workload the parent-selection sync exists for.
+    {
+        const std::uint32_t target = 0x5A5AC3C3;
+        core::DualGaConfig cfg;
+        cfg.pop_size = 64;
+        cfg.n_gens = 96;
+        cfg.fitness = [=](std::uint32_t x) { return fitness::sphere32(x, target); };
+        core::DualGaSystem sys(cfg);
+        const core::DualRunResult r = sys.run();
+        char hex[16];
+        std::snprintf(hex, sizeof(hex), "%08X", r.best_candidate);
+        table.add("Sphere32 (target 5A5AC3C3)", 64, 96, hex, r.best_fitness, 65535u,
+                  static_cast<unsigned long long>(r.ga_cycles));
+    }
+
+    table.print();
+    table.write_csv(bench::out_path("dualcore.csv"));
+
+    std::cout << "\nThe dual-core tests (tests/system/test_dual_core.cpp) additionally verify\n"
+                 "lockstep execution, elite coherence, and that every stored 48-bit memory\n"
+                 "word holds a consistently evaluated {MSB, LSB, fitness} triple.\n";
+    std::cout << "CSV: " << bench::out_path("dualcore.csv") << "\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Fig. 7 reproduction: the (zoomed) shape of the Binary F6 test function —
+// plus the landscapes of the other evaluation functions, emitted as CSV
+// series so any plotting tool regenerates the paper's figure.
+#include <cmath>
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "fitness/functions.hpp"
+
+int main() {
+    using namespace gaip;
+    bench::banner("Fig. 7 — test function landscapes",
+                  "Fig. 7 (BF6 zoom 0..300) + mBF6_2 / mBF7_2 / mShubert2D shapes");
+
+    // Fig. 7 proper: BF6 on x in [0, 300] — the paper's zoomed plot showing
+    // the 360-degree-period ripple around the 3200 offset.
+    {
+        std::ofstream f(bench::out_path("fig7_bf6_zoom.csv"));
+        f << "x,bf6\n";
+        for (int x = 0; x <= 300; ++x) f << x << ',' << fitness::bf6(x) << '\n';
+    }
+
+    // Full-range landscapes (lookup-table contents).
+    {
+        std::ofstream f(bench::out_path("fig7_bf6_full.csv"));
+        f << "x,bf6_u16\n";
+        for (std::uint32_t x = 0; x <= 0xFFFF; x += 16)
+            f << x << ','
+              << fitness::fitness_u16(fitness::FitnessId::kBf6, static_cast<std::uint16_t>(x))
+              << '\n';
+    }
+    {
+        std::ofstream f(bench::out_path("fig7_mbf6_2_full.csv"));
+        f << "x,mbf6_2_u16\n";
+        for (std::uint32_t x = 0; x <= 0xFFFF; x += 16)
+            f << x << ','
+              << fitness::fitness_u16(fitness::FitnessId::kMBf6_2, static_cast<std::uint16_t>(x))
+              << '\n';
+    }
+    {
+        std::ofstream f(bench::out_path("fig7_mbf7_2_grid.csv"));
+        f << "x,y,mbf7_2_u16\n";
+        for (int x = 0; x < 256; x += 4)
+            for (int y = 0; y < 256; y += 4)
+                f << x << ',' << y << ','
+                  << fitness::fitness_u16(fitness::FitnessId::kMBf7_2,
+                                          static_cast<std::uint16_t>((x << 8) | y))
+                  << '\n';
+    }
+    {
+        std::ofstream f(bench::out_path("fig7_mshubert2d_grid.csv"));
+        f << "x1,x2,mshubert2d_u16\n";
+        for (int x = 0; x < 256; x += 4)
+            for (int y = 0; y < 256; y += 4)
+                f << x << ',' << y << ','
+                  << fitness::fitness_u16(fitness::FitnessId::kMShubert2D,
+                                          static_cast<std::uint16_t>((x << 8) | y))
+                  << '\n';
+    }
+
+    // Terminal rendering of the Fig. 7 zoom.
+    std::vector<double> series;
+    for (int x = 0; x <= 300; x += 3) series.push_back(fitness::bf6(x));
+    bench::ascii_chart(series, {}, "BF6(x), x in [0,300]");
+
+    // Headline landscape facts the paper states, checked live.
+    util::TextTable table({"Function", "Grid max", "Argmax", "#global optima", "Paper claim"});
+    for (const auto id : {fitness::FitnessId::kBf6, fitness::FitnessId::kMBf6_2,
+                          fitness::FitnessId::kMBf7_2, fitness::FitnessId::kMShubert2D}) {
+        const auto g = fitness::grid_optimum(id);
+        const auto pc = fitness::paper_optimum(id);
+        table.add(fitness::fitness_name(id), g.best_value, util::hex16(g.first_argmax),
+                  g.argmax_count, std::to_string(pc.paper_best) + " @ " + pc.paper_argmax);
+    }
+    table.print();
+    std::cout << "\nCSV series in " << bench::out_dir() << "/fig7_*.csv\n";
+    return 0;
+}

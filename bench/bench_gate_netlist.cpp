@@ -1,0 +1,123 @@
+// Gate-level netlist deliverable: synthesize the GA core's leaf blocks to
+// two-input gates + scan registers, print the gate census (the information
+// the paper's flattening flow fed into Xilinx ISE), and emit the structural
+// Verilog file — the "soft core: a gate-level netlist is provided" claim.
+#include <fstream>
+
+#include "bench/common.hpp"
+#include "gates/blocks.hpp"
+#include "gates/ga_core_gates.hpp"
+#include "gates/asic_flow.hpp"
+#include "gates/optimize.hpp"
+#include "gates/rng_gates.hpp"
+
+int main() {
+    using namespace gaip;
+    bench::banner("Gate-level netlist (NAND/NOR/AND/OR/XOR + SCAN_REGISTER)",
+                  "Sec. III-A design flow: flattened gate-level deliverable of the leaf blocks");
+
+    struct Entry {
+        const char* name;
+        gates::GateStats stats;
+        std::string verilog_path;
+    };
+    std::vector<Entry> entries;
+
+    {
+        gates::GateNetlist nl;
+        const auto blk = gates::build_ca_prng(nl);
+        for (std::size_t i = 0; i < blk.state.size(); ++i)
+            nl.output("rn" + std::to_string(i), blk.state[i]);
+        const std::string path = bench::out_path("netlist_ca_prng.v");
+        std::ofstream(path) << nl.to_verilog("ca_prng_16");
+        entries.push_back({"CA PRNG (rule 90/150, load mux)", nl.stats(), path});
+    }
+    {
+        gates::GateNetlist nl;
+        const auto blk = gates::build_crossover_unit(nl);
+        for (std::size_t i = 0; i < blk.off1.size(); ++i) {
+            nl.output("off1_" + std::to_string(i), blk.off1[i]);
+            nl.output("off2_" + std::to_string(i), blk.off2[i]);
+        }
+        const std::string path = bench::out_path("netlist_crossover.v");
+        std::ofstream(path) << nl.to_verilog("crossover_unit");
+        entries.push_back({"crossover unit (mask gen + merge)", nl.stats(), path});
+    }
+    {
+        gates::GateNetlist nl;
+        const auto blk = gates::build_mutation_unit(nl);
+        for (std::size_t i = 0; i < blk.out.size(); ++i)
+            nl.output("out" + std::to_string(i), blk.out[i]);
+        const std::string path = bench::out_path("netlist_mutation.v");
+        std::ofstream(path) << nl.to_verilog("mutation_unit");
+        entries.push_back({"mutation unit (decoder + flip)", nl.stats(), path});
+    }
+    {
+        gates::GateNetlist nl;
+        const auto dp = gates::build_operator_datapath(nl);
+        for (std::size_t i = 0; i < dp.off1.size(); ++i) {
+            nl.output("off1_" + std::to_string(i), dp.off1[i]);
+            nl.output("off2_" + std::to_string(i), dp.off2[i]);
+        }
+        const std::string path = bench::out_path("netlist_operator_datapath.v");
+        std::ofstream(path) << nl.to_verilog("ga_operator_datapath");
+        entries.push_back({"full operator datapath (xover + 2x mutation)", nl.stats(), path});
+    }
+
+    {
+        const auto g = gates::build_rng_netlist();
+        const std::string path = bench::out_path("netlist_rng_module.v");
+        std::ofstream(path) << g->nl.to_verilog("rng_module");
+        entries.push_back({"RNG module (CA + seed/preset wrapper)", g->nl.stats(), path});
+    }
+    {
+        // The headline deliverable: the COMPLETE GA core flattened to gates
+        // (controller + datapath + scan chain), verified bit- and
+        // cycle-exact against the RT-level core inside the full system
+        // (tests/gates/test_ga_core_gates.cpp).
+        const auto g = gates::build_ga_core_netlist();
+        const std::string path = bench::out_path("netlist_ga_core_full.v");
+        std::ofstream(path) << g->nl.to_verilog("ga_core");
+        entries.push_back({"FULL GA CORE (controller + datapath)", g->nl.stats(), path});
+    }
+
+    util::TextTable table({"Block", "logic gates", "registers", "AND", "OR", "XOR", "NOT",
+                           "Verilog"});
+    for (const Entry& e : entries) {
+        auto n = [&](gates::GateOp op) {
+            return e.stats.per_op[static_cast<std::size_t>(op)];
+        };
+        table.add(e.name, e.stats.logic_gates, e.stats.registers, n(gates::GateOp::kAnd),
+                  n(gates::GateOp::kOr), n(gates::GateOp::kXor), n(gates::GateOp::kNot),
+                  e.verilog_path);
+    }
+    table.print();
+    table.write_csv(bench::out_path("gate_netlist.csv"));
+
+    // Logic optimization (the SIS step) + ASIC flow over the full core
+    // (Fig. 1's tail / Sec. V's fabricated chip).
+    {
+        auto g = gates::build_ga_core_netlist();
+        gates::OptimizeResult opt = gates::optimize(g->nl);
+        std::printf("\nLogic optimization (SIS step): %u -> %u gates (%u folded, %u shared,"
+                    " %u dead)\n",
+                    opt.gates_before, opt.gates_after, opt.folded_constants,
+                    opt.shared_subexpressions, opt.swept_dead);
+        const std::string opath = bench::out_path("netlist_ga_core_optimized.v");
+        std::ofstream(opath) << opt.netlist.to_verilog("ga_core_opt");
+        std::printf("optimized Verilog: %s\n", opath.c_str());
+        const gates::AsicReport ar = gates::analyze_asic(opt.netlist);
+        std::cout << "\n" << gates::format_asic_report(ar);
+        std::cout << "  note: the flat two-input mapping puts the 24x16 selection multiplier\n"
+                     "  on the critical path (~32 MHz) — the FPGA build uses a MULT18X18 hard\n"
+                     "  block instead, and an ASIC would use a carry-save multiplier or\n"
+                     "  pipeline the threshold computation to reach the paper's 50 MHz.\n";
+    }
+
+    std::cout << "\nEvery block is verified bit-exact against the RT-level/behavioral\n"
+                 "implementation (tests/gates/test_blocks.cpp): the CA PRNG over 2000 steps\n"
+                 "and its full 65535 period, the crossover unit for every cut point, the\n"
+                 "mutation unit for every bit position, and the combined datapath on 500\n"
+                 "random vectors — the RT-vs-gate equivalence step of the paper's flow.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+// Sec. IV-C reproduction: runtime comparison between the hardware GA core
+// and the software GA on the embedded PowerPC.
+//
+// Paper setup: mBF6_2, population 32, crossover rate 10/16 (the paper
+// prints "0.625"), mutation 1/16, 32 generations; software on the PPC405
+// with the lookup table in FPGA BRAM; six-run average 37.615 ms software
+// vs. a hardware cycle counter at 50 MHz; speedup 5.16x (hardware ~7.29 ms).
+//
+// Our hardware time is the real cycle count of the RTL model at 50 MHz; our
+// software time is the PPC405 cost model fed by the instrumented software
+// GA (host wall clock is reported for reference only).
+#include "bench/common.hpp"
+#include "fitness/rom_builder.hpp"
+#include "swga/ppc_cost_model.hpp"
+#include "swga/software_ga.hpp"
+
+int main() {
+    using namespace gaip;
+    bench::banner("Sec. IV-C — software vs. hardware runtime",
+                  "mBF6_2, pop 32, XR 10/16, mutation 1/16, 32 generations, 6-run average");
+
+    const core::GaParameters params{.pop_size = 32, .n_gens = 32, .xover_threshold = 10,
+                                    .mut_threshold = 1, .seed = 0x2961};
+
+    // Hardware: average the modeled GA execution time over six seeds, as
+    // the paper averaged six runs.
+    const std::array<std::uint16_t, 6> seeds = {0x2961, 0x061F, 0xB342, 0xAAAA, 0xA0A0, 0xFFFF};
+    double hw_seconds_sum = 0.0;
+    std::uint64_t hw_cycles_sum = 0;
+    for (const std::uint16_t seed : seeds) {
+        system::GaSystemConfig cfg;
+        cfg.params = params;
+        cfg.params.seed = seed;
+        cfg.internal_fems = {fitness::FitnessId::kMBf6_2};
+        cfg.keep_populations = false;
+        system::GaSystem sys(cfg);
+        sys.run();
+        hw_seconds_sum += sys.ga_seconds();
+        hw_cycles_sum += sys.ga_cycles();
+    }
+    const double hw_ms = hw_seconds_sum / seeds.size() * 1e3;
+    const double hw_cycles = static_cast<double>(hw_cycles_sum) / seeds.size();
+
+    // Software: identical algorithm, instrumented; PPC405 cost model.
+    double sw_model_ms_sum = 0.0;
+    double sw_host_ms_sum = 0.0;
+    swga::OpCounts ops{};
+    for (const std::uint16_t seed : seeds) {
+        core::GaParameters p = params;
+        p.seed = seed;
+        const swga::SwRunStats sw = swga::run_software_ga(
+            p, fitness::fitness_rom(fitness::FitnessId::kMBf6_2),
+            prng::RngKind::kCellularAutomaton, 10);
+        sw_model_ms_sum += swga::estimate_ppc_runtime(sw.ops).seconds * 1e3;
+        sw_host_ms_sum += sw.host_seconds * 1e3;
+        ops = sw.ops;
+    }
+    const double sw_model_ms = sw_model_ms_sum / seeds.size();
+    const double sw_host_ms = sw_host_ms_sum / seeds.size();
+
+    util::TextTable table({"Quantity", "Model", "Paper", "Note"});
+    table.add("software runtime (ms)", sw_model_ms, 37.615, "PPC405 cost model, 300 MHz");
+    table.add("hardware runtime (ms)", hw_ms, 37.615 / 5.16,
+              "real cycle count x 20 ns (paper value derived)");
+    table.add("hardware cycles", hw_cycles, 0.0, "50 MHz GA clock, start_GA..GA_done");
+    table.add("speedup (sw/hw)", sw_model_ms / hw_ms, 5.16, "paper headline: 5.16x");
+    table.add("host software (ms)", sw_host_ms, 0.0, "this machine, reference only");
+    table.print();
+    table.write_csv(bench::out_path("speedup.csv"));
+
+    std::printf(
+        "\nShape check: hardware wins by %.2fx (paper: 5.16x). Both sides of our model\n"
+        "are leaner than the authors' (our hand FSM vs. AUDI HLS output; our first-\n"
+        "principles PPC constants vs. their measured binary), so the absolute times\n"
+        "sit below the paper's while the ratio stays in the same small-multiple range.\n",
+        sw_model_ms / hw_ms);
+    std::printf("Per-run dynamic op counts (pop 32, 32 gens): rng=%llu fitness=%llu "
+                "member accesses=%llu\n",
+                static_cast<unsigned long long>(ops.rng_calls),
+                static_cast<unsigned long long>(ops.fitness_lookups),
+                static_cast<unsigned long long>(ops.member_reads + ops.member_writes));
+    std::printf("CSV: %s\n", bench::out_path("speedup.csv").c_str());
+    return 0;
+}

@@ -1,0 +1,81 @@
+// Table V reproduction: RT-level simulation results for the three test
+// functions (BF6, F2, F3) under the paper's ten parameter settings.
+//
+// Paper conditions: chromosome length 16, mutation rate 0.0625 (threshold
+// 1/16), 32 generations; seed / population size / crossover threshold vary
+// per row. The paper reports the best fitness found and the "convergence"
+// generation — the generation where the average-fitness improvement to the
+// next generation first drops below 5%.
+#include <cstdint>
+
+#include "bench/common.hpp"
+#include "fitness/functions.hpp"
+
+namespace {
+
+using gaip::core::GaParameters;
+using gaip::fitness::FitnessId;
+
+struct Row {
+    int run;
+    FitnessId fn;
+    std::uint16_t seed;
+    std::uint8_t pop;
+    std::uint8_t xr;
+    unsigned paper_best;
+    unsigned paper_conv;
+};
+
+// Rows 1-10 of Table V (seeds are decimal in the paper).
+const Row kRows[] = {
+    {1, FitnessId::kBf6, 45890, 32, 10, 4047, 8},
+    {2, FitnessId::kBf6, 45890, 64, 10, 4271, 30},
+    {3, FitnessId::kBf6, 10593, 32, 10, 4271, 16},
+    {4, FitnessId::kBf6, 1567, 32, 10, 4146, 26},
+    {5, FitnessId::kBf6, 1567, 32, 12, 4047, 10},
+    {6, FitnessId::kF2, 45890, 32, 10, 3060, 18},
+    {7, FitnessId::kF2, 45890, 64, 10, 2096, 10},
+    {8, FitnessId::kF2, 10593, 64, 10, 3060, 26},
+    {9, FitnessId::kF2, 10593, 32, 12, 3060, 12},
+    {10, FitnessId::kF3, 1567, 32, 10, 3060, 20},
+};
+
+}  // namespace
+
+int main() {
+    using namespace gaip;
+    bench::banner("Table V — RT-level simulation results (BF6, F2, F3)",
+                  "Table V; mutation 1/16, 32 generations, chromosome length 16");
+
+    util::TextTable table({"Run", "Fn", "Seed", "Pop", "XR", "Best", "Conv.gen", "PaperBest",
+                           "PaperConv", "Best vs paper"});
+
+    for (const Row& row : kRows) {
+        const GaParameters p{.pop_size = row.pop, .n_gens = 32, .xover_threshold = row.xr,
+                             .mut_threshold = 1, .seed = row.seed};
+        const core::RunResult r = bench::run_hw(row.fn, p);
+
+        std::vector<double> mean;
+        for (const auto& s : r.history) mean.push_back(s.mean_fitness());
+        // Range-normalized settling metric; the paper's literal
+        // 5%-of-current-mean rule degenerates on BF6's +3200 offset (see
+        // util::settling_generation).
+        const std::size_t conv =
+            util::settling_generation(std::span<const double>(mean.data(), mean.size()));
+
+        table.add(row.run, fitness::fitness_name(row.fn), row.seed, row.pop,
+                  static_cast<unsigned>(row.xr), r.best_fitness, conv, row.paper_best,
+                  row.paper_conv,
+                  bench::vs_paper(r.best_fitness, static_cast<double>(row.paper_best)));
+    }
+
+    table.print();
+    table.write_csv(bench::out_path("table5.csv"));
+    std::cout << "\nNotes: seeds drive a different (maximal-period) CA than the authors', so\n"
+                 "per-row values differ; the paper's qualitative claims to check are (a) the\n"
+                 "optimum (4271-ish BF6 / 3060 F2 / 3060 F3) is reached under some settings\n"
+                 "but not all, and (b) the seed alone changes the outcome (rows 1 vs 3).\n"
+                 "CSV: "
+              << bench::out_path("table5.csv") << "\n";
+    return 0;
+}

@@ -1,0 +1,21 @@
+// Table VII reproduction: best fitness the GA reaches on mBF6_2 across the
+// 24 hardware parameter settings. Paper headline: best 8135 (0.59% below
+// the global optimum 8183, 0.27% away in the solution space).
+#include "bench/bench_tables7_9_common.hpp"
+
+int main() {
+    using namespace gaip;
+    const bench::PaperGrid paper = {
+        // seed          P32/10 P32/12 P64/10 P64/12
+        {0x2961, {7999, 7813, 7824, 7819}},
+        {0x061F, {6175, 7578, 8134, 8129}},
+        {0xB342, {7612, 7497, 7612, 7719}},
+        {0xAAAA, {7534, 7534, 7578, 7864}},
+        {0xA0A0, {8104, 7406, 8135, 8039}},
+        {0xFFFF, {7291, 7623, 7847, 7669}},
+    };
+    bench::run_table("Table VII — best fitness, mBF6_2", "table7_mbf6.csv",
+                     fitness::FitnessId::kMBf6_2, paper,
+                     fitness::grid_optimum(fitness::FitnessId::kMBf6_2).best_value);
+    return 0;
+}

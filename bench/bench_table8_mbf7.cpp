@@ -1,0 +1,20 @@
+// Table VIII reproduction: best fitness on mBF7_2 across the 24 hardware
+// parameter settings. Paper headline: best 61496 at (x=0xEC, y=0xFF),
+// ~3.7% below the global optimum 63904.
+#include "bench/bench_tables7_9_common.hpp"
+
+int main() {
+    using namespace gaip;
+    const bench::PaperGrid paper = {
+        {0x2961, {56835, 56835, 48135, 56456}},
+        {0x061F, {59648, 53432, 59648, 60656}},
+        {0xB342, {55000, 59928, 59480, 57184}},
+        {0xAAAA, {55560, 52704, 55000, 61496}},
+        {0xA0A0, {58136, 53040, 58024, 56624}},
+        {0xFFFF, {60880, 61384, 56344, 60768}},
+    };
+    bench::run_table("Table VIII — best fitness, mBF7_2", "table8_mbf7.csv",
+                     fitness::FitnessId::kMBf7_2, paper,
+                     fitness::grid_optimum(fitness::FitnessId::kMBf7_2).best_value);
+    return 0;
+}

@@ -1,0 +1,20 @@
+// Table IX reproduction: best fitness on mShubert2D across the 24 hardware
+// parameter settings. Paper headline: the global optimum 65535 is reached
+// under several settings (bold entries), sometimes at multiple distinct
+// optima in one run.
+#include "bench/bench_tables7_9_common.hpp"
+
+int main() {
+    using namespace gaip;
+    const bench::PaperGrid paper = {
+        {0x2961, {56835, 56835, 48135, 56835}},
+        {0x061F, {56835, 55095, 65535, 58227}},
+        {0xB342, {56487, 56487, 54051, 63795}},
+        {0xAAAA, {63795, 56487, 65535, 65535}},
+        {0xA0A0, {56835, 63795, 65535, 53355}},
+        {0xFFFF, {53355, 65535, 48135, 56835}},
+    };
+    bench::run_table("Table IX — best fitness, mShubert2D", "table9_shubert.csv",
+                     fitness::FitnessId::kMShubert2D, paper, 65535);
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Shared driver for the Tables VII / VIII / IX reproductions: the paper's
+// FPGA experiments sweep six RNG seeds x population {32, 64} x crossover
+// threshold {10, 12} with mutation 1/16 and 64 generations, and report the
+// best fitness each setting reaches.
+#pragma once
+
+#include <array>
+#include <map>
+
+#include "bench/common.hpp"
+#include "fitness/functions.hpp"
+
+namespace gaip::bench {
+
+struct SweepCell {
+    std::uint8_t pop;
+    std::uint8_t xr;
+};
+
+inline constexpr std::array<SweepCell, 4> kSweepCells = {
+    SweepCell{32, 10}, SweepCell{32, 12}, SweepCell{64, 10}, SweepCell{64, 12}};
+
+/// Paper values for one table: paper[seed][cell index in kSweepCells order].
+using PaperGrid = std::map<std::uint16_t, std::array<unsigned, 4>>;
+
+/// Run the 24-setting sweep and print it in the paper's layout.
+inline void run_table(const std::string& title, const std::string& csv_name,
+                      fitness::FitnessId fn, const PaperGrid& paper,
+                      unsigned global_optimum) {
+    banner(title, "6 seeds x pop {32,64} x XR {10,12}; mutation 1/16, 64 generations");
+
+    util::TextTable table({"Seed(hex)", "P32/XR10", "P32/XR12", "P64/XR10", "P64/XR12",
+                           "paper(P32/10)", "paper(P32/12)", "paper(P64/10)", "paper(P64/12)"});
+
+    unsigned best_overall = 0;
+    unsigned optima_found = 0;
+    for (const std::uint16_t seed : kPaperSeeds) {
+        std::array<unsigned, 4> ours{};
+        for (std::size_t i = 0; i < kSweepCells.size(); ++i) {
+            const core::GaParameters p{.pop_size = kSweepCells[i].pop, .n_gens = 64,
+                                       .xover_threshold = kSweepCells[i].xr,
+                                       .mut_threshold = 1, .seed = seed};
+            const core::RunResult r = run_hw(fn, p, /*keep_populations=*/false);
+            ours[i] = r.best_fitness;
+            best_overall = std::max(best_overall, ours[i]);
+            if (ours[i] == global_optimum) ++optima_found;
+        }
+        const auto it = paper.find(seed);
+        std::array<unsigned, 4> pv{};
+        if (it != paper.end()) pv = it->second;
+        table.add(util::hex16(seed), ours[0], ours[1], ours[2], ours[3], pv[0], pv[1], pv[2],
+                  pv[3]);
+    }
+
+    table.print();
+    table.write_csv(out_path(csv_name));
+    const auto opt = fitness::grid_optimum(fn);
+    std::printf("\nbest over all 24 settings: %u   table optimum: %u (%s)   settings hitting"
+                " the optimum: %u/24\n",
+                best_overall, opt.best_value, vs_paper(best_overall, opt.best_value).c_str(),
+                optima_found);
+    std::printf("CSV: %s\n", out_path(csv_name).c_str());
+}
+
+}  // namespace gaip::bench

@@ -1,0 +1,98 @@
+// Shared helpers for the reproduction benches: output directory handling,
+// paper-vs-measured annotation, ASCII convergence charts, and the standard
+// run wrapper around GaSystem.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "system/ga_system.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace gaip::bench {
+
+/// The six RNG seeds of the paper's FPGA experiments (Tables VII-IX).
+inline constexpr std::array<std::uint16_t, 6> kPaperSeeds = {0x2961, 0x061F, 0xB342,
+                                                             0xAAAA, 0xA0A0, 0xFFFF};
+
+/// Directory the benches drop their CSV series into.
+inline std::string out_dir() {
+    const std::filesystem::path dir = "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir.string();
+}
+
+inline std::string out_path(const std::string& file) { return out_dir() + "/" + file; }
+
+inline void banner(const std::string& title, const std::string& paper_ref) {
+    std::cout << "\n=== " << title << " ===\n";
+    std::cout << "    reproduces: " << paper_ref << "\n\n";
+}
+
+/// Percentage deviation from a paper value, rendered as e.g. "-0.6%".
+inline std::string vs_paper(double measured, double paper) {
+    if (paper == 0.0) return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", 100.0 * (measured - paper) / paper);
+    return buf;
+}
+
+/// Crude terminal chart of one or two per-generation series (best / avg),
+/// standing in for the paper's figures.
+inline void ascii_chart(const std::vector<double>& best, const std::vector<double>& avg,
+                        const std::string& ylabel, int height = 12) {
+    if (best.empty()) return;
+    double lo = best[0], hi = best[0];
+    for (double v : best) { lo = std::min(lo, v); hi = std::max(hi, v); }
+    for (double v : avg) { lo = std::min(lo, v); hi = std::max(hi, v); }
+    if (hi == lo) hi = lo + 1;
+    const std::size_t width = best.size();
+    std::vector<std::string> rows(height, std::string(width, ' '));
+    auto plot = [&](const std::vector<double>& series, char mark) {
+        for (std::size_t x = 0; x < series.size() && x < width; ++x) {
+            const int y = static_cast<int>((series[x] - lo) / (hi - lo) * (height - 1) + 0.5);
+            char& cell = rows[height - 1 - y][x];
+            cell = (cell == ' ' || cell == mark) ? mark : '#';
+        }
+    };
+    plot(avg, '.');
+    plot(best, '*');
+    std::printf("  %s  [%.0f .. %.0f]   * best   . avg   # both\n", ylabel.c_str(), lo, hi);
+    for (const std::string& r : rows) std::printf("  |%s\n", r.c_str());
+    std::printf("  +%s> generation\n", std::string(width, '-').c_str());
+}
+
+/// Best/avg series extraction from a run history.
+inline void history_series(const std::vector<core::GenerationStats>& hist,
+                           std::vector<double>& best, std::vector<double>& avg) {
+    best.clear();
+    avg.clear();
+    for (const auto& s : hist) {
+        best.push_back(s.best_fit);
+        avg.push_back(s.population.empty()
+                          ? static_cast<double>(s.fit_sum)
+                          : static_cast<double>(s.fit_sum) / s.population.size());
+    }
+}
+
+/// Run the full RTL system for one experiment configuration.
+inline core::RunResult run_hw(const fitness::FitnessId fn, const core::GaParameters& params,
+                              bool keep_populations = true,
+                              prng::RngKind kind = prng::RngKind::kCellularAutomaton) {
+    system::GaSystemConfig cfg;
+    cfg.params = params;
+    cfg.internal_fems = {fn};
+    cfg.rng_kind = kind;
+    cfg.keep_populations = keep_populations;
+    return system::run_ga_system(cfg);
+}
+
+}  // namespace gaip::bench

@@ -1,0 +1,114 @@
+// Adaptive healing: the paper's motivating EHW application. The GA core was
+// "used as a search engine for real-time adaptive healing" inside the JPL
+// self-reconfigurable analog array (SRAA), evolving compensation settings
+// that counter extreme-temperature drift in analog electronics.
+//
+// We cannot attach a cryogenic analog array, so this example substitutes a
+// synthetic one (see DESIGN.md): a bank of tunable amplifier stages whose
+// effective gains drift with temperature. The 16-bit chromosome packs four
+// 4-bit bias codes; the measured figure of merit (a slew-rate error against
+// the mission target) is precomputed into a lookup table per temperature —
+// exactly the lookup-based FEM arrangement of Sec. IV-B — and the GA re-runs
+// whenever the environment drifts, restoring performance.
+//
+// Build & run:   ./build/examples/adaptive_healing
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "mem/rom.hpp"
+#include "system/ga_system.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// Synthetic analog array: four cascaded stages. Stage i's gain depends on
+/// its 4-bit bias code and on temperature; the mission needs total gain
+/// near a target, and the error landscape is rugged in the code space
+/// (stage interactions), so healing is a real search problem.
+struct AnalogArrayModel {
+    double temperature_c;
+
+    /// Per-stage gain for bias code b in 0..15 at this temperature. Drift:
+    /// gain curves shift and compress as the device leaves room temp. The
+    /// coefficient keeps gains positive and the target reachable across the
+    /// mission range (-180..+125 degC) — healing is possible, not trivial.
+    double stage_gain(int stage, unsigned code) const {
+        const double drift = 1.0 + 8e-4 * (temperature_c - 25.0) * (1.0 + 0.1 * stage);
+        const double bias = (static_cast<double>(code) - 7.5) / 7.5;  // -1..1
+        // Nonmonotone bias response (device enters a different operating
+        // region at the extremes) makes the landscape multimodal.
+        return (2.0 + bias - 0.35 * bias * bias * bias) * drift +
+               0.05 * std::sin(3.0 * bias + stage);
+    }
+
+    double total_gain(std::uint16_t chromosome) const {
+        double g = 1.0;
+        for (int s = 0; s < 4; ++s)
+            g *= stage_gain(s, (chromosome >> (4 * s)) & 0xF);
+        return g;
+    }
+
+    /// Slew-rate-style figure of merit: u16 fitness, 65535 = perfect.
+    std::uint16_t fitness(std::uint16_t chromosome, double target_gain) const {
+        const double err = std::abs(total_gain(chromosome) - target_gain) / target_gain;
+        return gaip::util::sat_u16(static_cast<std::int64_t>(65535.0 * std::exp(-6.0 * err)));
+    }
+};
+
+/// "Measure" the whole code space into the fitness lookup ROM for the
+/// current temperature (the SRAA measured candidates live; the lookup table
+/// is the paper's own FPGA-experiment substitution).
+std::shared_ptr<const gaip::mem::BlockRom> measure_table(const AnalogArrayModel& array,
+                                                         double target_gain) {
+    std::vector<std::uint16_t> words(65536);
+    for (std::uint32_t c = 0; c <= 0xFFFF; ++c)
+        words[c] = array.fitness(static_cast<std::uint16_t>(c), target_gain);
+    return std::make_shared<const gaip::mem::BlockRom>(std::move(words));
+}
+
+}  // namespace
+
+int main() {
+    using namespace gaip;
+    const double target_gain = 16.0;  // mission requirement on total gain
+    const std::uint16_t room_temp_code = 0x8888;  // nominal mid-bias setting
+
+    std::printf("Adaptive healing of a synthetic analog array (target gain %.1f)\n\n",
+                target_gain);
+    util::TextTable table({"Temp (degC)", "Health before (fit)", "Healed code", "Health after",
+                           "Gain after", "HW time (ms)"});
+
+    std::uint16_t current_code = room_temp_code;
+    for (const double temp : {25.0, -60.0, -120.0, -180.0, 85.0, 125.0}) {
+        const AnalogArrayModel array{temp};
+        const auto rom = measure_table(array, target_gain);
+        const std::uint16_t before = rom->read(current_code);
+
+        // Re-run the GA core against the freshly measured table. Real-time
+        // budget: small population, few generations (Sec. III-C.3c — the
+        // programmable generation count bounds the response time).
+        system::GaSystemConfig cfg;
+        cfg.params = {.pop_size = 32, .n_gens = 24, .xover_threshold = 11, .mut_threshold = 2,
+                      .seed = static_cast<std::uint16_t>(0x2961 ^ static_cast<int>(temp))};
+        cfg.custom_roms = {rom};
+        cfg.keep_populations = false;
+        system::GaSystem sys(cfg);
+        const core::RunResult r = sys.run();
+
+        current_code = r.best_candidate;  // reconfigure the array
+        char code_hex[8];
+        std::snprintf(code_hex, sizeof(code_hex), "%04X", current_code);
+        table.add(temp, before, code_hex, r.best_fitness, array.total_gain(current_code),
+                  sys.ga_seconds() * 1e3);
+    }
+
+    table.print();
+    std::printf("\nAt each environment change the previous configuration degrades (column 2);\n"
+                "one bounded GA run recovers a near-target configuration (columns 4-5) in\n"
+                "about a millisecond of modeled 50 MHz hardware time — the paper's real-time\n"
+                "healing loop.\n");
+    return 0;
+}

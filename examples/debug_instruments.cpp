@@ -1,0 +1,83 @@
+// The debugging workflow around the core: the three instruments an
+// integrator uses when something misbehaves on real hardware —
+//   1. VCD waveforms   (the NC-Verilog/ModelSim view of the design),
+//   2. an ILA capture  (the ChipScope view: trigger + window on live wires),
+//   3. a scan dump     (full register state through the test port,
+//                       restored transparently afterwards).
+//
+// Build & run:   ./build/examples/debug_instruments
+#include <cstdio>
+
+#include "fitness/functions.hpp"
+#include "system/ga_system.hpp"
+#include "system/ila.hpp"
+
+int main() {
+    using namespace gaip;
+    std::printf("Debug instruments demo (mBF6_2, pop 16, 8 generations)\n\n");
+
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 8, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0x061F};
+    cfg.internal_fems = {fitness::FitnessId::kMBf6_2};
+    cfg.vcd_path = "ga_module.vcd";  // instrument 1: full waveform dump
+    system::GaSystem sys(cfg);
+
+    // Instrument 2: ILA on the memory write port, triggered by the first
+    // write into bank 1 (the first elite copy).
+    system::IntegratedLogicAnalyzer ila(
+        {{"mem_wr", [&] { return sys.wires().mem_wr.read() ? 1ull : 0ull; }},
+         {"mem_address", [&] { return static_cast<std::uint64_t>(sys.wires().mem_address.read()); }},
+         {"mem_data", [&] { return static_cast<std::uint64_t>(sys.wires().mem_data_out.read()); }}},
+        [&] { return sys.wires().mem_wr.read() && (sys.wires().mem_address.read() & 0x80); },
+        {.pre_trigger = 4, .post_trigger = 8, .one_shot = true});
+    sys.kernel().bind(ila, sys.ga_clock());
+
+    // Run halfway, take a scan dump (instrument 3), resume to completion.
+    auto& k = sys.kernel();
+    k.reset();
+    k.run_until(
+        sys.app_clock(),
+        [&] {
+            return sys.core().generation() >= 4 &&
+                   sys.core().state() == core::GaCore::State::kSelRn;
+        },
+        10'000'000);
+
+    const unsigned len = sys.core().scan_chain().length();
+    std::vector<bool> dump;
+    sys.wires().test.drive(true);
+    for (unsigned i = 0; i < len; ++i) {
+        dump.push_back(sys.wires().scanout.read());
+        sys.wires().scanin.drive(sys.wires().scanout.read());  // rotate = restore
+        k.run_cycles(sys.ga_clock(), 1);
+    }
+    sys.wires().test.drive(false);
+    unsigned ones = 0;
+    for (const bool b : dump) ones += b;
+    std::printf("scan dump    : %u-bit chain captured mid-run at generation %u"
+                " (%u bits set), state restored by rotation\n",
+                len, sys.core().generation(), ones);
+
+    k.run_until(sys.app_clock(), [&] { return sys.app_module().done(); }, 100'000'000);
+    std::printf("run result   : best=%u candidate=0x%04X\n", sys.core().best_fitness(),
+                sys.core().best_candidate());
+
+    if (ila.triggered()) {
+        std::printf("\nILA capture around the first bank-1 write (the elite copy):\n");
+        std::printf("  %-6s %-6s %-10s %-10s\n", "sample", "wr", "address", "data");
+        const auto& cap = ila.capture();
+        for (std::size_t i = 0; i < cap.size(); ++i) {
+            std::printf("  %-6zu %-6llu 0x%02llX%s      0x%08llX%s\n", i,
+                        static_cast<unsigned long long>(cap[i].values[0]),
+                        static_cast<unsigned long long>(cap[i].values[1]),
+                        cap[i].at_trigger ? "*" : " ",
+                        static_cast<unsigned long long>(cap[i].values[2]),
+                        cap[i].at_trigger ? "  <- trigger" : "");
+        }
+    }
+
+    std::printf("\nVCD waveform : ga_module.vcd (open with GTKWave; scopes ga_core,"
+                " rng_module, ga_memory)\n");
+    return 0;
+}

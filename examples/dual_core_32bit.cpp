@@ -1,0 +1,79 @@
+// Scaling beyond 16-bit chromosomes without resynthesis: two GA cores run
+// in lockstep on the MSB and LSB halves of a 32-bit chromosome (Fig. 6),
+// with the scalingLogic_parSel glue keeping parent selection coherent.
+//
+// Build & run:   ./build/examples/dual_core_32bit
+#include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/dual_core.hpp"
+#include "fitness/functions.hpp"
+
+int main() {
+    using namespace gaip;
+
+    // Pick per-half crossover thresholds from a target 32-bit rate using
+    // the paper's composition equation xov32 = x1 + x2 - x1*x2. The paper
+    // advises lower rates because the composed operator is a (more
+    // disruptive) 3-point crossover.
+    const double target_rate32 = 0.75;
+    const std::uint8_t per_half = core::split_threshold_for_rate32(target_rate32);
+    std::printf("target 32-bit crossover rate %.2f -> per-half threshold %u/16"
+                " (composed rate %.3f)\n\n",
+                target_rate32, per_half,
+                core::compose_probability(per_half / 16.0, per_half / 16.0));
+
+    // Find a hidden 32-bit register setting by distance feedback — a search
+    // over 4.3e9 configurations that a single 16-bit core cannot encode.
+    // Binary GAs face Hamming cliffs on distance objectives, so we do what
+    // a practitioner does with this core: try a few programmable seeds and
+    // keep the best (Sec. II-C — the reason the seed is a port).
+    const std::uint32_t hidden = 0xC0FFEE42;
+    const std::pair<std::uint16_t, std::uint16_t> seed_pairs[] = {
+        {0x2961, 0xB342}, {0x061F, 0xAAAA}, {0xA0A0, 0xFFFF}};
+
+    core::DualRunResult best{};
+    std::uint64_t total_cycles = 0;
+    core::DualGaSystem* last_sys = nullptr;
+    std::vector<std::unique_ptr<core::DualGaSystem>> systems;
+    for (const auto& [s1, s2] : seed_pairs) {
+        core::DualGaConfig cfg;
+        cfg.pop_size = 64;
+        cfg.n_gens = 128;
+        cfg.xover_threshold_msb = per_half;
+        cfg.xover_threshold_lsb = per_half;
+        cfg.mut_threshold_msb = 2;
+        cfg.mut_threshold_lsb = 2;
+        cfg.seed_msb = s1;
+        cfg.seed_lsb = s2;
+        cfg.fitness = [=](std::uint32_t x) { return fitness::sphere32(x, hidden); };
+        systems.push_back(std::make_unique<core::DualGaSystem>(cfg));
+        const core::DualRunResult r = systems.back()->run();
+        total_cycles += r.ga_cycles;
+        std::printf("seeds (%04X, %04X): best %08X fitness %5u\n", s1, s2, r.best_candidate,
+                    r.best_fitness);
+        if (r.best_fitness >= best.best_fitness) {
+            best = r;
+            last_sys = systems.back().get();
+        }
+    }
+
+    std::printf("\nhidden target : %08X\n", hidden);
+    std::printf("best found    : %08X  (fitness %u / 65535)\n", best.best_candidate,
+                best.best_fitness);
+    std::printf("|error|       : %ld\n",
+                std::labs(static_cast<long>(best.best_candidate) - static_cast<long>(hidden)));
+    std::printf("total hardware cycles across 3 seeded runs: %llu (%.3f ms at 50 MHz)\n",
+                static_cast<unsigned long long>(total_cycles), total_cycles / 50e6 * 1e3);
+
+    // The lockstep invariant, visible from outside: both cores finished in
+    // the same state with the same generation counter.
+    if (last_sys != nullptr) {
+        std::printf("\nlockstep check: MSB core gen=%u bank=%d, LSB core gen=%u bank=%d\n",
+                    last_sys->core_msb().generation(), last_sys->core_msb().current_bank(),
+                    last_sys->core_lsb().generation(), last_sys->core_lsb().current_bank());
+    }
+    return 0;
+}

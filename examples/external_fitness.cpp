@@ -1,0 +1,53 @@
+// Hybrid intrinsic-EHW topology (Fig. 5): one fitness function synthesized
+// with the core (internal slot 0) and another housed "on a second FPGA
+// device" behind the fit_value_ext / fit_valid_ext ports — selected at run
+// time by fitfunc_select, with no resynthesis. The external module pays an
+// inter-chip latency on every evaluation; this example quantifies that cost.
+//
+// Build & run:   ./build/examples/external_fitness
+#include <cstdio>
+
+#include "fitness/functions.hpp"
+#include "system/ga_system.hpp"
+#include "util/table.hpp"
+
+int main() {
+    using namespace gaip;
+    std::printf("Hybrid system: internal F2 (slot 0) + external mShubert2D (slot 4)\n\n");
+
+    util::TextTable table({"Run target", "Slot", "Best fitness", "Optimum", "GA cycles",
+                           "cycles/eval"});
+
+    auto run_slot = [&](std::uint8_t slot, unsigned ext_latency) {
+        system::GaSystemConfig cfg;
+        cfg.params = {.pop_size = 32, .n_gens = 32, .xover_threshold = 10, .mut_threshold = 1,
+                      .seed = 0xAAAA};
+        cfg.internal_fems = {fitness::FitnessId::kF2};
+        cfg.external_fem = fitness::FitnessId::kMShubert2D;
+        cfg.external_latency_cycles = ext_latency;
+        cfg.fitfunc_select = slot;
+        cfg.keep_populations = false;
+        system::GaSystem sys(cfg);
+        const core::RunResult r = sys.run();
+        const auto fn = slot == 0 ? fitness::FitnessId::kF2 : fitness::FitnessId::kMShubert2D;
+        table.add(slot == 0 ? "internal F2" : "external mShubert2D (lat " +
+                                                  std::to_string(ext_latency) + ")",
+                  static_cast<unsigned>(slot), r.best_fitness,
+                  fitness::grid_optimum(fn).best_value,
+                  static_cast<unsigned long long>(sys.ga_cycles()),
+                  static_cast<double>(sys.ga_cycles()) / static_cast<double>(r.evaluations));
+    };
+
+    run_slot(0, 0);     // internal
+    run_slot(4, 8);     // external, same-board FPGA
+    run_slot(4, 40);    // external, different board (slower link)
+    run_slot(4, 160);   // external, remote instrument-grade link
+
+    table.print();
+    std::printf(
+        "\nThe GA outcome is identical for every external-latency setting (same seed,\n"
+        "same function, same decisions) — only the hardware time grows with the link.\n"
+        "This is the paper's multichip/multiboard trade-off (Sec. II-D): external FEMs\n"
+        "remain attractive whenever fitness evaluation dominates communication.\n");
+    return 0;
+}

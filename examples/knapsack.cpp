@@ -1,0 +1,108 @@
+// 0/1 knapsack on the GA core: a classic combinatorial workload that maps
+// perfectly onto the 16-bit chromosome (one bit per item). Demonstrates the
+// custom-ROM integration path — the application computes its own fitness
+// table ("measures" each packing), loads it as the FEM, and lets the core
+// search.
+//
+// Build & run:   ./build/examples/knapsack
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "mem/rom.hpp"
+#include "system/ga_system.hpp"
+#include "util/bits.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Item {
+    const char* name;
+    unsigned weight;
+    unsigned value;
+};
+
+// 16 items, capacity tuned so the optimum is a non-obvious subset.
+const Item kItems[16] = {
+    {"sextant", 7, 36},   {"chronometer", 9, 85}, {"rations", 12, 30}, {"rope", 5, 14},
+    {"medkit", 8, 63},    {"beacon", 11, 95},     {"tent", 14, 40},    {"stove", 6, 22},
+    {"samples", 10, 74},  {"drill", 13, 58},      {"radio", 4, 41},    {"solar", 9, 67},
+    {"battery", 15, 52},  {"lens", 3, 29},        {"spares", 8, 33},   {"notebook", 2, 11},
+};
+constexpr unsigned kCapacity = 60;
+
+unsigned packing_weight(std::uint16_t sel) {
+    unsigned w = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        if ((sel >> i) & 1u) w += kItems[i].weight;
+    return w;
+}
+
+unsigned packing_value(std::uint16_t sel) {
+    unsigned v = 0;
+    for (unsigned i = 0; i < 16; ++i)
+        if ((sel >> i) & 1u) v += kItems[i].value;
+    return v;
+}
+
+/// Fitness: scaled value for feasible packings; infeasible ones are graded
+/// by how far over capacity they are (a dead-zero penalty would starve the
+/// proportionate selection of gradient).
+std::uint16_t knapsack_fitness(std::uint16_t sel) {
+    const unsigned w = packing_weight(sel);
+    const unsigned v = packing_value(sel);
+    if (w <= kCapacity) return gaip::util::sat_u16(static_cast<std::int64_t>(v) * 80);
+    const unsigned over = w - kCapacity;
+    const std::int64_t penalized = static_cast<std::int64_t>(v) * 80 - 900LL * over * over;
+    return gaip::util::sat_u16(penalized / 8);
+}
+
+}  // namespace
+
+int main() {
+    using namespace gaip;
+    std::printf("0/1 knapsack, 16 items, capacity %u\n\n", kCapacity);
+
+    // Exhaustive reference (the domain is only 65536 packings).
+    std::uint16_t best_sel = 0;
+    unsigned best_val = 0;
+    for (std::uint32_t s = 0; s <= 0xFFFF; ++s) {
+        if (packing_weight(static_cast<std::uint16_t>(s)) <= kCapacity &&
+            packing_value(static_cast<std::uint16_t>(s)) > best_val) {
+            best_val = packing_value(static_cast<std::uint16_t>(s));
+            best_sel = static_cast<std::uint16_t>(s);
+        }
+    }
+
+    // Build the fitness table and run the core.
+    std::vector<std::uint16_t> table(65536);
+    for (std::uint32_t s = 0; s <= 0xFFFF; ++s)
+        table[s] = knapsack_fitness(static_cast<std::uint16_t>(s));
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 64, .n_gens = 48, .xover_threshold = 11, .mut_threshold = 2,
+                  .seed = 0x061F};
+    cfg.custom_roms = {std::make_shared<const mem::BlockRom>(std::move(table))};
+    cfg.keep_populations = false;
+    system::GaSystem sys(cfg);
+    const core::RunResult r = sys.run();
+
+    const std::uint16_t ga_sel = r.best_candidate;
+    std::printf("GA packing   : value %u, weight %u/%u  (0x%04X)\n", packing_value(ga_sel),
+                packing_weight(ga_sel), kCapacity, ga_sel);
+    std::printf("exhaustive   : value %u, weight %u/%u  (0x%04X)\n", best_val,
+                packing_weight(best_sel), kCapacity, best_sel);
+    std::printf("gap          : %.2f%%  after %llu evaluations (%.1f%% of the space),"
+                " %.3f ms of 50 MHz hardware\n\n",
+                100.0 * (best_val - packing_value(ga_sel)) / best_val,
+                static_cast<unsigned long long>(r.evaluations), 100.0 * r.evaluations / 65536.0,
+                sys.ga_seconds() * 1e3);
+
+    util::TextTable t({"Item", "Weight", "Value", "GA packs", "Optimal packs"});
+    for (unsigned i = 0; i < 16; ++i) {
+        t.add(kItems[i].name, kItems[i].weight, kItems[i].value,
+              ((ga_sel >> i) & 1u) ? "x" : "", ((best_sel >> i) & 1u) ? "x" : "");
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,77 @@
+#include "baselines/compact_ga.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gaip::baselines {
+
+namespace {
+
+/// Sample a 16-bit individual from the probability vector: bit i is 1 with
+/// probability counter[i] / n. One fresh random word per bit, using its low
+/// bits scaled to the counter range (like the cited hardware's per-bit
+/// comparator against an LFSR slice).
+std::uint16_t sample(core::RngState& rng, const std::array<std::uint16_t, 16>& counter,
+                     unsigned n) {
+    std::uint16_t v = 0;
+    for (unsigned b = 0; b < 16; ++b) {
+        const std::uint32_t r = rng.next16() % n;
+        if (r < counter[b]) v |= static_cast<std::uint16_t>(1u << b);
+    }
+    return v;
+}
+
+}  // namespace
+
+CompactGaResult run_compact_ga(const CompactGaConfig& cfg, const core::FitnessFn& fitness) {
+    if (!fitness) throw std::invalid_argument("run_compact_ga: null fitness");
+    if (cfg.virtual_population < 2)
+        throw std::invalid_argument("run_compact_ga: virtual population < 2");
+
+    const unsigned n = cfg.virtual_population;
+    core::RngState rng(cfg.seed, cfg.rng_kind);
+
+    CompactGaResult result;
+    result.probability.fill(static_cast<std::uint16_t>(n / 2));
+
+    while (result.evaluations + 2 <= cfg.evaluation_budget) {
+        const std::uint16_t a = sample(rng, result.probability, n);
+        const std::uint16_t b = sample(rng, result.probability, n);
+        const std::uint16_t fa = fitness(a);
+        const std::uint16_t fb = fitness(b);
+        result.evaluations += 2;
+
+        const std::uint16_t winner = fa >= fb ? a : b;
+        const std::uint16_t loser = fa >= fb ? b : a;
+        const std::uint16_t wf = std::max(fa, fb);
+        if (wf > result.best_fitness) {
+            result.best_fitness = wf;
+            result.best_candidate = winner;
+        }
+
+        // Update: for each bit where winner and loser differ, move the
+        // counter one step toward the winner's bit value.
+        const std::uint16_t diff = winner ^ loser;
+        for (unsigned bit = 0; bit < 16; ++bit) {
+            if (((diff >> bit) & 1u) == 0) continue;
+            std::uint16_t& c = result.probability[bit];
+            if ((winner >> bit) & 1u) {
+                if (c < n) ++c;
+            } else {
+                if (c > 0) --c;
+            }
+        }
+
+        // Early exit on full convergence of the probability vector.
+        const bool converged = std::all_of(
+            result.probability.begin(), result.probability.end(),
+            [&](std::uint16_t c) { return c == 0 || c == n; });
+        if (converged) {
+            result.converged = true;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace gaip::baselines

@@ -1,0 +1,43 @@
+// Compact GA (Aporntewan & Chongstitvatana [10]) — the alternative
+// hardware-friendly GA template the paper discusses in Sec. II-B.
+//
+// Instead of a population, the cGA keeps one probability per chromosome
+// bit, samples two competitors per step, and nudges the probabilities
+// toward the winner — a tiny hardware footprint (the cited implementation
+// stores 8-bit counters per bit in registers). The paper's critique, which
+// bench_related_work reproduces: "compact GAs suffer from a severe
+// limitation that their convergence to the optimal solution is guaranteed
+// only for the class of applications that possess tightly coded
+// nonoverlapping building blocks" — i.e. fine on order-1 problems (OneMax),
+// poor on higher-order structure (RoyalRoad) and rugged landscapes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/behavioral.hpp"
+
+namespace gaip::baselines {
+
+struct CompactGaConfig {
+    /// Virtual population size: probabilities move in steps of 1/n. The
+    /// hardware version uses an 8-bit counter, i.e. n = 256.
+    unsigned virtual_population = 256;
+    /// Fitness-evaluation budget (two per competition step).
+    std::uint64_t evaluation_budget = 4096;
+    std::uint16_t seed = 1;
+    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+};
+
+struct CompactGaResult {
+    std::uint16_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    /// Final per-bit probabilities as counters in 0..virtual_population.
+    std::array<std::uint16_t, 16> probability{};
+    bool converged = false;  ///< every probability saturated to 0 or n
+};
+
+CompactGaResult run_compact_ga(const CompactGaConfig& cfg, const core::FitnessFn& fitness);
+
+}  // namespace gaip::baselines

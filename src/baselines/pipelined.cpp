@@ -1,0 +1,21 @@
+#include "baselines/pipelined.hpp"
+
+namespace gaip::baselines {
+
+PipelinedRunResult run_pipelined_ga(const core::GaParameters& params,
+                                    const core::FitnessFn& fitness,
+                                    const PipelineTiming& timing, prng::RngKind rng_kind) {
+    TemplateConfig cfg;
+    cfg.params = params;
+    cfg.selection = SelectionScheme::kTournament2;
+    cfg.steady_state = true;
+    cfg.rng_kind = rng_kind;
+
+    PipelinedRunResult out;
+    out.result = run_template_ga(cfg, fitness);
+    out.cycles = timing.cycles(out.result.evaluations);
+    out.seconds_at_50mhz = static_cast<double>(out.cycles) / 50e6;
+    return out;
+}
+
+}  // namespace gaip::baselines

@@ -1,0 +1,64 @@
+// Pipelined GA engine model — the "advanced hardware acceleration" branch
+// of Sec. II-B (Shackleford et al. [7], Yoshida et al. [8], and the
+// pipelined/parallel architectures [11-13] the paper positions itself
+// against).
+//
+// A pipelined hardware GA keeps one offspring in flight per stage:
+//
+//   S1 parent fetch  S2 crossover  S3 mutation  S4..S(3+L) fitness  S last store
+//
+// and sustains one evaluation per clock (initiation interval 1) once the
+// pipe is full. This is only possible with design choices the paper's core
+// deliberately avoids: tournament selection (roulette needs O(P) scans),
+// steady-state survival replacement (a generational bank swap is a
+// barrier), and a fixed fitness function compiled into the pipe (no
+// multi-FEM handshake). The model here is therefore two-part:
+//   * functionality — the steady-state tournament GA of
+//     baselines::run_template_ga (bit-faithful to what such engines
+//     compute);
+//   * timing — an analytic cycle count: fill + evaluations * II + flush,
+//     which is exact for a stall-free pipe of the given depth.
+// bench_ablation_pipeline compares it against the serial core's measured
+// RTL cycles at equal evaluation budget: the throughput gap is the
+// literature's acceleration claim, the quality delta is its price.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/templates.hpp"
+
+namespace gaip::baselines {
+
+struct PipelineTiming {
+    unsigned front_stages = 3;     ///< parent fetch, crossover, mutation
+    unsigned fitness_stages = 2;   ///< pipelined lookup FEM latency
+    unsigned back_stages = 1;      ///< survival compare + store
+    unsigned initiation_interval = 1;
+
+    unsigned depth() const noexcept { return front_stages + fitness_stages + back_stages; }
+
+    /// Total cycles to push `evaluations` offspring through a stall-free
+    /// pipe: fill the pipe once, then one result per II, plus the final
+    /// drain (already covered by the fill term for II = 1 accounting:
+    /// first result appears after `depth` cycles, the last
+    /// (evaluations-1) * II later).
+    std::uint64_t cycles(std::uint64_t evaluations) const noexcept {
+        if (evaluations == 0) return 0;
+        return depth() + (evaluations - 1) * initiation_interval;
+    }
+};
+
+struct PipelinedRunResult {
+    core::RunResult result;       ///< steady-state tournament GA outcome
+    std::uint64_t cycles = 0;     ///< modeled pipeline cycles
+    double seconds_at_50mhz = 0;  ///< same clock as the paper's core
+};
+
+/// Run the pipelined engine model: functional steady-state tournament GA +
+/// analytic pipeline timing.
+PipelinedRunResult run_pipelined_ga(const core::GaParameters& params,
+                                    const core::FitnessFn& fitness,
+                                    const PipelineTiming& timing = {},
+                                    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton);
+
+}  // namespace gaip::baselines

@@ -1,0 +1,217 @@
+#include "baselines/templates.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gaip::baselines {
+
+const char* selection_name(SelectionScheme s) {
+    switch (s) {
+        case SelectionScheme::kProportionate: return "proportionate";
+        case SelectionScheme::kRoundRobin: return "round-robin";
+        case SelectionScheme::kTournament2: return "tournament-2";
+    }
+    return "?";
+}
+
+namespace {
+
+using core::GaParameters;
+using core::GenerationStats;
+using core::Member;
+using core::RngState;
+using core::RunResult;
+
+struct Selector {
+    SelectionScheme scheme;
+    std::size_t rr_index = 0;  // round-robin cursor
+
+    std::size_t pick(RngState& rng, const std::vector<Member>& pop, std::uint32_t fit_sum) {
+        switch (scheme) {
+            case SelectionScheme::kProportionate:
+                return core::proportionate_select(pop, fit_sum, rng.next16());
+            case SelectionScheme::kRoundRobin: {
+                const std::size_t i = rr_index;
+                rr_index = (rr_index + 1) % pop.size();
+                return i;
+            }
+            case SelectionScheme::kTournament2: {
+                const std::size_t a = rng.next16() % pop.size();
+                const std::size_t b = rng.next16() % pop.size();
+                return pop[a].fitness >= pop[b].fitness ? a : b;
+            }
+        }
+        return 0;
+    }
+};
+
+std::pair<std::uint16_t, std::uint16_t> make_offspring(RngState& rng, const GaParameters& p,
+                                                       std::uint16_t c1, std::uint16_t c2) {
+    const std::uint16_t rx = rng.next16();
+    std::uint16_t o1 = c1;
+    std::uint16_t o2 = c2;
+    if ((rx & 0xF) < p.xover_threshold)
+        std::tie(o1, o2) = core::crossover_pair(o1, o2, (rx >> 4) & 0xF);
+    auto mutate = [&](std::uint16_t v) {
+        const std::uint16_t rm = rng.next16();
+        if ((rm & 0xF) < p.mut_threshold) v ^= static_cast<std::uint16_t>(1u << ((rm >> 4) & 0xF));
+        return v;
+    };
+    return {mutate(o1), mutate(o2)};
+}
+
+RunResult run_steady_state(const TemplateConfig& cfg, const core::FitnessFn& fitness) {
+    const GaParameters p = core::resolve_parameters(0, cfg.params);
+    RngState rng(p.seed, cfg.rng_kind);
+    Selector sel{cfg.selection};
+    RunResult result;
+
+    std::vector<Member> pop(p.pop_size);
+    std::uint32_t fit_sum = 0;
+    std::uint16_t best_fit = 0;
+    std::uint16_t best_ind = 0;
+    for (Member& m : pop) {
+        m.candidate = rng.next16();
+        m.fitness = fitness(m.candidate);
+        ++result.evaluations;
+        fit_sum += m.fitness;
+        if (m.fitness > best_fit) {
+            best_fit = m.fitness;
+            best_ind = m.candidate;
+        }
+    }
+
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(p.n_gens) * (p.pop_size - 1u);  // offspring evaluations
+    std::uint64_t done = 0;
+    std::uint32_t epoch = 0;
+
+    auto snapshot = [&] {
+        GenerationStats s;
+        s.gen = epoch;
+        s.best_fit = best_fit;
+        s.best_ind = best_ind;
+        s.fit_sum = fit_sum;
+        if (cfg.keep_populations) s.population = pop;
+        result.history.push_back(std::move(s));
+    };
+    snapshot();
+
+    while (done < budget) {
+        const std::size_t i1 = sel.pick(rng, pop, fit_sum);
+        const std::size_t i2 = sel.pick(rng, pop, fit_sum);
+        const auto [o1, o2] = make_offspring(rng, p, pop[i1].candidate, pop[i2].candidate);
+
+        for (const std::uint16_t off : {o1, o2}) {
+            if (done >= budget) break;
+            const std::uint16_t f = fitness(off);
+            ++result.evaluations;
+            ++done;
+            if (f > best_fit) {
+                best_fit = f;
+                best_ind = off;
+            }
+            // Survival-based replacement: the offspring displaces the
+            // current worst member only if strictly fitter.
+            const auto worst = std::min_element(
+                pop.begin(), pop.end(),
+                [](const Member& a, const Member& b) { return a.fitness < b.fitness; });
+            if (f > worst->fitness) {
+                fit_sum = fit_sum - worst->fitness + f;
+                *worst = {off, f};
+            }
+            if (done % (p.pop_size - 1u) == 0) {
+                ++epoch;
+                snapshot();
+            }
+        }
+    }
+
+    result.best_candidate = best_ind;
+    result.best_fitness = best_fit;
+    return result;
+}
+
+RunResult run_generational(const TemplateConfig& cfg, const core::FitnessFn& fitness) {
+    if (cfg.selection == SelectionScheme::kProportionate) {
+        // Exactly the core's algorithm — delegate to the behavioral model.
+        return core::run_behavioral_ga(cfg.params, fitness, cfg.rng_kind,
+                                       cfg.keep_populations, cfg.elitism);
+    }
+    const GaParameters p = core::resolve_parameters(0, cfg.params);
+    RngState rng(p.seed, cfg.rng_kind);
+    Selector sel{cfg.selection};
+    RunResult result;
+
+    std::vector<Member> cur(p.pop_size);
+    std::uint32_t fit_sum = 0;
+    std::uint16_t best_fit = 0;
+    std::uint16_t best_ind = 0;
+    auto offer = [&](std::uint16_t cand, std::uint16_t fit) {
+        if (fit > best_fit) {
+            best_fit = fit;
+            best_ind = cand;
+        }
+    };
+    for (Member& m : cur) {
+        m.candidate = rng.next16();
+        m.fitness = fitness(m.candidate);
+        ++result.evaluations;
+        fit_sum += m.fitness;
+        offer(m.candidate, m.fitness);
+    }
+
+    auto snapshot = [&](std::uint32_t gen) {
+        GenerationStats s;
+        s.gen = gen;
+        s.best_fit = best_fit;
+        s.best_ind = best_ind;
+        s.fit_sum = fit_sum;
+        if (cfg.keep_populations) s.population = cur;
+        result.history.push_back(std::move(s));
+    };
+    snapshot(0);
+
+    std::vector<Member> next(p.pop_size);
+    for (std::uint32_t gen = 0; gen < p.n_gens; ++gen) {
+        std::uint32_t sum_new = 0;
+        std::size_t idx = 0;
+        if (cfg.elitism) {
+            next[0] = {best_ind, best_fit};
+            sum_new = best_fit;
+            idx = 1;
+        }
+        while (idx < p.pop_size) {
+            const std::size_t i1 = sel.pick(rng, cur, fit_sum);
+            const std::size_t i2 = sel.pick(rng, cur, fit_sum);
+            const auto [o1, o2] = make_offspring(rng, p, cur[i1].candidate, cur[i2].candidate);
+            for (const std::uint16_t off : {o1, o2}) {
+                const std::uint16_t f = fitness(off);
+                ++result.evaluations;
+                next[idx] = {off, f};
+                sum_new += f;
+                offer(off, f);
+                ++idx;
+                if (idx >= p.pop_size) break;
+            }
+        }
+        cur.swap(next);
+        fit_sum = sum_new;
+        snapshot(gen + 1);
+    }
+
+    result.best_candidate = best_ind;
+    result.best_fitness = best_fit;
+    return result;
+}
+
+}  // namespace
+
+RunResult run_template_ga(const TemplateConfig& cfg, const core::FitnessFn& fitness) {
+    if (!fitness) throw std::invalid_argument("run_template_ga: null fitness");
+    return cfg.steady_state ? run_steady_state(cfg, fitness) : run_generational(cfg, fitness);
+}
+
+}  // namespace gaip::baselines

@@ -1,0 +1,45 @@
+// Related-work GA templates (Table I / Sec. II-B of the paper).
+//
+// The paper positions its core against the earlier FPGA GA engines by
+// their GA template and selection scheme:
+//   * Scott et al. [5]        — simple GA, roulette selection (the proposed
+//                               core's scheme; our main implementation);
+//   * Tommiska & Vuori [6]    — round-robin parent selection;
+//   * Yoshida et al. [8]      — simplified (binary tournament) selection;
+//   * Shackleford et al. [7]  — survival-based steady-state GA;
+//   * Aporntewan et al. [10]  — compact GA (see compact_ga.hpp).
+// This module implements the generational templates with pluggable
+// selection plus the steady-state variant, so the design space of Table I
+// is runnable and comparable (bench_related_work).
+#pragma once
+
+#include "core/behavioral.hpp"
+
+namespace gaip::baselines {
+
+enum class SelectionScheme : std::uint8_t {
+    kProportionate = 0,  ///< roulette via threshold scan — the paper's core
+    kRoundRobin = 1,     ///< parents taken in cyclic index order [6]
+    kTournament2 = 2,    ///< binary tournament, fitter of two random picks [8]
+};
+
+const char* selection_name(SelectionScheme s);
+
+struct TemplateConfig {
+    core::GaParameters params;
+    SelectionScheme selection = SelectionScheme::kProportionate;
+    /// Survival-based steady-state replacement (Shackleford et al. [7]):
+    /// offspring replace the current worst member only when fitter; no
+    /// generational banks. History snapshots are taken every pop_size
+    /// evaluations so convergence series stay comparable.
+    bool steady_state = false;
+    bool elitism = true;  ///< generational templates only
+    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+    bool keep_populations = false;
+};
+
+/// Run the selected GA template; evaluation budget equals the elitist
+/// generational core's (pop + n_gens * (pop - 1)) so comparisons are fair.
+core::RunResult run_template_ga(const TemplateConfig& cfg, const core::FitnessFn& fitness);
+
+}  // namespace gaip::baselines

@@ -1,0 +1,135 @@
+#include "core/behavioral.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gaip::core {
+
+std::size_t proportionate_select(const std::vector<Member>& pop, std::uint32_t fit_sum,
+                                 std::uint16_t r) {
+    if (pop.empty()) throw std::invalid_argument("proportionate_select: empty population");
+    const std::uint32_t thresh =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(fit_sum) * r) >> 16);
+    std::uint32_t cum = 0;
+    std::size_t idx = 0;
+    for (std::size_t reads = 0;; ++reads) {
+        const std::uint16_t fit = pop[idx].fitness;
+        if (cum + fit > thresh || reads + 1 >= 2 * pop.size()) return idx;
+        cum += fit;
+        idx = (idx + 1) % pop.size();
+    }
+}
+
+std::pair<std::uint16_t, std::uint16_t> crossover_pair(std::uint16_t p1, std::uint16_t p2,
+                                                       unsigned cut) {
+    const std::uint16_t mask = util::crossover_mask(cut);
+    const auto off1 = static_cast<std::uint16_t>((p1 & mask) | (p2 & ~mask));
+    const auto off2 = static_cast<std::uint16_t>((p2 & mask) | (p1 & ~mask));
+    return {off1, off2};
+}
+
+namespace {
+
+struct BestTracker {
+    std::uint16_t fit = 0;
+    std::uint16_t ind = 0;
+
+    void offer(std::uint16_t candidate, std::uint16_t fitness) noexcept {
+        if (fitness > fit) {  // strict: first-seen wins ties, like the RTL
+            fit = fitness;
+            ind = candidate;
+        }
+    }
+};
+
+std::uint16_t mutate(std::uint16_t off, std::uint16_t rn, std::uint8_t mut_thresh) noexcept {
+    if ((rn & 0xF) < mut_thresh) off ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+    return off;
+}
+
+}  // namespace
+
+RunResult run_behavioral_ga(const GaParameters& raw_params, const FitnessFn& fitness,
+                            prng::RngKind rng_kind, bool keep_populations, bool elitism) {
+    const GaParameters params = resolve_parameters(0, raw_params);
+    RngState rng(params.seed, rng_kind);
+    RunResult result;
+    BestTracker best;
+
+    // --- initial population ---
+    std::vector<Member> cur(params.pop_size);
+    std::uint32_t fit_sum_cur = 0;
+    for (Member& m : cur) {
+        m.candidate = rng.next16();
+        m.fitness = fitness(m.candidate);
+        ++result.evaluations;
+        fit_sum_cur += m.fitness;
+        best.offer(m.candidate, m.fitness);
+    }
+
+    auto snapshot = [&](std::uint32_t gen) {
+        GenerationStats s;
+        s.gen = gen;
+        s.best_fit = best.fit;
+        s.best_ind = best.ind;
+        s.fit_sum = fit_sum_cur;
+        if (keep_populations) s.population = cur;
+        result.history.push_back(std::move(s));
+    };
+    snapshot(0);
+
+    // --- generations ---
+    std::vector<Member> next(params.pop_size);
+    for (std::uint32_t gen = 0; gen < params.n_gens; ++gen) {
+        std::uint32_t fit_sum_new = 0;
+        std::size_t idx = 0;
+        if (elitism) {
+            // Elitism: the best-ever member occupies slot 0 of the new bank.
+            next[0] = {best.ind, best.fit};
+            fit_sum_new = best.fit;
+            idx = 1;
+        }
+
+        while (idx < params.pop_size) {
+            const std::uint16_t r1 = rng.next16();
+            const std::size_t i1 = proportionate_select(cur, fit_sum_cur, r1);
+            const std::uint16_t r2 = rng.next16();
+            const std::size_t i2 = proportionate_select(cur, fit_sum_cur, r2);
+
+            const std::uint16_t rx = rng.next16();
+            std::uint16_t off1 = cur[i1].candidate;
+            std::uint16_t off2 = cur[i2].candidate;
+            if ((rx & 0xF) < params.xover_threshold) {
+                std::tie(off1, off2) = crossover_pair(off1, off2, (rx >> 4) & 0xF);
+            }
+
+            off1 = mutate(off1, rng.next16(), params.mut_threshold);
+            const std::uint16_t f1 = fitness(off1);
+            ++result.evaluations;
+            next[idx] = {off1, f1};
+            fit_sum_new += f1;
+            best.offer(off1, f1);
+            ++idx;
+            if (idx >= params.pop_size) break;  // second offspring dropped (core skips Mu2)
+
+            off2 = mutate(off2, rng.next16(), params.mut_threshold);
+            const std::uint16_t f2 = fitness(off2);
+            ++result.evaluations;
+            next[idx] = {off2, f2};
+            fit_sum_new += f2;
+            best.offer(off2, f2);
+            ++idx;
+        }
+
+        cur.swap(next);
+        fit_sum_cur = fit_sum_new;
+        snapshot(gen + 1);
+    }
+
+    result.best_candidate = best.ind;
+    result.best_fitness = best.fit;
+    return result;
+}
+
+}  // namespace gaip::core

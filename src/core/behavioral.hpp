@@ -1,0 +1,88 @@
+// Behavioral model of the GA core: the same algorithm the RTL FSM executes,
+// without timing. This mirrors the paper's design flow, where a behavioral
+// VHDL model was written first and the synthesized RT-level netlist was
+// verified against it. Here the two models share the exact RNG-consumption
+// order, so for identical parameters and seed the behavioral run and the
+// RTL simulation produce bit-identical populations, statistics, and best
+// individuals — the strongest cross-verification available to the tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/params.hpp"
+#include "prng/rng_module.hpp"
+
+namespace gaip::core {
+
+/// One population member as stored in GA memory.
+struct Member {
+    std::uint16_t candidate = 0;
+    std::uint16_t fitness = 0;
+
+    friend bool operator==(const Member&, const Member&) = default;
+};
+
+/// Snapshot taken at each generation boundary (what the RTL monitor taps
+/// export at the kGenCheck pulse). gen == 0 is the initial population.
+struct GenerationStats {
+    std::uint32_t gen = 0;
+    std::uint16_t best_fit = 0;
+    std::uint16_t best_ind = 0;
+    std::uint32_t fit_sum = 0;
+    std::vector<Member> population;
+
+    double mean_fitness() const {
+        if (population.empty()) return 0.0;
+        return static_cast<double>(fit_sum) / static_cast<double>(population.size());
+    }
+};
+
+struct RunResult {
+    std::uint16_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    std::vector<GenerationStats> history;  ///< one entry per generation, 0..n_gens
+};
+
+using FitnessFn = std::function<std::uint16_t(std::uint16_t)>;
+
+/// Deterministic 16-bit generator state shared with the RTL RNG module.
+class RngState {
+public:
+    explicit RngState(std::uint16_t seed, prng::RngKind kind = prng::RngKind::kCellularAutomaton)
+        : state_(seed == 0 ? 1 : seed), kind_(kind) {}
+
+    std::uint16_t next16() noexcept {
+        state_ = prng::rng_step(kind_, state_);
+        return state_;
+    }
+
+    std::uint16_t state() const noexcept { return state_; }
+
+private:
+    std::uint16_t state_;
+    prng::RngKind kind_;
+};
+
+/// Proportionate (roulette) selection exactly as the core's scan implements
+/// it: threshold = (fit_sum * r) >> 16, wrap-around scan, 2P-read fallback.
+std::size_t proportionate_select(const std::vector<Member>& pop, std::uint32_t fit_sum,
+                                 std::uint16_t r);
+
+/// Single-point crossover via the bit-mask construction of Fig. 3.
+std::pair<std::uint16_t, std::uint16_t> crossover_pair(std::uint16_t p1, std::uint16_t p2,
+                                                       unsigned cut);
+
+/// Run the full optimization cycle. `keep_populations` controls whether the
+/// per-generation history stores full population snapshots (needed by the
+/// convergence-scatter benches) or only the scalar statistics. `elitism`
+/// exists for the ablation bench only — the hardware core is always elitist
+/// (its convergence guarantee rests on it, Rudolph [17]); disabling it here
+/// quantifies what that design choice buys.
+RunResult run_behavioral_ga(const GaParameters& params, const FitnessFn& fitness,
+                            prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton,
+                            bool keep_populations = true, bool elitism = true);
+
+}  // namespace gaip::core

@@ -1,0 +1,132 @@
+#include "core/dual_behavioral.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gaip::core {
+
+namespace {
+
+struct DualMember {
+    std::uint16_t hi = 0;
+    std::uint16_t lo = 0;
+    std::uint16_t fit = 0;
+};
+
+/// Per-half crossover decision: each core draws its own word and applies a
+/// single-point crossover to its 16-bit halves independently.
+void half_crossover(std::uint16_t rx, std::uint8_t threshold, std::uint16_t& a,
+                    std::uint16_t& b) {
+    if ((rx & 0xF) < threshold) std::tie(a, b) = crossover_pair(a, b, (rx >> 4) & 0xF);
+}
+
+std::uint16_t half_mutate(std::uint16_t rm, std::uint8_t threshold, std::uint16_t v) {
+    if ((rm & 0xF) < threshold) v ^= static_cast<std::uint16_t>(1u << ((rm >> 4) & 0xF));
+    return v;
+}
+
+std::size_t shared_select(const std::vector<DualMember>& pop, std::uint32_t fit_sum,
+                          std::uint16_t r) {
+    // Identical to the single-core proportionate scan, over the shared
+    // fitness column, governed by the MSB core's random word.
+    const std::uint32_t thresh =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(fit_sum) * r) >> 16);
+    std::uint32_t cum = 0;
+    std::size_t idx = 0;
+    for (std::size_t reads = 0;; ++reads) {
+        const std::uint16_t fit = pop[idx].fit;
+        if (cum + fit > thresh || reads + 1 >= 2 * pop.size()) return idx;
+        cum += fit;
+        idx = (idx + 1) % pop.size();
+    }
+}
+
+}  // namespace
+
+DualBehavioralResult run_dual_behavioral(const DualGaConfig& cfg) {
+    if (!cfg.fitness) throw std::invalid_argument("run_dual_behavioral: null fitness");
+    const std::uint8_t pop_size = clamp_pop_size(cfg.pop_size);
+
+    RngState rng_hi(cfg.seed_msb);
+    RngState rng_lo(cfg.seed_lsb);
+    DualBehavioralResult result;
+
+    std::uint16_t best_hi = 0;
+    std::uint16_t best_lo = 0;
+    std::uint16_t best_fit = 0;
+    auto offer = [&](std::uint16_t hi, std::uint16_t lo, std::uint16_t fit) {
+        if (fit > best_fit) {
+            best_fit = fit;
+            best_hi = hi;
+            best_lo = lo;
+        }
+    };
+    auto eval = [&](std::uint16_t hi, std::uint16_t lo) {
+        ++result.evaluations;
+        return cfg.fitness((static_cast<std::uint32_t>(hi) << 16) | lo);
+    };
+
+    std::vector<DualMember> cur(pop_size);
+    std::uint32_t fit_sum = 0;
+    for (DualMember& m : cur) {
+        m.hi = rng_hi.next16();
+        m.lo = rng_lo.next16();
+        m.fit = eval(m.hi, m.lo);
+        fit_sum += m.fit;
+        offer(m.hi, m.lo, m.fit);
+    }
+
+    std::vector<DualMember> next(pop_size);
+    for (std::uint32_t gen = 0; gen < cfg.n_gens; ++gen) {
+        next[0] = {best_hi, best_lo, best_fit};
+        std::uint32_t sum_new = best_fit;
+        std::size_t idx = 1;
+        while (idx < pop_size) {
+            // Selection: both cores draw threshold words (lockstep), the
+            // MSB core's word decides; the LSB core is slaved via
+            // scalingLogic_parSel.
+            const std::uint16_t r1 = rng_hi.next16();
+            (void)rng_lo.next16();
+            const std::size_t i1 = shared_select(cur, fit_sum, r1);
+            const std::uint16_t r2 = rng_hi.next16();
+            (void)rng_lo.next16();
+            const std::size_t i2 = shared_select(cur, fit_sum, r2);
+
+            std::uint16_t o1h = cur[i1].hi, o2h = cur[i2].hi;
+            std::uint16_t o1l = cur[i1].lo, o2l = cur[i2].lo;
+            half_crossover(rng_hi.next16(), cfg.xover_threshold_msb & 0xF, o1h, o2h);
+            half_crossover(rng_lo.next16(), cfg.xover_threshold_lsb & 0xF, o1l, o2l);
+
+            o1h = half_mutate(rng_hi.next16(), cfg.mut_threshold_msb & 0xF, o1h);
+            o1l = half_mutate(rng_lo.next16(), cfg.mut_threshold_lsb & 0xF, o1l);
+            const std::uint16_t f1 = eval(o1h, o1l);
+            next[idx] = {o1h, o1l, f1};
+            sum_new += f1;
+            offer(o1h, o1l, f1);
+            ++idx;
+            if (idx >= pop_size) break;
+
+            o2h = half_mutate(rng_hi.next16(), cfg.mut_threshold_msb & 0xF, o2h);
+            o2l = half_mutate(rng_lo.next16(), cfg.mut_threshold_lsb & 0xF, o2l);
+            const std::uint16_t f2 = eval(o2h, o2l);
+            next[idx] = {o2h, o2l, f2};
+            sum_new += f2;
+            offer(o2h, o2l, f2);
+            ++idx;
+        }
+        cur.swap(next);
+        fit_sum = sum_new;
+    }
+
+    result.best_candidate = (static_cast<std::uint32_t>(best_hi) << 16) | best_lo;
+    result.best_fitness = best_fit;
+    result.final_population.reserve(pop_size);
+    for (const DualMember& m : cur) {
+        result.final_population.emplace_back(
+            (static_cast<std::uint32_t>(m.hi) << 16) | m.lo, m.fit);
+    }
+    return result;
+}
+
+}  // namespace gaip::core

@@ -1,0 +1,29 @@
+// Behavioral model of the dual-core 32-bit composition (Fig. 6), bit-exact
+// with DualGaSystem: two RNG streams, per-half crossover/mutation, the
+// MSB core's proportionate selection governing both halves (the
+// scalingLogic_parSel synchronization), shared fitness, and a coherent
+// elite. Exists for the same reason the single-core behavioral model does —
+// it is the executable specification the RTL composition is verified
+// against (tests/system/test_dual_core.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "core/dual_core.hpp"
+
+namespace gaip::core {
+
+struct DualBehavioralResult {
+    std::uint32_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    /// Final population (concatenated candidates with their fitness).
+    std::vector<std::pair<std::uint32_t, std::uint16_t>> final_population;
+};
+
+/// Run the dual-core algorithm exactly as the lockstep RTL pair executes it.
+DualBehavioralResult run_dual_behavioral(const DualGaConfig& cfg);
+
+}  // namespace gaip::core

@@ -1,0 +1,203 @@
+// Dual-core 32-bit GA engine (Sec. III-D.1, Fig. 6): two 16-bit GA cores
+// evolve the MSB and LSB halves of a 32-bit chromosome in lockstep.
+//
+//  * GA_Core1 (MSB) owns the shared 48-bit GA memory's address/write port
+//    and the fitness field; GA_Core2 (LSB) contributes only its candidate
+//    half ("the write signal ... is generated from GA_Core1; the fitness
+//    value is written only from GA_Core1").
+//  * Parent-selection synchronization (scalingLogic_parSel): the memory glue
+//    supplies a fitness of zero to GA_Core2 during its selection scan, so
+//    its cumulative sum can never cross its threshold and it keeps scanning
+//    in lockstep with GA_Core1; when GA_Core1's combinational sel_found
+//    fires, the glue forces GA_Core2 to select the same slot via
+//    sel_force_found. (The paper describes the zero-fitness masking; the
+//    explicit force is our cycle-exact realization of its "until GA_Core1
+//    has found the parent individual" release, which a pure fitness-value
+//    release cannot achieve off-by-one-free.)
+//  * Both cores receive the full fitness value on their fit_value inputs
+//    (a 16-bit bus fans out at zero cost), which keeps their fitness sums
+//    and best-member tracking identical — necessary for the elite slot to
+//    hold a coherent 32-bit individual. The paper routes the value only to
+//    GA_Core1 and does not discuss elite coherence; see DESIGN.md.
+//  * Crossover/mutation run independently per half, so the 32-bit operator
+//    is a (up to) three-point crossover / up to two-bit mutation with the
+//    composed probabilities of the paper's equations (compose_probability).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "core/ga_core.hpp"
+#include "core/params.hpp"
+#include "prng/rng_module.hpp"
+#include "rtl/kernel.hpp"
+#include "system/app_module.hpp"
+#include "system/init_module.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::core {
+
+/// Probability composition for independent per-half operators:
+/// p32 = p_msb + p_lsb - p_msb * p_lsb (both paper equations have this form).
+constexpr double compose_probability(double p_msb, double p_lsb) noexcept {
+    return p_msb + p_lsb - p_msb * p_lsb;
+}
+
+/// Largest 4-bit threshold whose equal-per-half composition stays at or
+/// below the requested 32-bit rate ("lower crossover probabilities should
+/// be used" — the paper's guidance for the more disruptive 3-point case).
+std::uint8_t split_threshold_for_rate32(double target_rate32) noexcept;
+
+/// Fitness over the concatenated 32-bit chromosome.
+using FitnessFn32 = std::function<std::uint16_t(std::uint32_t)>;
+
+/// The shared 48-bit GA memory of Fig. 6 plus the scalingLogic_parSel
+/// read-path glue. Storage word: {fitness[47:32], msb[31:16], lsb[15:0]}.
+class DualGaMemory final : public rtl::Module {
+public:
+    struct Ports {
+        // master (core 1) side
+        rtl::Wire<std::uint8_t>& addr;
+        rtl::Wire<bool>& write;
+        rtl::Wire<std::uint32_t>& data1;   // core1 mem_data_out {fit, msb}
+        rtl::Wire<std::uint32_t>& data2;   // core2 mem_data_out {fit ignored, lsb}
+        rtl::Wire<std::uint32_t>& dout1;   // to core1: {fit, msb}
+        rtl::Wire<std::uint32_t>& dout2;   // to core2: {0, lsb} (masked fitness)
+    };
+
+    explicit DualGaMemory(Ports ports);
+
+    void eval() override;
+    void tick() override;
+    void reset_state() override;
+
+    std::uint32_t candidate32_at(bool bank, std::uint8_t idx) const;
+    std::uint16_t fitness_at(bool bank, std::uint8_t idx) const;
+    std::uint64_t storage_bits() const noexcept { return mem_.size() * 48ull; }
+
+private:
+    Ports p_;
+    std::vector<std::uint64_t> mem_;
+    rtl::Reg<std::uint64_t> dout_reg_{"dual_mem_dout", 0, 48};
+};
+
+/// Combinational glue between the two cores: start fanout, selection
+/// synchronization, init-completion conjunction.
+class DualGlue final : public rtl::Module {
+public:
+    struct Ports {
+        rtl::Wire<bool>& start1;           // app -> core1 start_ga (source)
+        rtl::Wire<bool>& start2;           // -> core2 start_ga
+        rtl::Wire<bool>& sel_found1;       // core1 -> force core2
+        rtl::Wire<bool>& force2;           // -> core2 sel_force_found
+        rtl::Wire<bool>& init_done1;
+        rtl::Wire<bool>& init_done2;
+        rtl::Wire<bool>& init_done_both;   // -> app module
+    };
+
+    explicit DualGlue(Ports ports) : Module("dual_glue"), p_(ports) {}
+
+    void eval() override {
+        p_.start2.drive(p_.start1.read());
+        p_.force2.drive(p_.sel_found1.read());
+        p_.init_done_both.drive(p_.init_done1.read() && p_.init_done2.read());
+    }
+
+private:
+    Ports p_;
+};
+
+/// Fitness evaluation module over the concatenated candidate. Answers on
+/// both cores' fit_value/fit_valid pairs simultaneously.
+class Fem32 final : public rtl::Module {
+public:
+    struct Ports {
+        rtl::Wire<bool>& fit_request;          // from core1
+        rtl::Wire<std::uint16_t>& cand_msb;    // core1 candidate bus
+        rtl::Wire<std::uint16_t>& cand_lsb;    // core2 candidate bus
+        rtl::Wire<std::uint16_t>& fit_value1;
+        rtl::Wire<bool>& fit_valid1;
+        rtl::Wire<std::uint16_t>& fit_value2;
+        rtl::Wire<bool>& fit_valid2;
+    };
+
+    Fem32(Ports ports, FitnessFn32 fn);
+
+    void eval() override;
+    void tick() override;
+    void reset_state() override { evaluations_ = 0; }
+
+    std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+private:
+    enum class State : std::uint8_t { kIdle = 0, kLookup, kPresent, kWaitDrop };
+
+    Ports p_;
+    FitnessFn32 fn_;
+    std::uint64_t evaluations_ = 0;
+    rtl::Reg<State> state_{"fem32_state", State::kIdle, 2};
+    rtl::Reg<std::uint32_t> cand_{"fem32_cand", 0};
+    rtl::Reg<std::uint16_t> value_{"fem32_value", 0};
+};
+
+struct DualGaConfig {
+    std::uint8_t pop_size = 32;
+    std::uint32_t n_gens = 32;
+    std::uint8_t xover_threshold_msb = 7;  // composed 32-bit rate ~0.76
+    std::uint8_t xover_threshold_lsb = 7;
+    std::uint8_t mut_threshold_msb = 1;
+    std::uint8_t mut_threshold_lsb = 1;
+    std::uint16_t seed_msb = 0x2961;
+    std::uint16_t seed_lsb = 0xB342;
+    FitnessFn32 fitness;
+};
+
+struct DualRunResult {
+    std::uint32_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    std::uint64_t ga_cycles = 0;
+};
+
+/// The assembled dual-core system of Fig. 6.
+class DualGaSystem {
+public:
+    explicit DualGaSystem(DualGaConfig cfg);
+
+    DualRunResult run();
+
+    GaCore& core_msb() noexcept { return *core1_; }
+    GaCore& core_lsb() noexcept { return *core2_; }
+    const DualGaMemory& memory() const noexcept { return *memory_; }
+    rtl::Kernel& kernel() noexcept { return kernel_; }
+    std::uint8_t pop_size() const noexcept { return cfg_.pop_size; }
+
+private:
+    DualGaConfig cfg_;
+    rtl::Kernel kernel_;
+    rtl::Clock* ga_clk_ = nullptr;
+    rtl::Clock* app_clk_ = nullptr;
+
+    system::CoreWireBundle w1_;
+    system::CoreWireBundle w2_;
+    rtl::Wire<bool> init_done1_;
+    rtl::Wire<bool> init_done2_;
+    rtl::Wire<bool> init_done_both_;
+    rtl::Wire<bool> app_done_;
+
+    std::unique_ptr<GaCore> core1_;
+    std::unique_ptr<GaCore> core2_;
+    std::unique_ptr<prng::RngModule> rng1_;
+    std::unique_ptr<prng::RngModule> rng2_;
+    std::unique_ptr<DualGaMemory> memory_;
+    std::unique_ptr<DualGlue> glue_;
+    std::unique_ptr<Fem32> fem_;
+    std::unique_ptr<system::InitModule> init1_;
+    std::unique_ptr<system::InitModule> init2_;
+    std::unique_ptr<system::AppModule> app_;
+};
+
+}  // namespace gaip::core

@@ -1,0 +1,413 @@
+#include "core/ga_core.hpp"
+
+#include "mem/ga_memory.hpp"
+#include "util/bits.hpp"
+
+namespace gaip::core {
+
+using mem::bank_address;
+using mem::member_candidate;
+using mem::member_fitness;
+using mem::pack_member;
+
+GaCore::GaCore(std::string name, GaCorePorts ports, GaCoreConfig cfg)
+    : Module(std::move(name)), p_(ports), cfg_(cfg) {
+    attach_all(state_, ret_state_, ngens_lo_, ngens_hi_, pop_size_, xover_thresh_, mut_thresh_,
+               eff_pop_, eff_ngens_, eff_xt_, eff_mt_, gen_id_, pop_idx_, new_idx_, scan_idx_,
+               scan_reads_, bank_, parent2_phase_, best_fit_, best_ind_, fit_sum_cur_,
+               fit_sum_new_, sel_thresh_, sel_cum_, parent1_, parent2_, off1_, off2_, eval_cand_,
+               fit_reg_, xo_cut_, xo_do_, start_d_);
+    scan_.add_all(registers());
+}
+
+GaParameters GaCore::programmed_parameters() const {
+    GaParameters p;
+    p.pop_size = pop_size_.read();
+    p.n_gens = (static_cast<std::uint32_t>(ngens_hi_.read()) << 16) | ngens_lo_.read();
+    p.xover_threshold = xover_thresh_.read();
+    p.mut_threshold = mut_thresh_.read();
+    p.seed = 0;  // the seed register lives in the RNG module
+    return p;
+}
+
+GaParameters GaCore::effective_parameters() const {
+    GaParameters p;
+    p.pop_size = eff_pop_.read();
+    p.n_gens = eff_ngens_.read();
+    p.xover_threshold = eff_xt_.read();
+    p.mut_threshold = eff_mt_.read();
+    p.seed = 0;
+    return p;
+}
+
+bool GaCore::use_external_fem() const {
+    return ((cfg_.external_slot_mask >> (p_.fitfunc_select.read() & 0x7)) & 1u) != 0;
+}
+
+bool GaCore::fit_valid_sel() const {
+    return use_external_fem() ? p_.fit_valid_ext.read() : p_.fit_valid.read();
+}
+
+std::uint16_t GaCore::fit_value_sel() const {
+    return use_external_fem() ? p_.fit_value_ext.read() : p_.fit_value.read();
+}
+
+bool GaCore::selection_hit() const {
+    // Valid in kSelCheck: the scanned member's word is on mem_data_in.
+    const std::uint16_t fit = member_fitness(p_.mem_data_in.read());
+    const std::uint32_t cum = sel_cum_.read() + fit;
+    // Fallback: a population whose fitness sum is zero can never exceed the
+    // threshold; bail out after two full wrap-around passes (the wrap is
+    // what the dual-core slave relies on, see dual_core.hpp).
+    const bool exhausted = scan_reads_.read() + 1u >= 2u * eff_pop_.read();
+    return cum > sel_thresh_.read() || exhausted;
+}
+
+void GaCore::eval() {
+    const State s = state_.read();
+
+    if (p_.test.read()) {
+        // Scan mode: the chain cycles through arbitrary intermediate
+        // patterns, so every control output is gated inert — the standard
+        // scan-insertion guard that protects memories and handshake
+        // partners during shifting. Only scanout (and the benign candidate
+        // bus) stay live.
+        p_.data_ack.drive(false);
+        p_.ga_done.drive(false);
+        p_.fit_request.drive(false);
+        p_.rn_next.drive(false);
+        p_.mem_wr.drive(false);
+        p_.mem_address.drive(0);
+        p_.mem_data_out.drive(0);
+        p_.sel_found.drive(false);
+        p_.mon_gen_pulse.drive(false);
+        p_.candidate.drive(best_ind_.read());
+        p_.scanout.drive(scan_.tail());
+        return;
+    }
+
+    p_.data_ack.drive(s == State::kInitAck);
+    p_.ga_done.drive(s == State::kDone);
+    p_.fit_request.drive(s == State::kEvalReq);
+    p_.rn_next.drive(s == State::kIpRn || s == State::kSelRn || s == State::kXoRn ||
+                     s == State::kMu1Rn || s == State::kMu2Rn);
+
+    const bool evaluating = (s == State::kEvalReq || s == State::kEvalDrop);
+    p_.candidate.drive(evaluating ? eval_cand_.read() : best_ind_.read());
+
+    // Memory interface (Moore outputs of the controller).
+    std::uint8_t addr = 0;
+    std::uint32_t data = 0;
+    bool wr = false;
+    switch (s) {
+        case State::kSelAddr:
+        case State::kSelCheck:
+            addr = bank_address(bank_.read(), scan_idx_.read());
+            break;
+        case State::kIpStore:
+            addr = bank_address(bank_.read(), pop_idx_.read());
+            data = pack_member(eval_cand_.read(), fit_reg_.read());
+            wr = true;
+            break;
+        case State::kElite:
+            addr = bank_address(!bank_.read(), 0);
+            data = pack_member(best_ind_.read(), best_fit_.read());
+            wr = true;
+            break;
+        case State::kStore1:
+        case State::kStore2:
+            addr = bank_address(!bank_.read(), new_idx_.read());
+            data = pack_member(eval_cand_.read(), fit_reg_.read());
+            wr = true;
+            break;
+        default:
+            break;
+    }
+    p_.mem_address.drive(addr);
+    p_.mem_data_out.drive(data);
+    p_.mem_wr.drive(wr);
+
+    // Scan chain: present the current chain tail.
+    p_.scanout.drive(p_.test.read() ? scan_.tail() : false);
+
+    // Dual-core synchronization: combinational "I select this member now".
+    // Deliberately excludes sel_force_found so that two cross-coupled cores
+    // do not form a combinational loop.
+    p_.sel_found.drive(s == State::kSelCheck && selection_hit());
+
+    // Monitor taps (ChipScope substitute).
+    p_.mon_gen_pulse.drive(s == State::kGenCheck);
+    p_.mon_gen_id.drive(gen_id_.read());
+    p_.mon_best_fit.drive(best_fit_.read());
+    p_.mon_best_ind.drive(best_ind_.read());
+    p_.mon_fit_sum.drive(fit_sum_cur_.read());
+    p_.mon_bank.drive(bank_.read());
+    p_.mon_pop_size.drive(eff_pop_.read());
+}
+
+void GaCore::tick() {
+    if (p_.test.read()) {
+        // Scan mode freezes the controller and shifts the register chain.
+        scan_.shift(p_.scanin.read());
+        return;
+    }
+    // start_GA edge detection. The detector only tracks the pin in the two
+    // states that can consume a start (kIdle / kDone); otherwise a pulse
+    // arriving while the core drains the init handshake would be absorbed
+    // by the flip-flop and never trigger the run.
+    const bool start_rising = p_.start_ga.read() && !start_d_.read();
+    const State s = state_.read();
+    if (s == State::kIdle || s == State::kDone) {
+        start_d_.load(p_.start_ga.read());
+    } else {
+        start_d_.load(false);
+    }
+
+    switch (s) {
+        case State::kIdle:
+            if (p_.ga_load.read()) {
+                state_.load(State::kInitWait);
+            } else if (start_rising) {
+                state_.load(State::kStart);
+            }
+            break;
+
+        case State::kInitWait:
+            tick_init_handshake();
+            break;
+
+        case State::kInitAck:
+            if (!p_.data_valid.read()) {
+                state_.load(p_.ga_load.read() ? State::kInitWait : State::kIdle);
+            }
+            break;
+
+        default:
+            tick_optimizer();
+            break;
+    }
+}
+
+void GaCore::tick_init_handshake() {
+    if (!p_.ga_load.read()) {
+        state_.load(State::kIdle);
+        return;
+    }
+    if (!p_.data_valid.read()) return;
+
+    const std::uint16_t v = p_.value.read();
+    switch (static_cast<ParamIndex>(p_.index.read() & 0x7)) {
+        case ParamIndex::kNumGensLo: ngens_lo_.load(v); break;
+        case ParamIndex::kNumGensHi: ngens_hi_.load(v); break;
+        case ParamIndex::kPopSize: pop_size_.load(static_cast<std::uint8_t>(v)); break;
+        case ParamIndex::kCrossoverRate: xover_thresh_.load(static_cast<std::uint8_t>(v)); break;
+        case ParamIndex::kMutationRate: mut_thresh_.load(static_cast<std::uint8_t>(v)); break;
+        case ParamIndex::kRngSeed: break;  // captured by the RNG module
+    }
+    state_.load(State::kInitAck);
+}
+
+void GaCore::tick_optimizer() {
+    const std::uint16_t rn = p_.rn.read();
+
+    switch (state_.read()) {
+        case State::kStart: {
+            const GaParameters eff =
+                resolve_parameters(p_.preset.read(), programmed_parameters());
+            eff_pop_.load(eff.pop_size);
+            eff_ngens_.load(eff.n_gens);
+            eff_xt_.load(eff.xover_threshold);
+            eff_mt_.load(eff.mut_threshold);
+            gen_id_.load(0);
+            pop_idx_.load(0);
+            fit_sum_cur_.load(0);
+            best_fit_.load(0);
+            best_ind_.load(0);
+            bank_.load(false);
+            state_.load(State::kIpRn);
+            break;
+        }
+
+        case State::kIpRn:
+            state_.load(State::kIpGen);
+            break;
+
+        case State::kIpGen:
+            eval_cand_.load(rn);
+            ret_state_.load(State::kIpStore);
+            state_.load(State::kEvalReq);
+            break;
+
+        case State::kEvalReq:
+            if (fit_valid_sel()) {
+                fit_reg_.load(fit_value_sel());
+                state_.load(State::kEvalDrop);
+            }
+            break;
+
+        case State::kEvalDrop:
+            if (!fit_valid_sel()) state_.load(ret_state_.read());
+            break;
+
+        case State::kIpStore: {
+            fit_sum_cur_.load(fit_sum_cur_.read() + fit_reg_.read());
+            if (fit_reg_.read() > best_fit_.read()) {
+                best_fit_.load(fit_reg_.read());
+                best_ind_.load(eval_cand_.read());
+            }
+            if (pop_idx_.read() + 1u < eff_pop_.read()) {
+                pop_idx_.load(static_cast<std::uint8_t>(pop_idx_.read() + 1));
+                state_.load(State::kIpRn);
+            } else {
+                pop_idx_.load(0);
+                state_.load(State::kGenCheck);
+            }
+            break;
+        }
+
+        case State::kGenCheck:
+            state_.load(gen_id_.read() >= eff_ngens_.read() ? State::kDone : State::kElite);
+            break;
+
+        case State::kElite:
+            // The elite member is written to slot 0 of the new bank (memory
+            // write driven combinationally this cycle); its fitness seeds
+            // the new bank's fitness sum.
+            fit_sum_new_.load(best_fit_.read());
+            new_idx_.load(1);
+            parent2_phase_.load(false);
+            state_.load(State::kSelRn);
+            break;
+
+        case State::kSelRn:
+            state_.load(State::kSelThresh);
+            break;
+
+        case State::kSelThresh:
+            sel_thresh_.load(static_cast<std::uint32_t>(
+                (static_cast<std::uint64_t>(fit_sum_cur_.read()) * rn) >> 16));
+            sel_cum_.load(0);
+            scan_idx_.load(0);
+            scan_reads_.load(0);
+            state_.load(State::kSelAddr);
+            break;
+
+        case State::kSelAddr:
+            state_.load(State::kSelCheck);
+            break;
+
+        case State::kSelCheck: {
+            const std::uint32_t word = p_.mem_data_in.read();
+            const bool hit = selection_hit() || p_.sel_force_found.read();
+            if (hit) {
+                if (!parent2_phase_.read()) {
+                    parent1_.load(member_candidate(word));
+                    parent2_phase_.load(true);
+                    state_.load(State::kSelRn);
+                } else {
+                    parent2_.load(member_candidate(word));
+                    parent2_phase_.load(false);
+                    state_.load(State::kXoRn);
+                }
+            } else {
+                sel_cum_.load(sel_cum_.read() + member_fitness(word));
+                scan_idx_.load(scan_idx_.read() + 1u >= eff_pop_.read()
+                                   ? std::uint8_t{0}
+                                   : static_cast<std::uint8_t>(scan_idx_.read() + 1));
+                scan_reads_.load(static_cast<std::uint16_t>(scan_reads_.read() + 1));
+                state_.load(State::kSelAddr);
+            }
+            break;
+        }
+
+        case State::kXoRn:
+            state_.load(State::kXoDecide);
+            break;
+
+        case State::kXoDecide:
+            xo_do_.load((rn & 0xF) < eff_xt_.read());
+            xo_cut_.load(static_cast<std::uint8_t>((rn >> 4) & 0xF));
+            state_.load(State::kXoApply);
+            break;
+
+        case State::kXoApply: {
+            if (xo_do_.read()) {
+                const std::uint16_t mask = util::crossover_mask(xo_cut_.read());
+                const std::uint16_t p1 = parent1_.read();
+                const std::uint16_t p2 = parent2_.read();
+                off1_.load(static_cast<std::uint16_t>((p1 & mask) | (p2 & ~mask)));
+                off2_.load(static_cast<std::uint16_t>((p2 & mask) | (p1 & ~mask)));
+            } else {
+                off1_.load(parent1_.read());
+                off2_.load(parent2_.read());
+            }
+            state_.load(State::kMu1Rn);
+            break;
+        }
+
+        case State::kMu1Rn:
+            state_.load(State::kMu1Apply);
+            break;
+
+        case State::kMu1Apply: {
+            std::uint16_t o = off1_.read();
+            if ((rn & 0xF) < eff_mt_.read()) o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            off1_.load(o);
+            eval_cand_.load(o);
+            ret_state_.load(State::kStore1);
+            state_.load(State::kEvalReq);
+            break;
+        }
+
+        case State::kStore1:
+        case State::kStore2: {
+            fit_sum_new_.load(fit_sum_new_.read() + fit_reg_.read());
+            if (fit_reg_.read() > best_fit_.read()) {
+                best_fit_.load(fit_reg_.read());
+                best_ind_.load(eval_cand_.read());
+            }
+            const bool full = new_idx_.read() + 1u >= eff_pop_.read();
+            new_idx_.load(static_cast<std::uint8_t>(new_idx_.read() + 1));
+            if (full) {
+                state_.load(State::kGenEnd);
+            } else {
+                state_.load(state_.read() == State::kStore1 ? State::kMu2Rn : State::kSelRn);
+            }
+            break;
+        }
+
+        case State::kMu2Rn:
+            state_.load(State::kMu2Apply);
+            break;
+
+        case State::kMu2Apply: {
+            std::uint16_t o = off2_.read();
+            if ((rn & 0xF) < eff_mt_.read()) o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            off2_.load(o);
+            eval_cand_.load(o);
+            ret_state_.load(State::kStore2);
+            state_.load(State::kEvalReq);
+            break;
+        }
+
+        case State::kGenEnd:
+            bank_.load(!bank_.read());
+            fit_sum_cur_.load(fit_sum_new_.read());
+            gen_id_.load(gen_id_.read() + 1);
+            state_.load(State::kGenCheck);
+            break;
+
+        case State::kDone:
+            if (p_.ga_load.read()) {
+                state_.load(State::kInitWait);
+            } else if (p_.start_ga.read() && !start_d_.read()) {
+                state_.load(State::kStart);
+            }
+            break;
+
+        default:
+            break;
+    }
+}
+
+}  // namespace gaip::core

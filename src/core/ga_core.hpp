@@ -1,0 +1,194 @@
+// The GA IP core — RTL model of the paper's primary contribution.
+//
+// An elitist generational GA engine with run-time-programmable parameters,
+// modeled as an FSM + datapath in the style of the AUDI high-level-synthesis
+// output the authors describe: a serial controller performing one register-
+// transfer operation per state (and therefore per 50 MHz clock cycle).
+//
+// The port surface implements all 25 signals of Table II plus three kinds of
+// documented extensions:
+//   * rn_next            — RNG advance enable (see rng_module.hpp for why);
+//   * sel_found / sel_force_found — the parent-selection synchronization
+//     hooks the dual-core composition of Fig. 6 needs (our realization of
+//     the paper's scalingLogic_parSel, see dual_core.hpp);
+//   * mon_*              — generation-statistics taps, the model's stand-in
+//     for the ChipScope cores the authors attached to the design.
+//
+// Optimization cycle (Fig. 2): initial random population -> per generation:
+// elite copy, then {proportionate selection x2, single-point crossover,
+// single-bit mutation, fitness handshake, store} until the new bank is full,
+// then bank swap — for the programmed number of generations. The best
+// individual ever seen is continuously driven on `candidate` (the paper:
+// "the best candidate of every generation is always output to the
+// application to use in case of an emergency").
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "rtl/module.hpp"
+#include "rtl/scan.hpp"
+
+namespace gaip::core {
+
+struct GaCorePorts {
+    // -- initialization interface (Table II signals 3-7)
+    rtl::Wire<bool>& ga_load;
+    rtl::Wire<std::uint8_t>& index;
+    rtl::Wire<std::uint16_t>& value;
+    rtl::Wire<bool>& data_valid;
+    rtl::Wire<bool>& data_ack;  // out
+
+    // -- fitness interface, internal pair (signals 8-11)
+    rtl::Wire<std::uint16_t>& fit_value;
+    rtl::Wire<bool>& fit_request;  // out
+    rtl::Wire<bool>& fit_valid;
+    rtl::Wire<std::uint16_t>& candidate;  // out
+
+    // -- GA memory interface (signals 12-15)
+    rtl::Wire<std::uint8_t>& mem_address;    // out
+    rtl::Wire<std::uint32_t>& mem_data_out;  // out
+    rtl::Wire<bool>& mem_wr;                 // out
+    rtl::Wire<std::uint32_t>& mem_data_in;
+
+    // -- control (16-17)
+    rtl::Wire<bool>& start_ga;
+    rtl::Wire<bool>& ga_done;  // out
+
+    // -- scan test (18-20)
+    rtl::Wire<bool>& test;
+    rtl::Wire<bool>& scanin;
+    rtl::Wire<bool>& scanout;  // out
+
+    // -- preset / RNG / fitness selection (21-25)
+    rtl::Wire<std::uint8_t>& preset;
+    rtl::Wire<std::uint16_t>& rn;
+    rtl::Wire<std::uint8_t>& fitfunc_select;
+    rtl::Wire<std::uint16_t>& fit_value_ext;
+    rtl::Wire<bool>& fit_valid_ext;
+
+    // -- extensions (documented above)
+    rtl::Wire<bool>& rn_next;          // out: advance the RNG one step
+    rtl::Wire<bool>& sel_found;        // out: selection hit this cycle
+    rtl::Wire<bool>& sel_force_found;  // in:  dual-core slave override
+
+    // -- monitor taps (out)
+    rtl::Wire<bool>& mon_gen_pulse;
+    rtl::Wire<std::uint32_t>& mon_gen_id;
+    rtl::Wire<std::uint16_t>& mon_best_fit;
+    rtl::Wire<std::uint32_t>& mon_fit_sum;
+    rtl::Wire<std::uint16_t>& mon_best_ind;
+    rtl::Wire<bool>& mon_bank;
+    rtl::Wire<std::uint8_t>& mon_pop_size;
+};
+
+class GaCore final : public rtl::Module {
+public:
+    /// Controller states. One register-transfer operation per state; the
+    /// names follow the optimization cycle of Fig. 2.
+    enum class State : std::uint8_t {
+        kIdle = 0,
+        kInitWait,     // init handshake: wait for data_valid, latch parameter
+        kInitAck,      // init handshake: data_ack high until data_valid drops
+        kStart,        // resolve presets, clear loop registers
+        kIpRn,         // initial population: advance RNG
+        kIpGen,        // initial population: random chromosome from rn
+        kEvalReq,      // fitness handshake: request asserted, await valid
+        kEvalDrop,     // fitness handshake: await valid deassertion
+        kIpStore,      // initial population: write member, accumulate stats
+        kGenCheck,     // generation boundary: monitor pulse, loop or finish
+        kElite,        // write best-ever member into slot 0 of the new bank
+        kSelRn,        // selection: advance RNG for the threshold
+        kSelThresh,    // selection: threshold = (fit_sum * rn) >> 16
+        kSelAddr,      // selection: issue memory read of the scanned member
+        kSelCheck,     // selection: accumulate, compare, possibly select
+        kXoRn,         // crossover: advance RNG
+        kXoDecide,     // crossover: latch decide nibble and cut point
+        kXoApply,      // crossover: compute both offspring via the bit mask
+        kMu1Rn,        // mutation of offspring 1: advance RNG
+        kMu1Apply,     // mutation of offspring 1: conditional bit flip
+        kStore1,       // store offspring 1, accumulate stats
+        kMu2Rn,        // mutation of offspring 2: advance RNG
+        kMu2Apply,     // mutation of offspring 2: conditional bit flip
+        kStore2,       // store offspring 2, accumulate stats
+        kGenEnd,       // bank swap, fitness-sum handover, generation++
+        kDone,         // GA_done asserted, best candidate on the bus
+    };
+
+    GaCore(std::string name, GaCorePorts ports, GaCoreConfig cfg = {});
+
+    void eval() override;
+    void tick() override;
+
+    // --- introspection for tests / monitors (simulator visibility only) ---
+    State state() const noexcept { return state_.read(); }
+    GaParameters programmed_parameters() const;
+    GaParameters effective_parameters() const;
+    std::uint16_t best_fitness() const noexcept { return best_fit_.read(); }
+    std::uint16_t best_candidate() const noexcept { return best_ind_.read(); }
+    std::uint32_t generation() const noexcept { return gen_id_.read(); }
+    bool current_bank() const noexcept { return bank_.read(); }
+    const rtl::ScanChain& scan_chain() const noexcept { return scan_; }
+
+private:
+    // Effective fitness-response pair after internal/external selection.
+    bool fit_valid_sel() const;
+    std::uint16_t fit_value_sel() const;
+    bool use_external_fem() const;
+
+    // Combinational selection hit condition, valid in kSelCheck.
+    bool selection_hit() const;
+
+    void tick_init_handshake();
+    void tick_optimizer();
+
+    GaCorePorts p_;
+    GaCoreConfig cfg_;
+
+    // -- controller
+    rtl::Reg<State> state_{"state", State::kIdle, 6};
+    rtl::Reg<State> ret_state_{"ret_state", State::kIdle, 6};
+
+    // -- programmable parameter registers (Table III)
+    rtl::Reg<std::uint16_t> ngens_lo_{"ngens_lo", 32};
+    rtl::Reg<std::uint16_t> ngens_hi_{"ngens_hi", 0};
+    rtl::Reg<std::uint8_t> pop_size_{"pop_size", 32};
+    rtl::Reg<std::uint8_t> xover_thresh_{"xover_thresh", 12, 4};
+    rtl::Reg<std::uint8_t> mut_thresh_{"mut_thresh", 1, 4};
+
+    // -- effective (preset-resolved) parameters for the running cycle
+    rtl::Reg<std::uint8_t> eff_pop_{"eff_pop", 32};
+    rtl::Reg<std::uint32_t> eff_ngens_{"eff_ngens", 32};
+    rtl::Reg<std::uint8_t> eff_xt_{"eff_xt", 12, 4};
+    rtl::Reg<std::uint8_t> eff_mt_{"eff_mt", 1, 4};
+
+    // -- loop counters
+    rtl::Reg<std::uint32_t> gen_id_{"gen_id", 0};
+    rtl::Reg<std::uint8_t> pop_idx_{"pop_idx", 0};
+    rtl::Reg<std::uint8_t> new_idx_{"new_idx", 0};
+    rtl::Reg<std::uint8_t> scan_idx_{"scan_idx", 0};
+    rtl::Reg<std::uint16_t> scan_reads_{"scan_reads", 0, 9};
+    rtl::Reg<bool> bank_{"bank", false, 1};
+    rtl::Reg<bool> parent2_phase_{"parent2_phase", false, 1};
+
+    // -- datapath registers
+    rtl::Reg<std::uint16_t> best_fit_{"best_fit", 0};
+    rtl::Reg<std::uint16_t> best_ind_{"best_ind", 0};
+    rtl::Reg<std::uint32_t> fit_sum_cur_{"fit_sum_cur", 0, 24};
+    rtl::Reg<std::uint32_t> fit_sum_new_{"fit_sum_new", 0, 24};
+    rtl::Reg<std::uint32_t> sel_thresh_{"sel_thresh", 0, 24};
+    rtl::Reg<std::uint32_t> sel_cum_{"sel_cum", 0, 24};
+    rtl::Reg<std::uint16_t> parent1_{"parent1", 0};
+    rtl::Reg<std::uint16_t> parent2_{"parent2", 0};
+    rtl::Reg<std::uint16_t> off1_{"off1", 0};
+    rtl::Reg<std::uint16_t> off2_{"off2", 0};
+    rtl::Reg<std::uint16_t> eval_cand_{"eval_cand", 0};
+    rtl::Reg<std::uint16_t> fit_reg_{"fit_reg", 0};
+    rtl::Reg<std::uint8_t> xo_cut_{"xo_cut", 0, 4};
+    rtl::Reg<bool> xo_do_{"xo_do", false, 1};
+    rtl::Reg<bool> start_d_{"start_d", false, 1};  // start_GA edge detector
+
+    rtl::ScanChain scan_;
+};
+
+}  // namespace gaip::core

@@ -1,0 +1,116 @@
+#include "core/wide_ga.hpp"
+
+#include <stdexcept>
+
+#include "util/bits.hpp"
+
+namespace gaip::core {
+
+std::pair<std::uint64_t, std::uint64_t> crossover_pair_wide(std::uint64_t p1, std::uint64_t p2,
+                                                            unsigned cut, unsigned bits) {
+    const std::uint64_t mask = util::low_mask(cut);
+    const std::uint64_t width_mask = util::low_mask(bits);
+    const std::uint64_t o1 = ((p1 & mask) | (p2 & ~mask)) & width_mask;
+    const std::uint64_t o2 = ((p2 & mask) | (p1 & ~mask)) & width_mask;
+    return {o1, o2};
+}
+
+namespace {
+
+/// Assemble a chromosome of `bits` width from 16-bit RNG words.
+std::uint64_t random_chromosome(RngState& rng, unsigned bits) {
+    std::uint64_t v = 0;
+    for (unsigned got = 0; got < bits; got += 16) v = (v << 16) | rng.next16();
+    return v & util::low_mask(bits);
+}
+
+/// Uniform-ish draw in [0, n) from a 16-bit word (n <= 64: the modulo bias
+/// over 65536 draws is negligible and matches what a hardware modulo-free
+/// implementation would tolerate).
+unsigned draw_mod(RngState& rng, unsigned n) { return rng.next16() % n; }
+
+std::size_t select_wide(const std::vector<WideMember>& pop, std::uint32_t fit_sum,
+                        std::uint16_t r) {
+    const std::uint32_t thresh =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(fit_sum) * r) >> 16);
+    std::uint32_t cum = 0;
+    std::size_t idx = 0;
+    for (std::size_t reads = 0;; ++reads) {
+        const std::uint16_t fit = pop[idx].fitness;
+        if (cum + fit > thresh || reads + 1 >= 2 * pop.size()) return idx;
+        cum += fit;
+        idx = (idx + 1) % pop.size();
+    }
+}
+
+}  // namespace
+
+WideRunResult run_wide_ga(const WideGaParameters& raw, const FitnessFnWide& fitness,
+                          prng::RngKind rng_kind) {
+    if (!fitness) throw std::invalid_argument("run_wide_ga: null fitness");
+    if (raw.chrom_bits == 0 || raw.chrom_bits > 64)
+        throw std::invalid_argument("run_wide_ga: chromosome width must be 1..64");
+
+    WideGaParameters params = raw;
+    params.pop_size = clamp_pop_size(params.pop_size);
+    RngState rng(params.seed, rng_kind);
+    WideRunResult result;
+
+    std::uint64_t best_ind = 0;
+    std::uint16_t best_fit = 0;
+    auto offer = [&](std::uint64_t cand, std::uint16_t fit) {
+        if (fit > best_fit) {
+            best_fit = fit;
+            best_ind = cand;
+        }
+    };
+
+    std::vector<WideMember> cur(params.pop_size);
+    std::uint32_t fit_sum = 0;
+    for (WideMember& m : cur) {
+        m.candidate = random_chromosome(rng, params.chrom_bits);
+        m.fitness = fitness(m.candidate);
+        ++result.evaluations;
+        fit_sum += m.fitness;
+        offer(m.candidate, m.fitness);
+    }
+    result.best_per_generation.push_back(best_fit);
+
+    std::vector<WideMember> next(params.pop_size);
+    for (std::uint32_t gen = 0; gen < params.n_gens; ++gen) {
+        next[0] = {best_ind, best_fit};
+        std::uint32_t sum_new = best_fit;
+        std::size_t idx = 1;
+        while (idx < params.pop_size) {
+            const std::size_t i1 = select_wide(cur, fit_sum, rng.next16());
+            const std::size_t i2 = select_wide(cur, fit_sum, rng.next16());
+
+            std::uint64_t o1 = cur[i1].candidate;
+            std::uint64_t o2 = cur[i2].candidate;
+            if ((rng.next16() & 0xF) < params.xover_threshold) {
+                const unsigned cut = draw_mod(rng, params.chrom_bits);
+                std::tie(o1, o2) = crossover_pair_wide(o1, o2, cut, params.chrom_bits);
+            }
+            for (std::uint64_t* off : {&o1, &o2}) {
+                if ((rng.next16() & 0xF) < params.mut_threshold)
+                    *off ^= std::uint64_t{1} << draw_mod(rng, params.chrom_bits);
+                const std::uint16_t f = fitness(*off);
+                ++result.evaluations;
+                next[idx] = {*off, f};
+                sum_new += f;
+                offer(*off, f);
+                ++idx;
+                if (idx >= params.pop_size) break;
+            }
+        }
+        cur.swap(next);
+        fit_sum = sum_new;
+        result.best_per_generation.push_back(best_fit);
+    }
+
+    result.best_candidate = best_ind;
+    result.best_fitness = best_fit;
+    return result;
+}
+
+}  // namespace gaip::core

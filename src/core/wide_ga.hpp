@@ -1,0 +1,54 @@
+// Wide-chromosome GA — the paper's Sec. III-D option (a): "the most
+// efficient method of obtaining a GA core that supports chromosome lengths
+// of more than 16-bits is to modify the behavioral description ... and
+// resynthesize the entire netlist". This is that modified behavioral
+// description: the identical elitist cycle generalized to a configurable
+// chromosome width (up to 64 bits), with
+//   * initial chromosomes assembled from ceil(W/16) RNG words,
+//   * a single crossover cut uniform over the full width (a true
+//     single-point operator, unlike the dual-core composition's 3-point),
+//   * single-bit mutation over the full width.
+// bench_dualcore_vs_resynth compares this "resynthesized" engine against
+// the two-core composition of Fig. 6 at equal budget, quantifying the
+// paper's claim that resynthesis is the more efficient route.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/behavioral.hpp"
+
+namespace gaip::core {
+
+struct WideGaParameters {
+    unsigned chrom_bits = 32;          ///< chromosome width, 1..64
+    std::uint8_t pop_size = 32;
+    std::uint32_t n_gens = 32;
+    std::uint8_t xover_threshold = 10; ///< rate = t/16, as in the core
+    std::uint8_t mut_threshold = 1;
+    std::uint16_t seed = 1;
+};
+
+using FitnessFnWide = std::function<std::uint16_t(std::uint64_t)>;
+
+struct WideMember {
+    std::uint64_t candidate = 0;
+    std::uint16_t fitness = 0;
+};
+
+struct WideRunResult {
+    std::uint64_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    std::vector<std::uint16_t> best_per_generation;  ///< index 0 = initial pop
+};
+
+WideRunResult run_wide_ga(const WideGaParameters& params, const FitnessFnWide& fitness,
+                          prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton);
+
+/// Wide crossover helper (exposed for tests): single cut in [0, bits).
+std::pair<std::uint64_t, std::uint64_t> crossover_pair_wide(std::uint64_t p1, std::uint64_t p2,
+                                                            unsigned cut, unsigned bits);
+
+}  // namespace gaip::core

@@ -1,0 +1,72 @@
+// Fitness evaluation module (FEM): the application-side block that answers
+// the GA core's fitness requests over the two-way handshake of Sec. III-B.5:
+//
+//   core: drives `candidate`, asserts fit_request
+//   FEM : looks the candidate up, drives fit_value, asserts fit_valid
+//   core: latches fit_value, deasserts fit_request
+//   FEM : deasserts fit_valid
+//
+// RomFitnessModule is the lookup-based implementation the paper uses on the
+// FPGA (block ROM populated with precomputed fitness values). It runs in the
+// application clock domain (200 MHz in the paper's setup) while the core
+// runs at 50 MHz; the four-phase handshake makes the crossing safe.
+//
+// An FEM "housed on a second FPGA device or some other external device"
+// (the paper's external fitness functions) is the same module instantiated
+// with a nonzero `extra_latency_cycles` modeling the inter-chip round trip,
+// wired to the core's fit_value_ext / fit_valid_ext ports.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/rom.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::fitness {
+
+struct FemPorts {
+    rtl::Wire<bool>& fit_request;
+    rtl::Wire<std::uint16_t>& candidate;
+    rtl::Wire<std::uint16_t>& fit_value;
+    rtl::Wire<bool>& fit_valid;
+};
+
+struct FemConfig {
+    /// Cycles spent in the lookup stage beyond the 1-cycle ROM read. Zero
+    /// models an on-chip block-ROM FEM; tens of cycles model an external
+    /// (second-chip / second-board) FEM.
+    unsigned extra_latency_cycles = 0;
+};
+
+class RomFitnessModule final : public rtl::Module {
+public:
+    RomFitnessModule(std::string name, FemPorts ports,
+                     std::shared_ptr<const mem::BlockRom> rom, FemConfig cfg = {});
+
+    void eval() override;
+    void tick() override;
+    void reset_state() override { evaluations_ = 0; }
+
+    /// Number of fitness requests served since reset (bench metric; this is
+    /// a testbench counter, not modeled hardware).
+    std::uint64_t evaluations() const noexcept { return evaluations_; }
+
+    const mem::BlockRom& rom() const noexcept { return *rom_; }
+
+private:
+    enum class State : std::uint8_t { kIdle = 0, kLookup = 1, kPresent = 2, kWaitDrop = 3 };
+
+    FemPorts p_;
+    std::shared_ptr<const mem::BlockRom> rom_;
+    FemConfig cfg_;
+    std::uint64_t evaluations_ = 0;
+
+    rtl::Reg<State> state_{"fem_state", State::kIdle, 2};
+    rtl::Reg<std::uint16_t> addr_{"fem_addr", 0};
+    rtl::Reg<std::uint16_t> value_{"fem_value", 0};
+    rtl::Reg<std::uint16_t> delay_{"fem_delay", 0};
+};
+
+}  // namespace gaip::fitness

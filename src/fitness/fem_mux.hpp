@@ -1,0 +1,63 @@
+// 8-way fitness-function multiplexer (Sec. III "Support for Multiple Fitness
+// Functions"). Routes the core's fit_request to the internal FEM selected by
+// fitfunc_select and returns that FEM's fit_value / fit_valid to the core.
+// Slots designated external are handled inside the GA core itself (it
+// switches to its fit_value_ext / fit_valid_ext ports, Fig. 5); this mux
+// keeps those slots' internal request lines deasserted.
+//
+// Purely combinational — it is the multiplexer tree in front of the FEMs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "rtl/module.hpp"
+
+namespace gaip::fitness {
+
+inline constexpr std::size_t kMaxFitnessSlots = 8;
+
+struct FemMuxSlot {
+    rtl::Wire<bool>* request = nullptr;        // to the slot's FEM
+    rtl::Wire<std::uint16_t>* value = nullptr; // from the slot's FEM
+    rtl::Wire<bool>* valid = nullptr;          // from the slot's FEM
+};
+
+struct FemMuxPorts {
+    rtl::Wire<bool>& fit_request;              // from the core
+    rtl::Wire<std::uint8_t>& fitfunc_select;   // 3-bit selector
+    rtl::Wire<std::uint16_t>& fit_value;       // to the core
+    rtl::Wire<bool>& fit_valid;                // to the core
+};
+
+class FemMux final : public rtl::Module {
+public:
+    explicit FemMux(FemMuxPorts ports) : Module("fem_mux"), p_(ports) {}
+
+    /// Populate internal slot `idx` (0..7). Unpopulated / external slots
+    /// simply never answer on the internal pair.
+    void set_slot(std::size_t idx, FemMuxSlot slot) { slots_.at(idx) = slot; }
+
+    void eval() override {
+        const std::size_t sel = p_.fitfunc_select.read() & 0x7;
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            const FemMuxSlot& s = slots_[i];
+            if (s.request != nullptr) s.request->drive(i == sel && p_.fit_request.read());
+        }
+        const FemMuxSlot& cur = slots_[sel];
+        if (cur.valid != nullptr && cur.value != nullptr) {
+            p_.fit_valid.drive(cur.valid->read());
+            p_.fit_value.drive(cur.value->read());
+        } else {
+            p_.fit_valid.drive(false);
+            p_.fit_value.drive(0);
+        }
+    }
+
+private:
+    FemMuxPorts p_;
+    std::array<FemMuxSlot, kMaxFitnessSlots> slots_{};
+};
+
+}  // namespace gaip::fitness

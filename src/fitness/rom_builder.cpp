@@ -1,0 +1,25 @@
+#include "fitness/rom_builder.hpp"
+
+#include <array>
+#include <mutex>
+#include <vector>
+
+namespace gaip::fitness {
+
+std::shared_ptr<const mem::BlockRom> build_fitness_rom(FitnessId id) {
+    std::vector<std::uint16_t> words(65536);
+    for (std::uint32_t c = 0; c <= 0xFFFFu; ++c)
+        words[c] = fitness_u16(id, static_cast<std::uint16_t>(c));
+    return std::make_shared<const mem::BlockRom>(std::move(words));
+}
+
+std::shared_ptr<const mem::BlockRom> fitness_rom(FitnessId id) {
+    static std::array<std::shared_ptr<const mem::BlockRom>, kNumFitnessIds> cache;
+    static std::mutex mu;
+    const auto idx = static_cast<std::size_t>(id);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!cache.at(idx)) cache.at(idx) = build_fitness_rom(id);
+    return cache.at(idx);
+}
+
+}  // namespace gaip::fitness

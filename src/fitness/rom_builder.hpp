@@ -1,0 +1,22 @@
+// Builds the fitness lookup ROMs: one 65536 x 16-bit table per function,
+// holding fitness_u16(id, chromosome) at address `chromosome`. This is the
+// paper's "lookup-based fitness computation method" (block ROMs populated
+// with the fitness values corresponding to each solution encoding).
+#pragma once
+
+#include <memory>
+
+#include "fitness/functions.hpp"
+#include "mem/rom.hpp"
+
+namespace gaip::fitness {
+
+/// Build (and process-wide cache) the ROM for `id`. The cache means every
+/// system in a process — hardware FEMs, software GA, benches — reads the
+/// identical table.
+std::shared_ptr<const mem::BlockRom> fitness_rom(FitnessId id);
+
+/// Build a fresh ROM without caching (used by tests that mutate tables).
+std::shared_ptr<const mem::BlockRom> build_fitness_rom(FitnessId id);
+
+}  // namespace gaip::fitness

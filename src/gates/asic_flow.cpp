@@ -1,0 +1,125 @@
+#include "gates/asic_flow.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gaip::gates {
+
+namespace {
+
+const CellInfo* cell_for(GateOp op, const StdCellLibrary& lib) {
+    switch (op) {
+        case GateOp::kNot: return &lib.inv;
+        case GateOp::kBuf: return &lib.buf;
+        case GateOp::kNand: return &lib.nand2;
+        case GateOp::kNor: return &lib.nor2;
+        case GateOp::kAnd: return &lib.and2;
+        case GateOp::kOr: return &lib.or2;
+        case GateOp::kXor: return &lib.xor2;
+        default: return nullptr;  // const/input/state: no cell
+    }
+}
+
+}  // namespace
+
+AsicReport analyze_asic(const GateNetlist& nl, const StdCellLibrary& lib) {
+    AsicReport r;
+
+    // ------------------------------------------------ technology mapping --
+    const std::size_t n = nl.net_count();
+    for (std::size_t i = 0; i < n; ++i) {
+        const GateOp op = nl.op_of(static_cast<Net>(i));
+        r.cell_count[static_cast<std::size_t>(op)]++;
+        if (const CellInfo* cell = cell_for(op, lib)) {
+            ++r.total_cells;
+            r.cell_area_um2 += cell->area_um2;
+        }
+    }
+    r.scan_dffs = static_cast<std::uint32_t>(nl.register_q_nets().size());
+    r.total_cells += r.scan_dffs;
+    r.cell_area_um2 += r.scan_dffs * lib.scan_dff.area_um2;
+    r.die_area_mm2 = r.cell_area_um2 / r.utilization / 1e6;
+
+    // --------------------------------------------------- static timing ----
+    // Net ids are a topological order by construction; arrival times by DP.
+    std::vector<double> arrival(n, 0.0);
+    std::vector<Net> pred(n, kNoNet);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Net net = static_cast<Net>(i);
+        const GateOp op = nl.op_of(net);
+        switch (op) {
+            case GateOp::kConst0:
+            case GateOp::kConst1:
+            case GateOp::kInput:
+                arrival[i] = 0.0;
+                break;
+            case GateOp::kState:
+                arrival[i] = lib.scan_dff.delay_ns;  // launch clk->Q
+                break;
+            default: {
+                const Net a = nl.fanin_a(net);
+                const Net b = nl.fanin_b(net);
+                double t = arrival[a];
+                pred[i] = a;
+                if (b != kNoNet && arrival[b] > t) {
+                    t = arrival[b];
+                    pred[i] = b;
+                }
+                arrival[i] = t + cell_for(op, lib)->delay_ns;
+                break;
+            }
+        }
+    }
+
+    // Endpoints: register D pins (+ setup) and named outputs.
+    Net worst_end = kNoNet;
+    for (const Net d : nl.register_d_nets()) {
+        if (d == kNoNet) continue;
+        const double t = arrival[d] + lib.dff_setup_ns;
+        if (t > r.critical_path_ns) {
+            r.critical_path_ns = t;
+            worst_end = d;
+        }
+    }
+    for (const auto& [name, net] : nl.named_outputs()) {
+        if (arrival[net] > r.critical_path_ns) {
+            r.critical_path_ns = arrival[net];
+            worst_end = net;
+        }
+    }
+    if (r.critical_path_ns > 0.0) r.max_clock_mhz = 1000.0 / r.critical_path_ns;
+
+    for (Net cursor = worst_end; cursor != kNoNet; cursor = pred[cursor])
+        r.critical_path_nets.push_back(cursor);
+    std::reverse(r.critical_path_nets.begin(), r.critical_path_nets.end());
+    return r;
+}
+
+std::string format_asic_report(const AsicReport& r, const StdCellLibrary& lib) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    os << "ASIC synthesis summary (library: " << lib.name << ")\n";
+    os << "  cells: " << r.total_cells << " total (" << r.scan_dffs << " SDFF";
+    auto emit = [&](GateOp op, const CellInfo& c) {
+        const std::uint32_t cnt = r.cell_count[static_cast<std::size_t>(op)];
+        if (cnt > 0) os << ", " << cnt << " " << c.name;
+    };
+    emit(GateOp::kAnd, lib.and2);
+    emit(GateOp::kOr, lib.or2);
+    emit(GateOp::kXor, lib.xor2);
+    emit(GateOp::kNand, lib.nand2);
+    emit(GateOp::kNor, lib.nor2);
+    emit(GateOp::kNot, lib.inv);
+    emit(GateOp::kBuf, lib.buf);
+    os << ")\n";
+    os << "  cell area: " << r.cell_area_um2 / 1e6 << " mm^2;  die at "
+       << static_cast<int>(r.utilization * 100) << "% utilization: " << r.die_area_mm2
+       << " mm^2\n";
+    os << "  critical path: " << r.critical_path_ns << " ns ("
+       << r.critical_path_nets.size() << " nets deep) -> max clock " << r.max_clock_mhz
+       << " MHz (pre-layout)\n";
+    return os.str();
+}
+
+}  // namespace gaip::gates

@@ -1,0 +1,68 @@
+// ASIC-flow modeling: the tail of the paper's Fig. 1 design flow ("Digital
+// ASIC layout" via standard cells) and its Sec. V claim that the GA module
+// was fabricated as a digital ASIC in a radiation-hardened SOI process.
+//
+// We cannot run Cadence place-and-route, so this module provides the two
+// analyses that gate that flow, over the real gate-level netlist:
+//   * technology mapping onto a small standard-cell library (one cell per
+//     gate op + a scan flip-flop), with per-cell area — total cell area and
+//     cell census are exact given the library;
+//   * static timing analysis: longest combinational path (register/input ->
+//     register/output) by dynamic programming over the netlist's
+//     topological order, with per-cell delays — yielding the critical path
+//     and the max clock estimate before wire load.
+// The default library numbers are representative of a 0.35 um rad-hard SOI
+// standard-cell kit (documented per cell); swap them for a real kit's
+// datasheet values to retarget.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "gates/netlist.hpp"
+
+namespace gaip::gates {
+
+/// Per-cell characteristics of the target standard-cell library.
+struct CellInfo {
+    const char* name;
+    double area_um2;
+    double delay_ns;
+};
+
+struct StdCellLibrary {
+    std::string name = "generic 0.35um rad-hard SOI (representative values)";
+    CellInfo inv{"INVX1", 27.0, 0.12};
+    CellInfo buf{"BUFX1", 36.0, 0.18};
+    CellInfo nand2{"NAND2X1", 36.0, 0.15};
+    CellInfo nor2{"NOR2X1", 36.0, 0.18};
+    CellInfo and2{"AND2X1", 45.0, 0.22};
+    CellInfo or2{"OR2X1", 45.0, 0.25};
+    CellInfo xor2{"XOR2X1", 72.0, 0.30};
+    CellInfo scan_dff{"SDFFX1", 180.0, 0.45};  // delay = clk->Q
+    double dff_setup_ns = 0.25;
+};
+
+struct AsicReport {
+    // Technology mapping.
+    std::array<std::uint32_t, 11> cell_count{};  // indexed by GateOp
+    std::uint32_t scan_dffs = 0;
+    std::uint32_t total_cells = 0;
+    double cell_area_um2 = 0.0;
+    double die_area_mm2 = 0.0;  // cell area / utilization
+
+    // Static timing.
+    double critical_path_ns = 0.0;  // launch clk->Q + logic + setup
+    double max_clock_mhz = 0.0;
+    std::vector<Net> critical_path_nets;  // register/input -> endpoint
+
+    double utilization = 0.7;  // assumed placement utilization
+};
+
+/// Map the netlist onto the library and run STA.
+AsicReport analyze_asic(const GateNetlist& nl, const StdCellLibrary& lib = {});
+
+/// Render the report in the spirit of a synthesis summary.
+std::string format_asic_report(const AsicReport& r, const StdCellLibrary& lib = {});
+
+}  // namespace gaip::gates

@@ -1,0 +1,130 @@
+#include "gates/blocks.hpp"
+
+namespace gaip::gates {
+
+CaPrngBlock build_ca_prng(GateNetlist& nl, std::uint16_t rule150_mask) {
+    CaPrngBlock blk;
+    blk.state = word_reg(nl, "ca", 16);
+    blk.seed = word_input(nl, "seed", 16);
+    blk.load = nl.input("load");
+
+    // next[i] = left ^ right (^ self when cell i runs rule 150); null
+    // boundary (missing neighbors read 0, so the XOR term drops away).
+    Word next;
+    next.reserve(16);
+    for (unsigned i = 0; i < 16; ++i) {
+        const Net left = (i + 1 < 16) ? blk.state[i + 1] : kNoNet;
+        const Net right = (i > 0) ? blk.state[i - 1] : kNoNet;
+        Net n;
+        if (left != kNoNet && right != kNoNet) {
+            n = nl.g_xor(left, right);
+        } else {
+            n = nl.gate(GateOp::kBuf, left != kNoNet ? left : right);
+        }
+        if ((rule150_mask >> i) & 1u) n = nl.g_xor(n, blk.state[i]);
+        next.push_back(n);
+    }
+    connect_word_reg(nl, blk.state, word_mux(nl, blk.load, blk.seed, next));
+    return blk;
+}
+
+CrossoverBlock build_crossover_unit(GateNetlist& nl) {
+    CrossoverBlock blk;
+    blk.p1 = word_input(nl, "p1_", 16);
+    blk.p2 = word_input(nl, "p2_", 16);
+    blk.cut = word_input(nl, "cut", 4);
+    blk.do_xover = nl.input("do_xover");
+
+    const Word mask = thermometer_mask(nl, blk.cut, 16);
+    const Word nmask = word_not(nl, mask);
+    const Word x1 = word_or(nl, word_and(nl, blk.p1, mask), word_and(nl, blk.p2, nmask));
+    const Word x2 = word_or(nl, word_and(nl, blk.p2, mask), word_and(nl, blk.p1, nmask));
+    blk.off1 = word_mux(nl, blk.do_xover, x1, blk.p1);
+    blk.off2 = word_mux(nl, blk.do_xover, x2, blk.p2);
+    return blk;
+}
+
+MutationBlock build_mutation_unit(GateNetlist& nl) {
+    MutationBlock blk;
+    blk.in = word_input(nl, "m_in", 16);
+    blk.pos = word_input(nl, "m_pos", 4);
+    blk.do_mutate = nl.input("do_mutate");
+
+    const Word onehot = decoder(nl, blk.pos);
+    Word flip;
+    flip.reserve(16);
+    for (unsigned i = 0; i < 16; ++i) flip.push_back(nl.g_and(onehot[i], blk.do_mutate));
+    blk.out = word_xor(nl, blk.in, flip);
+    return blk;
+}
+
+ThresholdBlock build_threshold_compare(GateNetlist& nl) {
+    ThresholdBlock blk;
+    blk.rand4 = word_input(nl, "rand", 4);
+    blk.threshold = word_input(nl, "thresh", 4);
+    blk.fire = word_less_than(nl, blk.rand4, blk.threshold);
+    return blk;
+}
+
+Word build_multiplier(GateNetlist& nl, const Word& a, const Word& b) {
+    // Shift-and-add array: accumulate (a << i) gated by b[i] into a product
+    // register-free combinational tree of ripple adders.
+    const unsigned pw = static_cast<unsigned>(a.size() + b.size());
+    const Net zero = nl.constant(false);
+    Word acc(pw, zero);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        // Partial product: (a & b[i]) aligned at bit i, zero elsewhere.
+        Word pp(pw, zero);
+        for (std::size_t j = 0; j < a.size(); ++j) pp[i + j] = nl.g_and(a[j], b[i]);
+        acc = word_add(nl, acc, pp).sum;
+    }
+    return acc;
+}
+
+SelectionThresholdBlock build_selection_threshold(GateNetlist& nl) {
+    SelectionThresholdBlock blk;
+    blk.fit_sum = word_input(nl, "fsum", 24);
+    blk.rn = word_input(nl, "rn", 16);
+    const Word product = build_multiplier(nl, blk.fit_sum, blk.rn);  // 40 bits
+    blk.threshold = Word(product.begin() + 16, product.begin() + 40);  // >> 16
+    return blk;
+}
+
+OperatorDatapath build_operator_datapath(GateNetlist& nl) {
+    OperatorDatapath dp;
+    dp.p1 = word_input(nl, "dp_p1_", 16);
+    dp.p2 = word_input(nl, "dp_p2_", 16);
+    dp.rand_xo = word_input(nl, "dp_rxo_", 16);
+    dp.rand_mu1 = word_input(nl, "dp_rm1_", 16);
+    dp.rand_mu2 = word_input(nl, "dp_rm2_", 16);
+    dp.xover_threshold = word_input(nl, "dp_xt_", 4);
+    dp.mut_threshold = word_input(nl, "dp_mt_", 4);
+
+    auto nibble = [](const Word& w, unsigned n) {
+        return Word(w.begin() + 4 * n, w.begin() + 4 * (n + 1));
+    };
+
+    // Crossover: decide = rand_xo[3:0] < xt, cut = rand_xo[7:4].
+    const Net do_xo = word_less_than(nl, nibble(dp.rand_xo, 0), dp.xover_threshold);
+    const Word mask = thermometer_mask(nl, nibble(dp.rand_xo, 1), 16);
+    const Word nmask = word_not(nl, mask);
+    const Word x1 = word_or(nl, word_and(nl, dp.p1, mask), word_and(nl, dp.p2, nmask));
+    const Word x2 = word_or(nl, word_and(nl, dp.p2, mask), word_and(nl, dp.p1, nmask));
+    const Word o1 = word_mux(nl, do_xo, x1, dp.p1);
+    const Word o2 = word_mux(nl, do_xo, x2, dp.p2);
+
+    // Mutations: decide = rand[3:0] < mt, position = rand[7:4].
+    auto mutate = [&](const Word& off, const Word& rnd) {
+        const Net fire = word_less_than(nl, nibble(rnd, 0), dp.mut_threshold);
+        const Word onehot = decoder(nl, nibble(rnd, 1));
+        Word flip;
+        flip.reserve(16);
+        for (unsigned i = 0; i < 16; ++i) flip.push_back(nl.g_and(onehot[i], fire));
+        return word_xor(nl, off, flip);
+    };
+    dp.off1 = mutate(o1, dp.rand_mu1);
+    dp.off2 = mutate(o2, dp.rand_mu2);
+    return dp;
+}
+
+}  // namespace gaip::gates

@@ -1,0 +1,83 @@
+// Gate-level implementations of the GA core's leaf blocks, verified
+// bit-exact against the RT-level/behavioral implementations by the tests in
+// tests/gates/. These are the pieces of the paper's flattened gate-level
+// netlist whose correctness is nontrivial: the CA PRNG, the crossover unit
+// (mask generator + merge network), the mutation unit (decoder + flip), and
+// the threshold comparator that implements the programmable rates.
+#pragma once
+
+#include "gates/builder.hpp"
+#include "prng/ca_prng.hpp"
+
+namespace gaip::gates {
+
+/// Gate-level 16-cell hybrid 90/150 CA PRNG with synchronous seed load.
+/// state' = load ? seed : ca_step(state).
+struct CaPrngBlock {
+    Word state;        // register Q word (the rn output)
+    Word seed;         // input word
+    Net load;          // input
+};
+CaPrngBlock build_ca_prng(GateNetlist& nl, std::uint16_t rule150_mask = prng::kRule150Mask);
+
+/// Gate-level single-point crossover unit (Sec. III-B.3 / Fig. 3):
+/// mask = thermometer(cut); off1 = (p1 & mask) | (p2 & ~mask); off2
+/// symmetric; do_xover bypasses to the parents.
+struct CrossoverBlock {
+    Word p1, p2;       // input words (16)
+    Word cut;          // input word (4)
+    Net do_xover;      // input
+    Word off1, off2;   // output words (16)
+};
+CrossoverBlock build_crossover_unit(GateNetlist& nl);
+
+/// Gate-level single-bit mutation unit (Sec. III-B.4): 4:16 decoder +
+/// conditional XOR of the selected bit.
+struct MutationBlock {
+    Word in;           // input word (16)
+    Word pos;          // input word (4)
+    Net do_mutate;     // input
+    Word out;          // output word (16)
+};
+MutationBlock build_mutation_unit(GateNetlist& nl);
+
+/// Gate-level rate comparator: fires when rand4 < threshold4 — the
+/// programmable crossover/mutation rate decision.
+struct ThresholdBlock {
+    Word rand4;        // input (4)
+    Word threshold;    // input (4)
+    Net fire;          // output
+};
+ThresholdBlock build_threshold_compare(GateNetlist& nl);
+
+/// Gate-level array multiplier (shift-and-add, unsigned): a_width x b_width
+/// -> a_width + b_width product. The selection-threshold computation needs
+/// a 24 x 16 instance (on the FPGA a MULT18X18 plus glue; at gate level a
+/// carry-save-free ripple array).
+Word build_multiplier(GateNetlist& nl, const Word& a, const Word& b);
+
+/// Gate-level selection-threshold unit (Sec. III-B.2): threshold =
+/// (fit_sum * rn) >> 16 — the proportionate-selection scaling step.
+struct SelectionThresholdBlock {
+    Word fit_sum;     // input (24)
+    Word rn;          // input (16)
+    Word threshold;   // output (24)
+};
+SelectionThresholdBlock build_selection_threshold(GateNetlist& nl);
+
+/// The combined genetic-operator datapath: two parents and two random
+/// words in; two mutated offspring out. This is the per-pair combinational
+/// core of the engine, exercised end-to-end against the behavioral
+/// operators.
+struct OperatorDatapath {
+    Word p1, p2;           // inputs (16)
+    Word rand_xo;          // input (16): [3:0] decide, [7:4] cut
+    Word rand_mu1;         // input (16): [3:0] decide, [7:4] position
+    Word rand_mu2;         // input (16)
+    Word xover_threshold;  // input (4)
+    Word mut_threshold;    // input (4)
+    Word off1, off2;       // outputs (16)
+};
+OperatorDatapath build_operator_datapath(GateNetlist& nl);
+
+}  // namespace gaip::gates

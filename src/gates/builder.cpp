@@ -1,0 +1,155 @@
+#include "gates/builder.hpp"
+
+#include <stdexcept>
+
+namespace gaip::gates {
+
+namespace {
+void check_same_width(const Word& a, const Word& b, const char* what) {
+    if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": width mismatch");
+}
+}  // namespace
+
+Word word_input(GateNetlist& nl, const std::string& name, unsigned width) {
+    Word w;
+    w.reserve(width);
+    for (unsigned i = 0; i < width; ++i) w.push_back(nl.input(name + std::to_string(i)));
+    return w;
+}
+
+Word word_reg(GateNetlist& nl, const std::string& name, unsigned width) {
+    Word w;
+    w.reserve(width);
+    for (unsigned i = 0; i < width; ++i) w.push_back(nl.reg(name + std::to_string(i)));
+    return w;
+}
+
+void connect_word_reg(GateNetlist& nl, const Word& q, const Word& d) {
+    check_same_width(q, d, "connect_word_reg");
+    for (std::size_t i = 0; i < q.size(); ++i) nl.connect_reg(q[i], d[i]);
+}
+
+Word word_const(GateNetlist& nl, std::uint64_t value, unsigned width) {
+    Word w;
+    w.reserve(width);
+    for (unsigned i = 0; i < width; ++i) w.push_back(nl.constant(((value >> i) & 1u) != 0));
+    return w;
+}
+
+Word word_not(GateNetlist& nl, const Word& a) {
+    Word w;
+    w.reserve(a.size());
+    for (const Net n : a) w.push_back(nl.g_not(n));
+    return w;
+}
+
+Word word_and(GateNetlist& nl, const Word& a, const Word& b) {
+    check_same_width(a, b, "word_and");
+    Word w;
+    w.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) w.push_back(nl.g_and(a[i], b[i]));
+    return w;
+}
+
+Word word_or(GateNetlist& nl, const Word& a, const Word& b) {
+    check_same_width(a, b, "word_or");
+    Word w;
+    w.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) w.push_back(nl.g_or(a[i], b[i]));
+    return w;
+}
+
+Word word_xor(GateNetlist& nl, const Word& a, const Word& b) {
+    check_same_width(a, b, "word_xor");
+    Word w;
+    w.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) w.push_back(nl.g_xor(a[i], b[i]));
+    return w;
+}
+
+Word word_mux(GateNetlist& nl, Net sel, const Word& when1, const Word& when0) {
+    check_same_width(when1, when0, "word_mux");
+    Word w;
+    w.reserve(when1.size());
+    for (std::size_t i = 0; i < when1.size(); ++i)
+        w.push_back(nl.g_mux(sel, when1[i], when0[i]));
+    return w;
+}
+
+AddResult word_add(GateNetlist& nl, const Word& a, const Word& b, Net carry_in) {
+    check_same_width(a, b, "word_add");
+    Net carry = (carry_in == kNoNet) ? nl.constant(false) : carry_in;
+    Word sum;
+    sum.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Net axb = nl.g_xor(a[i], b[i]);
+        sum.push_back(nl.g_xor(axb, carry));
+        carry = nl.g_or(nl.g_and(a[i], b[i]), nl.g_and(axb, carry));
+    }
+    return AddResult{std::move(sum), carry};
+}
+
+Net word_less_than(GateNetlist& nl, const Word& a, const Word& b) {
+    check_same_width(a, b, "word_less_than");
+    // From LSB to MSB: lt = (~a & b) | (a ~^ b) & lt_lower.
+    Net lt = nl.constant(false);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Net eq = nl.g_not(nl.g_xor(a[i], b[i]));
+        const Net ai_lt_bi = nl.g_and(nl.g_not(a[i]), b[i]);
+        lt = nl.g_or(ai_lt_bi, nl.g_and(eq, lt));
+    }
+    return lt;
+}
+
+Net word_equal(GateNetlist& nl, const Word& a, const Word& b) {
+    check_same_width(a, b, "word_equal");
+    Word eq;
+    eq.reserve(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) eq.push_back(nl.g_not(nl.g_xor(a[i], b[i])));
+    return reduce_and(nl, eq);
+}
+
+Word decoder(GateNetlist& nl, const Word& sel) {
+    const std::size_t outputs = std::size_t{1} << sel.size();
+    Word inv;
+    inv.reserve(sel.size());
+    for (const Net s : sel) inv.push_back(nl.g_not(s));
+    Word out;
+    out.reserve(outputs);
+    for (std::size_t v = 0; v < outputs; ++v) {
+        Net term = nl.constant(true);
+        for (std::size_t b = 0; b < sel.size(); ++b)
+            term = nl.g_and(term, ((v >> b) & 1u) ? sel[b] : inv[b]);
+        out.push_back(term);
+    }
+    return out;
+}
+
+Word thermometer_mask(GateNetlist& nl, const Word& sel, unsigned width) {
+    // mask[i] = (i < sel): one-hot decode, then suffix-OR: mask[i] =
+    // OR_{j > i} onehot[j] (and any sel >= width also sets all bits).
+    const Word onehot = decoder(nl, sel);
+    Word mask(width, kNoNet);
+    Net suffix = nl.constant(false);
+    for (std::size_t j = onehot.size(); j-- > 0;) {
+        if (j < width) mask[j] = suffix;
+        suffix = nl.g_or(suffix, onehot[j]);
+    }
+    return mask;
+}
+
+Net reduce_or(GateNetlist& nl, const Word& a) {
+    if (a.empty()) return nl.constant(false);
+    Net acc = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i) acc = nl.g_or(acc, a[i]);
+    return acc;
+}
+
+Net reduce_and(GateNetlist& nl, const Word& a) {
+    if (a.empty()) return nl.constant(true);
+    Net acc = a[0];
+    for (std::size_t i = 1; i < a.size(); ++i) acc = nl.g_and(acc, a[i]);
+    return acc;
+}
+
+}  // namespace gaip::gates

@@ -1,0 +1,60 @@
+// Word-level construction helpers over the gate netlist: the "simple
+// components such as adders, multiplexers" vocabulary the AUDI datapath is
+// made of, synthesized down to two-input gates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace gaip::gates {
+
+/// A word is a vector of nets, LSB first.
+using Word = std::vector<Net>;
+
+/// Declare a `width`-bit input word named name[0..width-1].
+Word word_input(GateNetlist& nl, const std::string& name, unsigned width);
+
+/// Declare a `width`-bit register word; connect with connect_word_reg.
+Word word_reg(GateNetlist& nl, const std::string& name, unsigned width);
+void connect_word_reg(GateNetlist& nl, const Word& q, const Word& d);
+
+/// Constant word.
+Word word_const(GateNetlist& nl, std::uint64_t value, unsigned width);
+
+// Bitwise operations (operands must have equal width).
+Word word_not(GateNetlist& nl, const Word& a);
+Word word_and(GateNetlist& nl, const Word& a, const Word& b);
+Word word_or(GateNetlist& nl, const Word& a, const Word& b);
+Word word_xor(GateNetlist& nl, const Word& a, const Word& b);
+
+/// 2:1 word multiplexer: sel ? when1 : when0.
+Word word_mux(GateNetlist& nl, Net sel, const Word& when1, const Word& when0);
+
+/// Ripple-carry adder; result has the operand width (carry-out returned
+/// separately).
+struct AddResult {
+    Word sum;
+    Net carry_out;
+};
+AddResult word_add(GateNetlist& nl, const Word& a, const Word& b, Net carry_in = kNoNet);
+
+/// Unsigned comparison a < b (returns a single net).
+Net word_less_than(GateNetlist& nl, const Word& a, const Word& b);
+
+/// Equality a == b.
+Net word_equal(GateNetlist& nl, const Word& a, const Word& b);
+
+/// Binary-to-one-hot decoder (2^width outputs).
+Word decoder(GateNetlist& nl, const Word& sel);
+
+/// Thermometer mask of `width` bits from a selector: bit i = (i < sel).
+/// This is exactly the crossover-mask generator of Sec. III-B.3.
+Word thermometer_mask(GateNetlist& nl, const Word& sel, unsigned width);
+
+/// Reduction OR / AND over a word.
+Net reduce_or(GateNetlist& nl, const Word& a);
+Net reduce_and(GateNetlist& nl, const Word& a);
+
+}  // namespace gaip::gates

@@ -1,0 +1,596 @@
+#include "gates/ga_core_gates.hpp"
+
+#include "gates/blocks.hpp"
+
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace gaip::gates {
+
+namespace {
+
+using State = core::GaCore::State;
+
+/// Zero-extend or truncate a word to `width` nets.
+Word resize(GateNetlist& nl, const Word& w, unsigned width) {
+    Word out(w.begin(), w.begin() + std::min<std::size_t>(w.size(), width));
+    while (out.size() < width) out.push_back(nl.constant(false));
+    return out;
+}
+
+Word slice(const Word& w, unsigned lo, unsigned hi) {  // inclusive-exclusive [lo, hi)
+    return Word(w.begin() + lo, w.begin() + hi);
+}
+
+/// Register file with enable/value assignment lists, folded into D-input
+/// mux networks at finalize() — the datapath-register pattern of an
+/// HLS-generated netlist.
+class RegBank {
+public:
+    explicit RegBank(GateNetlist& nl) : nl_(nl) {}
+
+    Word make(const std::string& name, unsigned width, std::uint64_t reset_value) {
+        Entry e;
+        e.q = word_reg(nl_, name, width);
+        e.reset_value = reset_value;
+        index_by_head_[e.q[0]] = entries_.size();
+        entries_.push_back(std::move(e));
+        return entries_.back().q;
+    }
+
+    /// When `when` is high at the clock edge, the register loads `value`
+    /// (resized to the register width). Enables must be mutually exclusive
+    /// (they are state predicates here).
+    void assign(const Word& q, Net when, const Word& value) {
+        entries_[find(q)].assigns.emplace_back(when, value);
+    }
+
+    /// Build every D input: priority-free OR of enabled values, hold
+    /// otherwise, with a synchronous reset override to the reset value.
+    void finalize(Net reset) {
+        for (Entry& e : entries_) {
+            const unsigned width = static_cast<unsigned>(e.q.size());
+            Word d(width, kNoNet);
+            Net any = nl_.constant(false);
+            for (const auto& [when, _] : e.assigns) any = nl_.g_or(any, when);
+            const Net hold = nl_.g_not(any);
+            for (unsigned i = 0; i < width; ++i) {
+                Net bit = nl_.g_and(hold, e.q[i]);
+                for (const auto& [when, value] : e.assigns) {
+                    const Net v = i < value.size() ? value[i] : nl_.constant(false);
+                    bit = nl_.g_or(bit, nl_.g_and(when, v));
+                }
+                // Synchronous reset to the declared value.
+                const Net rv = nl_.constant(((e.reset_value >> i) & 1u) != 0);
+                d[i] = nl_.g_mux(reset, rv, bit);
+            }
+            connect_word_reg(nl_, e.q, d);
+        }
+    }
+
+private:
+    struct Entry {
+        Word q;
+        std::vector<std::pair<Net, Word>> assigns;
+        std::uint64_t reset_value = 0;
+    };
+
+    std::size_t find(const Word& q) const {
+        const auto it = index_by_head_.find(q.at(0));
+        if (it == index_by_head_.end()) throw std::logic_error("RegBank: unknown register");
+        return it->second;
+    }
+
+    GateNetlist& nl_;
+    std::deque<Entry> entries_;
+    std::map<Net, std::size_t> index_by_head_;
+};
+
+}  // namespace
+
+std::unique_ptr<GaCoreNetlist> build_ga_core_netlist(std::uint8_t external_slot_mask) {
+    auto out = std::make_unique<GaCoreNetlist>();
+    GateNetlist& nl = out->nl;
+    RegBank regs(nl);
+
+    // ------------------------------------------------------- registers --
+    const Word st = regs.make("state", 6, static_cast<std::uint64_t>(State::kIdle));
+    const Word ret = regs.make("ret_state", 6, 0);
+    const Word ngl = regs.make("ngens_lo", 16, 32);
+    const Word ngh = regs.make("ngens_hi", 16, 0);
+    const Word pops = regs.make("pop_size", 8, 32);
+    const Word xthr = regs.make("xover_thresh", 4, 12);
+    const Word mthr = regs.make("mut_thresh", 4, 1);
+    const Word epop = regs.make("eff_pop", 8, 32);
+    const Word engs = regs.make("eff_ngens", 32, 32);
+    const Word ext = regs.make("eff_xt", 4, 12);
+    const Word emt = regs.make("eff_mt", 4, 1);
+    const Word gid = regs.make("gen_id", 32, 0);
+    const Word pidx = regs.make("pop_idx", 8, 0);
+    const Word nidx = regs.make("new_idx", 8, 0);
+    const Word sidx = regs.make("scan_idx", 8, 0);
+    const Word srd = regs.make("scan_reads", 9, 0);
+    const Word bankw = regs.make("bank", 1, 0);
+    const Word p2ph = regs.make("parent2_phase", 1, 0);
+    const Word bfit = regs.make("best_fit", 16, 0);
+    const Word bind = regs.make("best_ind", 16, 0);
+    const Word fsc = regs.make("fit_sum_cur", 24, 0);
+    const Word fsn = regs.make("fit_sum_new", 24, 0);
+    const Word sthr = regs.make("sel_thresh", 24, 0);
+    const Word scum = regs.make("sel_cum", 24, 0);
+    const Word par1 = regs.make("parent1", 16, 0);
+    const Word par2 = regs.make("parent2", 16, 0);
+    const Word off1 = regs.make("off1", 16, 0);
+    const Word off2 = regs.make("off2", 16, 0);
+    const Word ecnd = regs.make("eval_cand", 16, 0);
+    const Word freg = regs.make("fit_reg", 16, 0);
+    const Word xcut = regs.make("xo_cut", 4, 0);
+    const Word xdo = regs.make("xo_do", 1, 0);
+    const Word sd = regs.make("start_d", 1, 0);
+
+    // ---------------------------------------------------------- inputs --
+    out->reset = nl.input("reset");
+    out->ga_load = nl.input("ga_load");
+    out->index = word_input(nl, "idx", 3);
+    out->value = word_input(nl, "val", 16);
+    out->data_valid = nl.input("data_valid");
+    out->fit_value = word_input(nl, "fitv", 16);
+    out->fit_valid = nl.input("fit_valid");
+    out->mem_data_in = word_input(nl, "mdi", 32);
+    out->start_ga = nl.input("start_ga");
+    out->preset = word_input(nl, "preset", 2);
+    out->rn = word_input(nl, "rn", 16);
+    out->fitfunc_select = word_input(nl, "ffs", 3);
+    out->fit_value_ext = word_input(nl, "fitvx", 16);
+    out->fit_valid_ext = nl.input("fit_valid_ext");
+    out->sel_force_found = nl.input("sel_force_found");
+
+    const Net c0 = nl.constant(false);
+    const Net c1 = nl.constant(true);
+    (void)c1;
+
+    // --------------------------------------------------- common logic --
+    const Word onehot_st = decoder(nl, st);  // 64 one-hot nets; 26 used
+    auto in_st = [&](State s) { return onehot_st[static_cast<std::size_t>(s)]; };
+    auto st_const = [&](State s) {
+        return word_const(nl, static_cast<std::uint64_t>(s), 6);
+    };
+
+    const Net start_rising = nl.g_and(out->start_ga, nl.g_not(sd[0]));
+
+    // Internal/external fitness-response selection (constant-folded mask).
+    const Word ffdec = decoder(nl, out->fitfunc_select);  // 8 outputs
+    Net use_ext = c0;
+    for (unsigned i = 0; i < 8; ++i) {
+        if ((external_slot_mask >> i) & 1u) use_ext = nl.g_or(use_ext, ffdec[i]);
+    }
+    const Net valid_sel = nl.g_mux(use_ext, out->fit_valid_ext, out->fit_valid);
+    const Word value_sel = word_mux(nl, use_ext, out->fit_value_ext, out->fit_value);
+
+    const Word mem_cand = slice(out->mem_data_in, 0, 16);
+    const Word mem_fit = slice(out->mem_data_in, 16, 32);
+
+    // Selection hit condition (valid in kSelCheck).
+    const AddResult cum_add = word_add(nl, scum, resize(nl, mem_fit, 24));
+    Word cum_plus = cum_add.sum;
+    cum_plus.push_back(cum_add.carry_out);  // 25 bits
+    const Net gt_thresh = word_less_than(nl, resize(nl, sthr, 25), cum_plus);
+    const AddResult srd_add = word_add(nl, srd, word_const(nl, 1, 9));
+    Word srd_p1 = srd_add.sum;
+    srd_p1.push_back(srd_add.carry_out);  // 10 bits
+    Word two_pop(1, c0);                  // 2 * eff_pop: epop shifted left one
+    for (const Net n : epop) two_pop.push_back(n);
+    const Net exhausted =
+        nl.g_not(word_less_than(nl, srd_p1, resize(nl, two_pop, 10)));
+    const Net hit_own = nl.g_or(gt_thresh, exhausted);
+    const Net hit = nl.g_or(hit_own, out->sel_force_found);
+
+    // Rate decisions from the current random word.
+    const Word rn_lo4 = slice(out->rn, 0, 4);
+    const Word rn_hi4 = slice(out->rn, 4, 8);
+    const Net xo_fire = word_less_than(nl, rn_lo4, ext);
+    const Net mu_fire = word_less_than(nl, rn_lo4, emt);
+
+    // Crossover network (operands: parent registers + latched cut/do).
+    const Word xmask = thermometer_mask(nl, xcut, 16);
+    const Word nxmask = word_not(nl, xmask);
+    const Word mix1 =
+        word_or(nl, word_and(nl, par1, xmask), word_and(nl, par2, nxmask));
+    const Word mix2 =
+        word_or(nl, word_and(nl, par2, xmask), word_and(nl, par1, nxmask));
+    const Word xo_off1 = word_mux(nl, xdo[0], mix1, par1);
+    const Word xo_off2 = word_mux(nl, xdo[0], mix2, par2);
+
+    // Mutation network (applied to offspring registers from the live rn).
+    const Word mu_onehot = decoder(nl, rn_hi4);
+    Word mu_flip;
+    mu_flip.reserve(16);
+    for (unsigned i = 0; i < 16; ++i) mu_flip.push_back(nl.g_and(mu_onehot[i], mu_fire));
+    const Word mut1 = word_xor(nl, off1, mu_flip);
+    const Word mut2 = word_xor(nl, off2, mu_flip);
+
+    // Arithmetic.
+    const Word sum_cur_new = word_add(nl, fsc, resize(nl, freg, 24)).sum;
+    const Word sum_new_new = word_add(nl, fsn, resize(nl, freg, 24)).sum;
+    const Word product = build_multiplier(nl, fsc, out->rn);  // 40 bits
+    const Word thr_new = slice(product, 16, 40);              // >> 16
+    const Net better = word_less_than(nl, bfit, freg);        // fit_reg > best_fit
+    const Word pidx_p1 = word_add(nl, pidx, word_const(nl, 1, 8)).sum;
+    const Net pidx_more = word_less_than(nl, pidx_p1, epop);
+    const Word nidx_p1 = word_add(nl, nidx, word_const(nl, 1, 8)).sum;
+    const Net bank_full = nl.g_not(word_less_than(nl, nidx_p1, epop));
+    const Net gens_done = nl.g_not(word_less_than(nl, gid, engs));
+    const Word sidx_p1 = word_add(nl, sidx, word_const(nl, 1, 8)).sum;
+    const Net sidx_wrap = nl.g_not(word_less_than(nl, sidx_p1, epop));
+    const Word sidx_next = word_mux(nl, sidx_wrap, word_const(nl, 0, 8), sidx_p1);
+    const Word gid_p1 = word_add(nl, gid, word_const(nl, 1, 32)).sum;
+
+    // Effective parameters (kStart): preset resolution per Table IV.
+    const Word pdec = decoder(nl, out->preset);  // 4 outputs
+    const Net lt2 = word_less_than(nl, pops, word_const(nl, 2, 8));
+    const Net gt128 = word_less_than(nl, word_const(nl, 128, 8), pops);
+    const Word pop_clamped = word_mux(
+        nl, lt2, word_const(nl, 2, 8),
+        word_mux(nl, gt128, word_const(nl, 128, 8), pops));
+    auto preset_mux = [&](const Word& user, std::uint64_t m1, std::uint64_t m2,
+                          std::uint64_t m3) {
+        const unsigned w = static_cast<unsigned>(user.size());
+        Word result;
+        result.reserve(w);
+        const Word w1 = word_const(nl, m1, w);
+        const Word w2 = word_const(nl, m2, w);
+        const Word w3 = word_const(nl, m3, w);
+        for (unsigned i = 0; i < w; ++i) {
+            Net v = nl.g_and(pdec[0], user[i]);
+            v = nl.g_or(v, nl.g_and(pdec[1], w1[i]));
+            v = nl.g_or(v, nl.g_and(pdec[2], w2[i]));
+            v = nl.g_or(v, nl.g_and(pdec[3], w3[i]));
+            result.push_back(v);
+        }
+        return result;
+    };
+    Word ngens_user = ngl;
+    ngens_user.insert(ngens_user.end(), ngh.begin(), ngh.end());  // {hi,lo} -> 32
+    const Word eff_pop_val = preset_mux(pop_clamped, 32, 64, 128);
+    const Word eff_ngens_val = preset_mux(ngens_user, 512, 1024, 4096);
+    const Word eff_xt_val = preset_mux(xthr, 12, 13, 14);
+    const Word eff_mt_val = preset_mux(mthr, 1, 2, 3);
+
+    // -------------------------------------------- parameter init write --
+    const Word idxdec = decoder(nl, out->index);  // 8
+    const Net wr_init =
+        nl.g_and(in_st(State::kInitWait), nl.g_and(out->ga_load, out->data_valid));
+    regs.assign(ngl, nl.g_and(wr_init, idxdec[0]), out->value);
+    regs.assign(ngh, nl.g_and(wr_init, idxdec[1]), out->value);
+    regs.assign(pops, nl.g_and(wr_init, idxdec[2]), slice(out->value, 0, 8));
+    regs.assign(xthr, nl.g_and(wr_init, idxdec[3]), slice(out->value, 0, 4));
+    regs.assign(mthr, nl.g_and(wr_init, idxdec[4]), slice(out->value, 0, 4));
+
+    // ------------------------------------------------ state transitions --
+    auto go = [&](Net when, State to) { regs.assign(st, when, st_const(to)); };
+
+    // start_d tracks start_ga only in kIdle/kDone (see ga_core.cpp).
+    const Net track = nl.g_or(in_st(State::kIdle), in_st(State::kDone));
+    regs.assign(sd, nl.constant(true), Word{nl.g_and(track, out->start_ga)});
+
+    {  // kIdle
+        const Net here = in_st(State::kIdle);
+        go(nl.g_and(here, out->ga_load), State::kInitWait);
+        go(nl.g_and(here, nl.g_and(nl.g_not(out->ga_load), start_rising)), State::kStart);
+    }
+    {  // kInitWait
+        const Net here = in_st(State::kInitWait);
+        go(nl.g_and(here, nl.g_not(out->ga_load)), State::kIdle);
+        go(wr_init, State::kInitAck);
+    }
+    {  // kInitAck
+        const Net drop = nl.g_and(in_st(State::kInitAck), nl.g_not(out->data_valid));
+        go(nl.g_and(drop, out->ga_load), State::kInitWait);
+        go(nl.g_and(drop, nl.g_not(out->ga_load)), State::kIdle);
+    }
+    {  // kStart
+        const Net en = in_st(State::kStart);
+        regs.assign(epop, en, eff_pop_val);
+        regs.assign(engs, en, eff_ngens_val);
+        regs.assign(ext, en, eff_xt_val);
+        regs.assign(emt, en, eff_mt_val);
+        regs.assign(gid, en, word_const(nl, 0, 32));
+        regs.assign(pidx, en, word_const(nl, 0, 8));
+        regs.assign(fsc, en, word_const(nl, 0, 24));
+        regs.assign(bfit, en, word_const(nl, 0, 16));
+        regs.assign(bind, en, word_const(nl, 0, 16));
+        regs.assign(bankw, en, word_const(nl, 0, 1));
+        go(en, State::kIpRn);
+    }
+    go(in_st(State::kIpRn), State::kIpGen);
+    {  // kIpGen
+        const Net en = in_st(State::kIpGen);
+        regs.assign(ecnd, en, out->rn);
+        regs.assign(ret, en, st_const(State::kIpStore));
+        go(en, State::kEvalReq);
+    }
+    {  // kEvalReq
+        const Net got = nl.g_and(in_st(State::kEvalReq), valid_sel);
+        regs.assign(freg, got, value_sel);
+        go(got, State::kEvalDrop);
+    }
+    {  // kEvalDrop -> ret_state
+        const Net fin = nl.g_and(in_st(State::kEvalDrop), nl.g_not(valid_sel));
+        regs.assign(st, fin, ret);
+    }
+    {  // kIpStore
+        const Net en = in_st(State::kIpStore);
+        regs.assign(fsc, en, sum_cur_new);
+        regs.assign(bfit, nl.g_and(en, better), freg);
+        regs.assign(bind, nl.g_and(en, better), ecnd);
+        const Net more = nl.g_and(en, pidx_more);
+        const Net fin = nl.g_and(en, nl.g_not(pidx_more));
+        regs.assign(pidx, more, pidx_p1);
+        regs.assign(pidx, fin, word_const(nl, 0, 8));
+        go(more, State::kIpRn);
+        go(fin, State::kGenCheck);
+    }
+    {  // kGenCheck
+        const Net here = in_st(State::kGenCheck);
+        go(nl.g_and(here, gens_done), State::kDone);
+        go(nl.g_and(here, nl.g_not(gens_done)), State::kElite);
+    }
+    {  // kElite
+        const Net en = in_st(State::kElite);
+        regs.assign(fsn, en, resize(nl, bfit, 24));
+        regs.assign(nidx, en, word_const(nl, 1, 8));
+        regs.assign(p2ph, en, word_const(nl, 0, 1));
+        go(en, State::kSelRn);
+    }
+    go(in_st(State::kSelRn), State::kSelThresh);
+    {  // kSelThresh
+        const Net en = in_st(State::kSelThresh);
+        regs.assign(sthr, en, thr_new);
+        regs.assign(scum, en, word_const(nl, 0, 24));
+        regs.assign(sidx, en, word_const(nl, 0, 8));
+        regs.assign(srd, en, word_const(nl, 0, 9));
+        go(en, State::kSelAddr);
+    }
+    go(in_st(State::kSelAddr), State::kSelCheck);
+    {  // kSelCheck
+        const Net en = in_st(State::kSelCheck);
+        const Net hit1 = nl.g_and(en, nl.g_and(hit, nl.g_not(p2ph[0])));
+        const Net hit2 = nl.g_and(en, nl.g_and(hit, p2ph[0]));
+        const Net miss = nl.g_and(en, nl.g_not(hit));
+        regs.assign(par1, hit1, mem_cand);
+        regs.assign(p2ph, hit1, word_const(nl, 1, 1));
+        go(hit1, State::kSelRn);
+        regs.assign(par2, hit2, mem_cand);
+        regs.assign(p2ph, hit2, word_const(nl, 0, 1));
+        go(hit2, State::kXoRn);
+        regs.assign(scum, miss, resize(nl, cum_plus, 24));
+        regs.assign(sidx, miss, sidx_next);
+        regs.assign(srd, miss, resize(nl, srd_p1, 9));
+        go(miss, State::kSelAddr);
+    }
+    go(in_st(State::kXoRn), State::kXoDecide);
+    {  // kXoDecide
+        const Net en = in_st(State::kXoDecide);
+        regs.assign(xdo, en, Word{xo_fire});
+        regs.assign(xcut, en, rn_hi4);
+        go(en, State::kXoApply);
+    }
+    {  // kXoApply
+        const Net en = in_st(State::kXoApply);
+        regs.assign(off1, en, xo_off1);
+        regs.assign(off2, en, xo_off2);
+        go(en, State::kMu1Rn);
+    }
+    go(in_st(State::kMu1Rn), State::kMu1Apply);
+    {  // kMu1Apply
+        const Net en = in_st(State::kMu1Apply);
+        regs.assign(off1, en, mut1);
+        regs.assign(ecnd, en, mut1);
+        regs.assign(ret, en, st_const(State::kStore1));
+        go(en, State::kEvalReq);
+    }
+    {  // kStore1 / kStore2
+        const Net en1 = in_st(State::kStore1);
+        const Net en2 = in_st(State::kStore2);
+        const Net en = nl.g_or(en1, en2);
+        regs.assign(fsn, en, sum_new_new);
+        regs.assign(bfit, nl.g_and(en, better), freg);
+        regs.assign(bind, nl.g_and(en, better), ecnd);
+        regs.assign(nidx, en, nidx_p1);
+        go(nl.g_and(en, bank_full), State::kGenEnd);
+        go(nl.g_and(en1, nl.g_not(bank_full)), State::kMu2Rn);
+        go(nl.g_and(en2, nl.g_not(bank_full)), State::kSelRn);
+    }
+    go(in_st(State::kMu2Rn), State::kMu2Apply);
+    {  // kMu2Apply
+        const Net en = in_st(State::kMu2Apply);
+        regs.assign(off2, en, mut2);
+        regs.assign(ecnd, en, mut2);
+        regs.assign(ret, en, st_const(State::kStore2));
+        go(en, State::kEvalReq);
+    }
+    {  // kGenEnd
+        const Net en = in_st(State::kGenEnd);
+        regs.assign(bankw, en, Word{nl.g_not(bankw[0])});
+        regs.assign(fsc, en, fsn);
+        regs.assign(gid, en, gid_p1);
+        go(en, State::kGenCheck);
+    }
+    {  // kDone
+        const Net here = in_st(State::kDone);
+        go(nl.g_and(here, out->ga_load), State::kInitWait);
+        go(nl.g_and(here, nl.g_and(nl.g_not(out->ga_load), start_rising)), State::kStart);
+    }
+
+    regs.finalize(out->reset);
+
+    // ---------------------------------------------------------- outputs --
+    out->data_ack = in_st(State::kInitAck);
+    out->ga_done = in_st(State::kDone);
+    out->fit_request = in_st(State::kEvalReq);
+    out->rn_next =
+        nl.g_or(in_st(State::kIpRn),
+                nl.g_or(in_st(State::kSelRn),
+                        nl.g_or(in_st(State::kXoRn),
+                                nl.g_or(in_st(State::kMu1Rn), in_st(State::kMu2Rn)))));
+    const Net evaluating = nl.g_or(in_st(State::kEvalReq), in_st(State::kEvalDrop));
+    out->candidate = word_mux(nl, evaluating, ecnd, bind);
+    out->sel_found = nl.g_and(in_st(State::kSelCheck), hit_own);
+    out->mon_gen_pulse = in_st(State::kGenCheck);
+    out->mon_gen_id = gid;
+    out->mon_best_fit = bfit;
+    out->mon_fit_sum = fsc;
+    out->mon_best_ind = bind;
+    out->mon_bank = bankw[0];
+    out->mon_pop_size = epop;
+
+    // Memory interface muxes (mutually exclusive state predicates).
+    const Net rd_sel = nl.g_or(in_st(State::kSelAddr), in_st(State::kSelCheck));
+    const Net wr_ip = in_st(State::kIpStore);
+    const Net wr_elite = in_st(State::kElite);
+    const Net wr_new = nl.g_or(in_st(State::kStore1), in_st(State::kStore2));
+    out->mem_wr = nl.g_or(wr_ip, nl.g_or(wr_elite, wr_new));
+
+    const Net nbank = nl.g_not(bankw[0]);
+    Word addr(8, c0);
+    for (unsigned i = 0; i < 7; ++i) {
+        Net a = nl.g_and(rd_sel, sidx[i]);
+        a = nl.g_or(a, nl.g_and(wr_ip, pidx[i]));
+        a = nl.g_or(a, nl.g_and(wr_new, nidx[i]));
+        // elite writes index 0
+        addr[i] = a;
+    }
+    {
+        Net b = nl.g_and(rd_sel, bankw[0]);
+        b = nl.g_or(b, nl.g_and(wr_ip, bankw[0]));
+        b = nl.g_or(b, nl.g_and(wr_elite, nbank));
+        b = nl.g_or(b, nl.g_and(wr_new, nbank));
+        addr[7] = b;
+    }
+    out->mem_address = addr;
+
+    Word mdo(32, c0);
+    const Net wr_off = nl.g_or(wr_ip, wr_new);
+    for (unsigned i = 0; i < 16; ++i) {
+        mdo[i] = nl.g_or(nl.g_and(wr_off, ecnd[i]), nl.g_and(wr_elite, bind[i]));
+        mdo[16 + i] = nl.g_or(nl.g_and(wr_off, freg[i]), nl.g_and(wr_elite, bfit[i]));
+    }
+    out->mem_data_out = mdo;
+
+    out->state = st;
+    out->gen_id = gid;
+    out->best_fit = bfit;
+    out->best_ind = bind;
+    out->bank = bankw[0];
+    return out;
+}
+
+// ------------------------------------------------------------- adapter --
+
+GateLevelGaCore::GateLevelGaCore(std::string name, core::GaCorePorts ports,
+                                 core::GaCoreConfig cfg)
+    : Module(std::move(name)), p_(ports),
+      g_(build_ga_core_netlist(cfg.external_slot_mask)) {}
+
+void GateLevelGaCore::push_inputs() {
+    GateNetlist& nl = g_->nl;
+    nl.set_input(g_->reset, false);
+    nl.set_input(g_->ga_load, p_.ga_load.read());
+    nl.set_input(g_->data_valid, p_.data_valid.read());
+    nl.set_input(g_->fit_valid, p_.fit_valid.read());
+    nl.set_input(g_->start_ga, p_.start_ga.read());
+    nl.set_input(g_->fit_valid_ext, p_.fit_valid_ext.read());
+    nl.set_input(g_->sel_force_found, p_.sel_force_found.read());
+    auto push_word = [&](const Word& w, std::uint64_t v) {
+        for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+    };
+    push_word(g_->index, p_.index.read());
+    push_word(g_->value, p_.value.read());
+    push_word(g_->fit_value, p_.fit_value.read());
+    push_word(g_->mem_data_in, p_.mem_data_in.read());
+    push_word(g_->preset, p_.preset.read());
+    push_word(g_->rn, p_.rn.read());
+    push_word(g_->fitfunc_select, p_.fitfunc_select.read());
+    push_word(g_->fit_value_ext, p_.fit_value_ext.read());
+}
+
+void GateLevelGaCore::eval() {
+    GateNetlist& nl = g_->nl;
+
+    if (p_.test.read()) {
+        // Same scan-mode gating as the RT-level core.
+        p_.data_ack.drive(false);
+        p_.ga_done.drive(false);
+        p_.fit_request.drive(false);
+        p_.rn_next.drive(false);
+        p_.mem_wr.drive(false);
+        p_.mem_address.drive(0);
+        p_.mem_data_out.drive(0);
+        p_.sel_found.drive(false);
+        p_.mon_gen_pulse.drive(false);
+        p_.candidate.drive(static_cast<std::uint16_t>(nl.word_value(g_->best_ind)));
+        p_.scanout.drive(nl.scan_tail());
+        return;
+    }
+
+    push_inputs();
+    nl.eval();
+
+    p_.data_ack.drive(nl.value(g_->data_ack));
+    p_.ga_done.drive(nl.value(g_->ga_done));
+    p_.fit_request.drive(nl.value(g_->fit_request));
+    p_.rn_next.drive(nl.value(g_->rn_next));
+    p_.candidate.drive(static_cast<std::uint16_t>(nl.word_value(g_->candidate)));
+    p_.mem_address.drive(static_cast<std::uint8_t>(nl.word_value(g_->mem_address)));
+    p_.mem_data_out.drive(static_cast<std::uint32_t>(nl.word_value(g_->mem_data_out)));
+    p_.mem_wr.drive(nl.value(g_->mem_wr));
+    p_.sel_found.drive(nl.value(g_->sel_found));
+    p_.scanout.drive(false);
+    p_.mon_gen_pulse.drive(nl.value(g_->mon_gen_pulse));
+    p_.mon_gen_id.drive(static_cast<std::uint32_t>(nl.word_value(g_->mon_gen_id)));
+    p_.mon_best_fit.drive(static_cast<std::uint16_t>(nl.word_value(g_->mon_best_fit)));
+    p_.mon_fit_sum.drive(static_cast<std::uint32_t>(nl.word_value(g_->mon_fit_sum)));
+    p_.mon_best_ind.drive(static_cast<std::uint16_t>(nl.word_value(g_->mon_best_ind)));
+    p_.mon_bank.drive(nl.value(g_->mon_bank));
+    p_.mon_pop_size.drive(static_cast<std::uint8_t>(nl.word_value(g_->mon_pop_size)));
+}
+
+void GateLevelGaCore::tick() {
+    GateNetlist& nl = g_->nl;
+    if (p_.test.read()) {
+        nl.clock(true, p_.scanin.read());
+        return;
+    }
+    push_inputs();
+    nl.eval();
+    nl.clock();
+}
+
+void GateLevelGaCore::reset_state() {
+    GateNetlist& nl = g_->nl;
+    push_inputs();
+    nl.set_input(g_->reset, true);
+    nl.eval();
+    nl.clock();
+    nl.set_input(g_->reset, false);
+    nl.eval();
+}
+
+core::GaCore::State GateLevelGaCore::state() const {
+    return static_cast<core::GaCore::State>(g_->nl.word_value(g_->state));
+}
+
+std::uint32_t GateLevelGaCore::generation() const {
+    return static_cast<std::uint32_t>(g_->nl.word_value(g_->gen_id));
+}
+
+std::uint16_t GateLevelGaCore::best_fitness() const {
+    return static_cast<std::uint16_t>(g_->nl.word_value(g_->best_fit));
+}
+
+std::uint16_t GateLevelGaCore::best_candidate() const {
+    return static_cast<std::uint16_t>(g_->nl.word_value(g_->best_ind));
+}
+
+}  // namespace gaip::gates

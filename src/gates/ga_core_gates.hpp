@@ -1,0 +1,103 @@
+// The COMPLETE GA core at gate level.
+//
+// The paper's shipped artifact is a flattened gate-level netlist of the
+// whole engine (controller + datapath + scan chain). This module builds
+// exactly that on the gates substrate: every register, every state of the
+// controller, every datapath operator (including the 24x16 selection-
+// threshold multiplier) synthesized to two-input gates, with the same
+// Table II port surface as the RT-level GaCore.
+//
+// GateLevelGaCore wraps the netlist as an rtl::Module with GaCorePorts, so
+// the gate-level core DROPS INTO GaSystem in place of the RT-level one
+// (GaSystemConfig::use_gate_level_core). The equivalence tests run the two
+// cores through complete optimizations and require bit-identical results,
+// histories, and cycle counts — the full-design RT-vs-gate verification of
+// the paper's Sec. III-A flow.
+#pragma once
+
+#include <memory>
+
+#include "core/ga_core.hpp"
+#include "gates/builder.hpp"
+
+namespace gaip::gates {
+
+/// The netlist plus its named port nets.
+struct GaCoreNetlist {
+    GateNetlist nl;
+
+    // inputs
+    Net reset = kNoNet;
+    Net ga_load = kNoNet;
+    Word index;         // 3
+    Word value;         // 16
+    Net data_valid = kNoNet;
+    Word fit_value;     // 16
+    Net fit_valid = kNoNet;
+    Word mem_data_in;   // 32
+    Net start_ga = kNoNet;
+    Word preset;        // 2
+    Word rn;            // 16
+    Word fitfunc_select;  // 3
+    Word fit_value_ext;   // 16
+    Net fit_valid_ext = kNoNet;
+    Net sel_force_found = kNoNet;
+
+    // outputs
+    Net data_ack = kNoNet;
+    Net fit_request = kNoNet;
+    Word candidate;       // 16
+    Word mem_address;     // 8
+    Word mem_data_out;    // 32
+    Net mem_wr = kNoNet;
+    Net ga_done = kNoNet;
+    Net rn_next = kNoNet;
+    Net sel_found = kNoNet;
+    Net mon_gen_pulse = kNoNet;
+    Word mon_gen_id;      // 32
+    Word mon_best_fit;    // 16
+    Word mon_fit_sum;     // 24
+    Word mon_best_ind;    // 16
+    Net mon_bank = kNoNet;
+    Word mon_pop_size;    // 8
+
+    // visibility for tests
+    Word state;           // 6 (register word)
+    Word gen_id;          // 32
+    Word best_fit;        // 16
+    Word best_ind;        // 16
+    Net bank = kNoNet;
+};
+
+/// Build the full core. `external_slot_mask` as in GaCoreConfig.
+std::unique_ptr<GaCoreNetlist> build_ga_core_netlist(std::uint8_t external_slot_mask = 0xF0);
+
+/// rtl::Module adapter exposing the gate-level core through GaCorePorts —
+/// a drop-in replacement for core::GaCore inside any system assembly.
+class GateLevelGaCore final : public rtl::Module {
+public:
+    GateLevelGaCore(std::string name, core::GaCorePorts ports,
+                    core::GaCoreConfig cfg = {});
+
+    void eval() override;
+    void tick() override;
+    void reset_state() override;
+
+    const GaCoreNetlist& netlist() const noexcept { return *g_; }
+    GateStats gate_stats() const { return g_->nl.stats(); }
+
+    // Introspection mirroring core::GaCore (for tests).
+    core::GaCore::State state() const;
+    std::uint32_t generation() const;
+    std::uint16_t best_fitness() const;
+    std::uint16_t best_candidate() const;
+
+private:
+    void push_inputs();
+
+    core::GaCorePorts p_;
+    std::unique_ptr<GaCoreNetlist> g_;
+    bool needs_reset_pulse_ = true;
+};
+
+}  // namespace gaip::gates

@@ -1,0 +1,232 @@
+#include "gates/netlist.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gaip::gates {
+
+const char* gate_op_name(GateOp op) {
+    switch (op) {
+        case GateOp::kConst0: return "const0";
+        case GateOp::kConst1: return "const1";
+        case GateOp::kInput: return "input";
+        case GateOp::kState: return "state";
+        case GateOp::kBuf: return "buf";
+        case GateOp::kNot: return "not";
+        case GateOp::kAnd: return "and";
+        case GateOp::kOr: return "or";
+        case GateOp::kXor: return "xor";
+        case GateOp::kNand: return "nand";
+        case GateOp::kNor: return "nor";
+    }
+    return "?";
+}
+
+Net GateNetlist::new_net(GateOp op, Net a, Net b, std::string name) {
+    const Net id = static_cast<Net>(ops_.size());
+    ops_.push_back(op);
+    in_a_.push_back(a);
+    in_b_.push_back(b);
+    values_.push_back(0);
+    names_.push_back(std::move(name));
+    reg_index_of_net_.push_back(0xFFFFFFFFu);
+    return id;
+}
+
+Net GateNetlist::input(std::string name) {
+    return new_net(GateOp::kInput, kNoNet, kNoNet, std::move(name));
+}
+
+Net GateNetlist::constant(bool v) {
+    return new_net(v ? GateOp::kConst1 : GateOp::kConst0, kNoNet, kNoNet, "");
+}
+
+Net GateNetlist::gate(GateOp op, Net a, Net b) {
+    const bool unary = (op == GateOp::kNot || op == GateOp::kBuf);
+    if (a >= ops_.size()) throw std::invalid_argument("gate: input net a not yet defined");
+    if (!unary && b >= ops_.size())
+        throw std::invalid_argument("gate: input net b not yet defined");
+    if (op == GateOp::kConst0 || op == GateOp::kConst1 || op == GateOp::kInput ||
+        op == GateOp::kState)
+        throw std::invalid_argument("gate: pseudo-op not allowed here");
+    return new_net(op, a, unary ? kNoNet : b, "");
+}
+
+Net GateNetlist::reg(std::string name) {
+    const Net q = new_net(GateOp::kState, kNoNet, kNoNet, std::move(name));
+    reg_index_of_net_[q] = static_cast<std::uint32_t>(regs_.size());
+    regs_.push_back(RegInfo{q, kNoNet, names_[q]});
+    return q;
+}
+
+void GateNetlist::connect_reg(Net q, Net d) {
+    if (q >= ops_.size() || reg_index_of_net_[q] == 0xFFFFFFFFu)
+        throw std::invalid_argument("connect_reg: not a register Q net");
+    if (d >= ops_.size()) throw std::invalid_argument("connect_reg: D net not defined");
+    regs_[reg_index_of_net_[q]].d = d;
+}
+
+void GateNetlist::output(std::string name, Net n) {
+    if (n >= ops_.size()) throw std::invalid_argument("output: net not defined");
+    outputs_.emplace_back(std::move(name), n);
+}
+
+void GateNetlist::set_input(Net n, bool v) {
+    if (n >= ops_.size() || ops_[n] != GateOp::kInput)
+        throw std::invalid_argument("set_input: not an input net");
+    values_[n] = v ? 1 : 0;
+}
+
+void GateNetlist::set_register(Net q, bool v) {
+    if (q >= ops_.size() || ops_[q] != GateOp::kState)
+        throw std::invalid_argument("set_register: not a register net");
+    values_[q] = v ? 1 : 0;
+}
+
+void GateNetlist::eval() {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        switch (ops_[i]) {
+            case GateOp::kConst0: values_[i] = 0; break;
+            case GateOp::kConst1: values_[i] = 1; break;
+            case GateOp::kInput:
+            case GateOp::kState: break;  // externally held
+            case GateOp::kBuf: values_[i] = values_[in_a_[i]]; break;
+            case GateOp::kNot: values_[i] = values_[in_a_[i]] ^ 1u; break;
+            case GateOp::kAnd: values_[i] = values_[in_a_[i]] & values_[in_b_[i]]; break;
+            case GateOp::kOr: values_[i] = values_[in_a_[i]] | values_[in_b_[i]]; break;
+            case GateOp::kXor: values_[i] = values_[in_a_[i]] ^ values_[in_b_[i]]; break;
+            case GateOp::kNand:
+                values_[i] = (values_[in_a_[i]] & values_[in_b_[i]]) ^ 1u;
+                break;
+            case GateOp::kNor:
+                values_[i] = (values_[in_a_[i]] | values_[in_b_[i]]) ^ 1u;
+                break;
+        }
+    }
+}
+
+bool GateNetlist::value(Net n) const {
+    if (n >= ops_.size()) throw std::invalid_argument("value: net not defined");
+    return values_[n] != 0;
+}
+
+std::uint64_t GateNetlist::word_value(const std::vector<Net>& nets) const {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < nets.size(); ++i)
+        if (value(nets[i])) v |= std::uint64_t{1} << i;
+    return v;
+}
+
+bool GateNetlist::clock(bool test_mode, bool scan_in) {
+    if (regs_.empty()) return false;
+    const bool out = values_[regs_.back().q] != 0;
+    if (test_mode) {
+        // Shift toward the last-declared register; scan_in enters the head.
+        bool carry = scan_in;
+        for (RegInfo& r : regs_) {
+            const bool old = values_[r.q] != 0;
+            values_[r.q] = carry ? 1 : 0;
+            carry = old;
+        }
+    } else {
+        std::vector<std::uint8_t> next(regs_.size());
+        for (std::size_t i = 0; i < regs_.size(); ++i) {
+            if (regs_[i].d == kNoNet)
+                throw std::logic_error("clock: register " + regs_[i].name + " has no D");
+            next[i] = values_[regs_[i].d];
+        }
+        for (std::size_t i = 0; i < regs_.size(); ++i) values_[regs_[i].q] = next[i];
+    }
+    return out;
+}
+
+GateStats GateNetlist::stats() const {
+    GateStats s;
+    for (const GateOp op : ops_) {
+        s.per_op[static_cast<std::size_t>(op)]++;
+        switch (op) {
+            case GateOp::kConst0:
+            case GateOp::kConst1:
+                break;
+            case GateOp::kInput: s.inputs++; break;
+            case GateOp::kState: break;
+            default: s.logic_gates++; break;
+        }
+    }
+    s.registers = static_cast<std::uint32_t>(regs_.size());
+    return s;
+}
+
+std::string GateNetlist::to_verilog(const std::string& module_name) const {
+    std::ostringstream os;
+    os << "// Gate-level netlist generated by gaip::gates (simple Boolean gates +\n";
+    os << "// SCAN_REGISTER primitives, as in the paper's flattened deliverable).\n";
+    os << "module " << module_name << " (clk, test, scanin, scanout";
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+        if (ops_[i] == GateOp::kInput) os << ", " << names_[i];
+    for (const auto& [name, net] : outputs_) os << ", " << name;
+    os << ");\n";
+    os << "  input clk, test, scanin;\n  output scanout;\n";
+    for (std::size_t i = 0; i < ops_.size(); ++i)
+        if (ops_[i] == GateOp::kInput) os << "  input " << names_[i] << ";\n";
+    for (const auto& [name, net] : outputs_) os << "  output " << name << ";\n";
+
+    auto net_name = [&](Net n) -> std::string {
+        if (ops_[n] == GateOp::kInput) return names_[n];
+        if (ops_[n] == GateOp::kState) return "q_" + names_[n];
+        return "n" + std::to_string(n);
+    };
+
+    os << "  wire ";
+    bool first = true;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        if (ops_[i] == GateOp::kInput) continue;
+        if (!first) os << ", ";
+        os << net_name(static_cast<Net>(i));
+        first = false;
+    }
+    os << ";\n\n";
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+        const Net n = static_cast<Net>(i);
+        switch (ops_[i]) {
+            case GateOp::kConst0: os << "  assign " << net_name(n) << " = 1'b0;\n"; break;
+            case GateOp::kConst1: os << "  assign " << net_name(n) << " = 1'b1;\n"; break;
+            case GateOp::kInput:
+            case GateOp::kState: break;
+            case GateOp::kBuf:
+                os << "  buf  g" << i << " (" << net_name(n) << ", " << net_name(in_a_[i])
+                   << ");\n";
+                break;
+            case GateOp::kNot:
+                os << "  not  g" << i << " (" << net_name(n) << ", " << net_name(in_a_[i])
+                   << ");\n";
+                break;
+            default:
+                os << "  " << gate_op_name(ops_[i]) << (ops_[i] == GateOp::kOr ? "   g" : "  g")
+                   << i << " (" << net_name(n) << ", " << net_name(in_a_[i]) << ", "
+                   << net_name(in_b_[i]) << ");\n";
+                break;
+        }
+    }
+
+    os << "\n";
+    std::string prev_scan = "scanin";
+    for (std::size_t i = 0; i < regs_.size(); ++i) {
+        const RegInfo& r = regs_[i];
+        const std::string q = "q_" + r.name;
+        const std::string so = (i + 1 == regs_.size()) ? std::string("scanout")
+                                                       : "scan_" + std::to_string(i);
+        if (i + 1 != regs_.size()) os << "  wire " << so << ";\n";
+        os << "  SCAN_REGISTER r" << i << " (.clk(clk), .test(test), .d("
+           << (r.d == kNoNet ? std::string("1'b0") : net_name(r.d)) << "), .q(" << q
+           << "), .scan_in(" << prev_scan << "), .scan_out(" << so << "));\n";
+        prev_scan = q;
+    }
+    for (const auto& [name, net] : outputs_)
+        os << "  assign " << name << " = " << net_name(net) << ";\n";
+    os << "endmodule\n";
+    return os.str();
+}
+
+}  // namespace gaip::gates

@@ -1,0 +1,143 @@
+// Gate-level netlist substrate.
+//
+// The paper ships the core as "a gate-level Verilog model [using] simple
+// Boolean gates such as NAND, NOR, AND, OR, XOR, and SCAN_REGISTER",
+// flattened from the RT-level netlist by in-house scripts + SIS. This
+// module provides that abstraction level in the C++ model: a netlist of
+// two-input Boolean gates and scan registers with
+//   * cycle simulation (single-pass topological evaluation, registers
+//     clocked together, full scan-chain shifting in test mode),
+//   * exact gate/register statistics (feeding the resource model),
+//   * structural Verilog export — the shippable gate-level netlist.
+// The leaf blocks of the GA core are synthesized onto it in blocks.hpp and
+// verified bit-exact against the RT-level implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gaip::gates {
+
+using Net = std::uint32_t;
+inline constexpr Net kNoNet = 0xFFFFFFFFu;
+
+enum class GateOp : std::uint8_t {
+    kConst0 = 0,
+    kConst1,
+    kInput,  // primary input
+    kState,  // register Q output
+    kBuf,
+    kNot,
+    kAnd,
+    kOr,
+    kXor,
+    kNand,
+    kNor,
+};
+
+const char* gate_op_name(GateOp op);
+
+struct GateStats {
+    std::array<std::uint32_t, 11> per_op{};  // indexed by GateOp
+    std::uint32_t registers = 0;
+    std::uint32_t inputs = 0;
+    std::uint32_t logic_gates = 0;  // excludes const/input/state pseudo-gates
+};
+
+/// A combinational+sequential gate netlist with single-pass evaluation.
+/// Construction discipline: a gate may only read nets that already exist,
+/// so build order is a topological order by construction. Register Q nets
+/// are state (created before their D cones), which is what breaks cycles.
+class GateNetlist {
+public:
+    /// Declare a primary input (value set per cycle with set_input).
+    Net input(std::string name);
+
+    Net constant(bool v);
+
+    /// Two-input gate (kNot/kBuf take only `a`). Returns the output net.
+    Net gate(GateOp op, Net a, Net b = kNoNet);
+
+    // Convenience wrappers.
+    Net g_not(Net a) { return gate(GateOp::kNot, a); }
+    Net g_and(Net a, Net b) { return gate(GateOp::kAnd, a, b); }
+    Net g_or(Net a, Net b) { return gate(GateOp::kOr, a, b); }
+    Net g_xor(Net a, Net b) { return gate(GateOp::kXor, a, b); }
+    Net g_nand(Net a, Net b) { return gate(GateOp::kNand, a, b); }
+    Net g_nor(Net a, Net b) { return gate(GateOp::kNor, a, b); }
+    Net g_mux(Net sel, Net when1, Net when0) {
+        return g_or(g_and(sel, when1), g_and(g_not(sel), when0));
+    }
+
+    /// Declare a scan register; returns its Q net. Connect D later (the Q
+    /// may feed logic that computes its own D).
+    Net reg(std::string name);
+    void connect_reg(Net q, Net d);
+
+    /// Mark a net as a named primary output (export/report only).
+    void output(std::string name, Net n);
+
+    // --- simulation ---
+    void set_input(Net input_net, bool v);
+    /// Combinational propagation from current inputs + register state.
+    void eval();
+    bool value(Net n) const;
+    std::uint64_t word_value(const std::vector<Net>& nets) const;  // LSB first
+    /// Clock edge: normal mode latches D into every register; test mode
+    /// shifts the scan chain by one (scan_in enters the first-declared
+    /// register). Returns the scan-out bit (last register's pre-shift Q).
+    bool clock(bool test_mode = false, bool scan_in = false);
+    /// Backdoor state access for tests.
+    void set_register(Net q, bool v);
+    /// Current scan-chain tail bit (last-declared register's Q).
+    bool scan_tail() const noexcept {
+        return regs_.empty() ? false : values_[regs_.back().q] != 0;
+    }
+
+    // --- statistics / export / analysis ---
+    GateStats stats() const;
+    std::size_t net_count() const noexcept { return ops_.size(); }
+    std::string to_verilog(const std::string& module_name) const;
+
+    // Structural accessors for analyses (technology mapping, STA).
+    GateOp op_of(Net n) const { return ops_.at(n); }
+    Net fanin_a(Net n) const { return in_a_.at(n); }
+    Net fanin_b(Net n) const { return in_b_.at(n); }
+    const std::string& name_of(Net n) const { return names_.at(n); }
+    /// D nets of all registers, in declaration order (kNoNet if dangling).
+    std::vector<Net> register_d_nets() const {
+        std::vector<Net> d;
+        d.reserve(regs_.size());
+        for (const RegInfo& r : regs_) d.push_back(r.d);
+        return d;
+    }
+    std::vector<Net> register_q_nets() const {
+        std::vector<Net> q;
+        q.reserve(regs_.size());
+        for (const RegInfo& r : regs_) q.push_back(r.q);
+        return q;
+    }
+    const std::vector<std::pair<std::string, Net>>& named_outputs() const { return outputs_; }
+
+private:
+    struct RegInfo {
+        Net q = kNoNet;
+        Net d = kNoNet;
+        std::string name;
+    };
+
+    std::vector<GateOp> ops_;    // per net
+    std::vector<Net> in_a_;
+    std::vector<Net> in_b_;
+    std::vector<std::uint8_t> values_;
+    std::vector<std::string> names_;  // inputs/regs/outputs keep names
+    std::vector<RegInfo> regs_;
+    std::vector<std::uint32_t> reg_index_of_net_;  // kNoNet-sized sentinel
+    std::vector<std::pair<std::string, Net>> outputs_;
+
+    Net new_net(GateOp op, Net a, Net b, std::string name);
+};
+
+}  // namespace gaip::gates

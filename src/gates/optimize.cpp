@@ -1,0 +1,218 @@
+#include "gates/optimize.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "prng/ca_prng.hpp"
+
+namespace gaip::gates {
+
+namespace {
+
+/// Liveness over the input netlist: combinational nets reachable backward
+/// from named outputs and register D pins. Registers (state nets), inputs,
+/// and constants are always live.
+std::vector<bool> compute_live(const GateNetlist& in) {
+    const std::size_t n = in.net_count();
+    std::vector<bool> live(n, false);
+    std::vector<Net> stack;
+    auto mark = [&](Net net) {
+        if (net != kNoNet && !live[net]) {
+            live[net] = true;
+            stack.push_back(net);
+        }
+    };
+    for (const auto& [name, net] : in.named_outputs()) mark(net);
+    for (const Net d : in.register_d_nets()) mark(d);
+    for (const Net q : in.register_q_nets()) live[q] = true;
+    while (!stack.empty()) {
+        const Net net = stack.back();
+        stack.pop_back();
+        const GateOp op = in.op_of(net);
+        if (op == GateOp::kInput || op == GateOp::kState || op == GateOp::kConst0 ||
+            op == GateOp::kConst1)
+            continue;
+        mark(in.fanin_a(net));
+        if (in.fanin_b(net) != kNoNet) mark(in.fanin_b(net));
+    }
+    // Inputs/constants stay whether referenced or not (ports must survive).
+    for (std::size_t i = 0; i < n; ++i) {
+        const GateOp op = in.op_of(static_cast<Net>(i));
+        if (op == GateOp::kInput) live[i] = true;
+    }
+    return live;
+}
+
+}  // namespace
+
+OptimizeResult optimize(const GateNetlist& in) {
+    OptimizeResult r;
+    r.gates_before = in.stats().logic_gates;
+    const std::size_t n = in.net_count();
+    r.net_map.assign(n, kNoNet);
+
+    const std::vector<bool> live = compute_live(in);
+
+    GateNetlist& out = r.netlist;
+    const Net out_c0 = out.constant(false);
+    const Net out_c1 = out.constant(true);
+    // Constness of NEW nets (for folding chains through mapped constants).
+    std::map<Net, bool> const_value = {{out_c0, false}, {out_c1, true}};
+    auto konst = [&](Net net, bool& v) {
+        const auto it = const_value.find(net);
+        if (it == const_value.end()) return false;
+        v = it->second;
+        return true;
+    };
+
+    std::map<std::tuple<GateOp, Net, Net>, Net> cse;
+    auto build_gate = [&](GateOp op, Net a, Net b) -> Net {
+        bool va = false, vb = false;
+        const bool ka = konst(a, va);
+        const bool kb = b != kNoNet && konst(b, vb);
+
+        // Constant folding.
+        switch (op) {
+            case GateOp::kBuf:
+                ++r.folded_constants;
+                return a;
+            case GateOp::kNot:
+                if (ka) {
+                    ++r.folded_constants;
+                    return va ? out_c0 : out_c1;
+                }
+                break;
+            case GateOp::kAnd:
+                if ((ka && !va) || (kb && !vb)) { ++r.folded_constants; return out_c0; }
+                if (ka && va) { ++r.folded_constants; return b; }
+                if (kb && vb) { ++r.folded_constants; return a; }
+                if (a == b) { ++r.folded_constants; return a; }
+                break;
+            case GateOp::kOr:
+                if ((ka && va) || (kb && vb)) { ++r.folded_constants; return out_c1; }
+                if (ka && !va) { ++r.folded_constants; return b; }
+                if (kb && !vb) { ++r.folded_constants; return a; }
+                if (a == b) { ++r.folded_constants; return a; }
+                break;
+            case GateOp::kXor:
+                if (ka && kb) { ++r.folded_constants; return (va ^ vb) ? out_c1 : out_c0; }
+                if (ka && !va) { ++r.folded_constants; return b; }
+                if (kb && !vb) { ++r.folded_constants; return a; }
+                if (a == b) { ++r.folded_constants; return out_c0; }
+                break;
+            case GateOp::kNand:
+                if ((ka && !va) || (kb && !vb)) { ++r.folded_constants; return out_c1; }
+                break;
+            case GateOp::kNor:
+                if ((ka && va) || (kb && vb)) { ++r.folded_constants; return out_c0; }
+                break;
+            default:
+                break;
+        }
+        // CSE with commutative canonicalization.
+        Net ca = a, cb = b;
+        if (op != GateOp::kNot && op != GateOp::kBuf && cb != kNoNet && cb < ca)
+            std::swap(ca, cb);
+        const auto key = std::make_tuple(op, ca, cb);
+        const auto it = cse.find(key);
+        if (it != cse.end()) {
+            ++r.shared_subexpressions;
+            return it->second;
+        }
+        const Net made = out.gate(op, ca, cb);
+        cse.emplace(key, made);
+        return made;
+    };
+
+    // Rebuild in original order (a topological order of the input).
+    for (std::size_t i = 0; i < n; ++i) {
+        const Net net = static_cast<Net>(i);
+        const GateOp op = in.op_of(net);
+        switch (op) {
+            case GateOp::kInput:
+                r.net_map[i] = out.input(in.name_of(net));
+                break;
+            case GateOp::kState:
+                r.net_map[i] = out.reg(in.name_of(net));
+                break;
+            case GateOp::kConst0:
+                r.net_map[i] = out_c0;
+                break;
+            case GateOp::kConst1:
+                r.net_map[i] = out_c1;
+                break;
+            default: {
+                if (!live[i]) {
+                    ++r.swept_dead;
+                    break;  // net_map stays kNoNet
+                }
+                const Net a = r.net_map[in.fanin_a(net)];
+                const Net b =
+                    in.fanin_b(net) == kNoNet ? kNoNet : r.net_map[in.fanin_b(net)];
+                if (a == kNoNet || (in.fanin_b(net) != kNoNet && b == kNoNet))
+                    throw std::logic_error("optimize: live gate fed by dead net");
+                r.net_map[i] = build_gate(op, a, b);
+                break;
+            }
+        }
+    }
+
+    // Reconnect registers and outputs through the map.
+    const auto old_q = in.register_q_nets();
+    const auto old_d = in.register_d_nets();
+    for (std::size_t i = 0; i < old_q.size(); ++i) {
+        if (old_d[i] == kNoNet) continue;
+        out.connect_reg(r.net_map[old_q[i]], r.net_map[old_d[i]]);
+    }
+    for (const auto& [name, net] : in.named_outputs()) out.output(name, r.net_map[net]);
+
+    r.gates_after = out.stats().logic_gates;
+    return r;
+}
+
+bool random_equivalence_check(GateNetlist& a, GateNetlist& b, unsigned cycles,
+                              std::uint16_t seed) {
+    // Enumerate primary inputs of `a` and locate them in `b` by order.
+    std::vector<Net> ins_a, ins_b;
+    for (std::size_t i = 0; i < a.net_count(); ++i)
+        if (a.op_of(static_cast<Net>(i)) == GateOp::kInput) ins_a.push_back(static_cast<Net>(i));
+    for (std::size_t i = 0; i < b.net_count(); ++i)
+        if (b.op_of(static_cast<Net>(i)) == GateOp::kInput) ins_b.push_back(static_cast<Net>(i));
+    if (ins_a.size() != ins_b.size()) return false;
+    if (a.named_outputs().size() != b.named_outputs().size()) return false;
+    const auto qa = a.register_q_nets();
+    const auto qb = b.register_q_nets();
+    if (qa.size() != qb.size()) return false;
+
+    prng::CaPrng rng(seed);
+    for (unsigned c = 0; c < cycles; ++c) {
+        std::uint16_t word = rng.next16();
+        unsigned bits = 0;
+        for (std::size_t i = 0; i < ins_a.size(); ++i) {
+            if (bits == 16) {
+                word = rng.next16();
+                bits = 0;
+            }
+            const bool v = (word >> bits) & 1u;
+            ++bits;
+            a.set_input(ins_a[i], v);
+            b.set_input(ins_b[i], v);
+        }
+        a.eval();
+        b.eval();
+        for (std::size_t i = 0; i < a.named_outputs().size(); ++i) {
+            if (a.value(a.named_outputs()[i].second) != b.value(b.named_outputs()[i].second))
+                return false;
+        }
+        a.clock();
+        b.clock();
+        a.eval();
+        b.eval();
+        for (std::size_t i = 0; i < qa.size(); ++i)
+            if (a.value(qa[i]) != b.value(qb[i])) return false;
+    }
+    return true;
+}
+
+}  // namespace gaip::gates

@@ -1,0 +1,42 @@
+// Logic optimization over gate netlists — the Berkeley-SIS step of the
+// paper's Fig. 1 flow ("Logic synthesis (SIS)") in miniature:
+//   * constant propagation  (AND(x,0)=0, XOR(x,0)=x, NOT(1)=0, …),
+//   * common-subexpression elimination (structural hashing; commutative
+//     operand canonicalization),
+//   * dead-gate sweep (combinational nets feeding neither a named output
+//     nor any register D are dropped; registers themselves are always kept
+//     — the scan chain makes every flip-flop externally observable).
+// The pass rebuilds a fresh netlist and returns an old→new net map, so
+// callers can re-locate their ports. Functional safety is established by
+// random-simulation equivalence checking (same inputs, same clocks →
+// identical named outputs and register states), used by the tests and the
+// bench.
+#pragma once
+
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace gaip::gates {
+
+struct OptimizeResult {
+    GateNetlist netlist;
+    /// old net id -> new net id (kNoNet for swept-away nets).
+    std::vector<Net> net_map;
+    std::uint32_t gates_before = 0;
+    std::uint32_t gates_after = 0;
+    std::uint32_t folded_constants = 0;
+    std::uint32_t shared_subexpressions = 0;
+    std::uint32_t swept_dead = 0;
+};
+
+OptimizeResult optimize(const GateNetlist& in);
+
+/// Random-simulation equivalence: drive both netlists with identical random
+/// primary-input vectors for `cycles` clocked steps and compare every named
+/// output and every register after each step. Requires identical
+/// input/register/output declaration orders (which optimize() preserves).
+bool random_equivalence_check(GateNetlist& a, GateNetlist& b, unsigned cycles,
+                              std::uint16_t seed = 1);
+
+}  // namespace gaip::gates

@@ -1,0 +1,138 @@
+#include "gates/rng_gates.hpp"
+
+#include "prng/ca_prng.hpp"
+
+namespace gaip::gates {
+
+std::unique_ptr<RngNetlist> build_rng_netlist(std::uint16_t rule150_mask) {
+    auto out = std::make_unique<RngNetlist>();
+    GateNetlist& nl = out->nl;
+
+    // Registers first (their Q nets feed the combinational cones).
+    const Word seed = word_reg(nl, "seed", 16);
+    const Word state = word_reg(nl, "ca", 16);
+    const Word sd = word_reg(nl, "start_d", 1);
+
+    out->reset = nl.input("reset");
+    out->ga_load = nl.input("ga_load");
+    out->index = word_input(nl, "idx", 3);
+    out->value = word_input(nl, "val", 16);
+    out->data_valid = nl.input("data_valid");
+    out->preset = word_input(nl, "preset", 2);
+    out->start = nl.input("start");
+    out->rn_next = nl.input("rn_next");
+
+    const Net c0 = nl.constant(false);
+
+    // Seed capture: ga_load & data_valid & index == 5; a zero value remaps
+    // to 1 (the CA fixed point guard).
+    const Word idxdec = decoder(nl, out->index);
+    const Net wr_seed = nl.g_and(out->ga_load, nl.g_and(out->data_valid, idxdec[5]));
+    const Net value_zero = nl.g_not(reduce_or(nl, out->value));
+    Word seed_in = out->value;
+    seed_in[0] = nl.g_or(seed_in[0], value_zero);  // 0 -> 1
+
+    // Start edge detection.
+    const Net start_rising = nl.g_and(out->start, nl.g_not(sd[0]));
+
+    // Effective seed: user seed in preset mode 00, built-ins otherwise.
+    const Word pdec = decoder(nl, out->preset);
+    Word eff_seed;
+    eff_seed.reserve(16);
+    const Word p1 = word_const(nl, prng::kPresetSeeds[0], 16);
+    const Word p2 = word_const(nl, prng::kPresetSeeds[1], 16);
+    const Word p3 = word_const(nl, prng::kPresetSeeds[2], 16);
+    for (unsigned i = 0; i < 16; ++i) {
+        Net v = nl.g_and(pdec[0], seed[i]);
+        v = nl.g_or(v, nl.g_and(pdec[1], p1[i]));
+        v = nl.g_or(v, nl.g_and(pdec[2], p2[i]));
+        v = nl.g_or(v, nl.g_and(pdec[3], p3[i]));
+        eff_seed.push_back(v);
+    }
+
+    // CA step (rule 90/150 hybrid, null boundary).
+    Word next;
+    next.reserve(16);
+    for (unsigned i = 0; i < 16; ++i) {
+        const Net left = (i + 1 < 16) ? state[i + 1] : c0;
+        const Net right = (i > 0) ? state[i - 1] : c0;
+        Net n = nl.g_xor(left, right);
+        if ((rule150_mask >> i) & 1u) n = nl.g_xor(n, state[i]);
+        next.push_back(n);
+    }
+
+    // Register D logic, mirroring prng::RngModule::tick's priority:
+    // seed write > start reload > rn_next step > hold; sync reset to 1.
+    for (unsigned i = 0; i < 16; ++i) {
+        // seed register: load on seed write, else hold.
+        Net d_seed = nl.g_mux(wr_seed, seed_in[i], seed[i]);
+        d_seed = nl.g_mux(out->reset, nl.constant(i == 0), d_seed);  // reset value 1
+        nl.connect_reg(seed[i], d_seed);
+
+        // CA state: priority wr_seed (hold), start reload, rn_next step.
+        Net d_state = state[i];
+        d_state = nl.g_mux(out->rn_next, next[i], d_state);
+        d_state = nl.g_mux(start_rising, eff_seed[i], d_state);
+        d_state = nl.g_mux(wr_seed, state[i], d_state);  // seed write wins: hold
+        d_state = nl.g_mux(out->reset, nl.constant(i == 0), d_state);  // reset 1
+        nl.connect_reg(state[i], d_state);
+    }
+    {
+        Net d_sd = out->start;
+        d_sd = nl.g_mux(out->reset, c0, d_sd);
+        nl.connect_reg(sd[0], d_sd);
+    }
+
+    out->rn = state;
+    out->seed_reg = seed;
+    return out;
+}
+
+GateLevelRngModule::GateLevelRngModule(prng::RngModulePorts ports)
+    : Module("rng_module_gates"), p_(ports), g_(build_rng_netlist()) {}
+
+void GateLevelRngModule::push_inputs() {
+    GateNetlist& nl = g_->nl;
+    nl.set_input(g_->reset, false);
+    nl.set_input(g_->ga_load, p_.ga_load.read());
+    nl.set_input(g_->data_valid, p_.data_valid.read());
+    nl.set_input(g_->start, p_.start.read());
+    nl.set_input(g_->rn_next, p_.rn_next.read());
+    auto push_word = [&](const Word& w, std::uint64_t v) {
+        for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+    };
+    push_word(g_->index, p_.index.read());
+    push_word(g_->value, p_.value.read());
+    push_word(g_->preset, p_.preset.read());
+}
+
+void GateLevelRngModule::eval() {
+    push_inputs();
+    g_->nl.eval();
+    p_.rn.drive(static_cast<std::uint16_t>(g_->nl.word_value(g_->rn)));
+}
+
+void GateLevelRngModule::tick() {
+    push_inputs();
+    g_->nl.eval();
+    g_->nl.clock();
+}
+
+void GateLevelRngModule::reset_state() {
+    push_inputs();
+    g_->nl.set_input(g_->reset, true);
+    g_->nl.eval();
+    g_->nl.clock();
+    g_->nl.set_input(g_->reset, false);
+    g_->nl.eval();
+}
+
+std::uint16_t GateLevelRngModule::current_state() const {
+    return static_cast<std::uint16_t>(g_->nl.word_value(g_->rn));
+}
+
+std::uint16_t GateLevelRngModule::seed_register() const {
+    return static_cast<std::uint16_t>(g_->nl.word_value(g_->seed_reg));
+}
+
+}  // namespace gaip::gates

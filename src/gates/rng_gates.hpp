@@ -1,0 +1,58 @@
+// Gate-level RNG module: the CA PRNG plus its bus-facing wrapper (seed
+// capture from init-bus index 5, the three preset seeds, start-edge seed
+// load, rn_next stepping) — the complete RNG module of Fig. 4 at gate
+// level. Together with GateLevelGaCore this makes the whole GA module
+// (core + RNG) runnable as gates.
+#pragma once
+
+#include <memory>
+
+#include "gates/builder.hpp"
+#include "prng/rng_module.hpp"
+
+namespace gaip::gates {
+
+struct RngNetlist {
+    GateNetlist nl;
+
+    // inputs
+    Net reset = kNoNet;
+    Net ga_load = kNoNet;
+    Word index;   // 3
+    Word value;   // 16
+    Net data_valid = kNoNet;
+    Word preset;  // 2
+    Net start = kNoNet;
+    Net rn_next = kNoNet;
+
+    // outputs
+    Word rn;  // 16 (the CA state register)
+
+    // visibility
+    Word seed_reg;  // 16
+};
+
+std::unique_ptr<RngNetlist> build_rng_netlist(
+    std::uint16_t rule150_mask = prng::kRule150Mask);
+
+/// rtl::Module adapter with the same port bundle as prng::RngModule.
+class GateLevelRngModule final : public rtl::Module {
+public:
+    explicit GateLevelRngModule(prng::RngModulePorts ports);
+
+    void eval() override;
+    void tick() override;
+    void reset_state() override;
+
+    std::uint16_t current_state() const;
+    std::uint16_t seed_register() const;
+    GateStats gate_stats() const { return g_->nl.stats(); }
+
+private:
+    void push_inputs();
+
+    prng::RngModulePorts p_;
+    std::unique_ptr<RngNetlist> g_;
+};
+
+}  // namespace gaip::gates

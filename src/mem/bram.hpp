@@ -1,0 +1,69 @@
+// Single-port synchronous block-RAM model.
+//
+// Mirrors the Xilinx Virtex-II Pro BRAM primitive the paper maps the GA
+// memory onto: one port, synchronous read with one cycle of latency,
+// write-first behaviour (a write also updates the read register). Memory
+// contents are plain storage, not flip-flops — exactly as on the FPGA, the
+// array is not part of the scan chain and is counted as BRAM bits (not
+// slices) by the resource model.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace gaip::mem {
+
+template <typename TData, typename TAddr>
+struct SpRamPorts {
+    rtl::Wire<TAddr>& addr;
+    rtl::Wire<TData>& data_in;
+    rtl::Wire<bool>& write;
+    rtl::Wire<TData>& data_out;
+};
+
+template <typename TData, typename TAddr>
+class SpBlockRam : public rtl::Module {
+public:
+    SpBlockRam(std::string name, SpRamPorts<TData, TAddr> ports, std::size_t depth,
+               unsigned data_bits = 8 * sizeof(TData))
+        : Module(std::move(name)), p_(ports), mem_(depth, TData{}), data_bits_(data_bits) {
+        attach(dout_reg_);
+    }
+
+    void eval() override { p_.data_out.drive(dout_reg_.read()); }
+
+    void tick() override {
+        const std::size_t a = static_cast<std::size_t>(p_.addr.read());
+        if (a >= mem_.size()) throw std::out_of_range(name() + ": address out of range");
+        if (p_.write.read()) {
+            mem_[a] = p_.data_in.read();
+            dout_reg_.load(p_.data_in.read());  // write-first
+        } else {
+            dout_reg_.load(mem_[a]);
+        }
+    }
+
+    void reset_state() override { std::fill(mem_.begin(), mem_.end(), TData{}); }
+
+    /// Backdoor access for testbenches and monitors (like simulator memory
+    /// peeking; not reachable from the modeled hardware).
+    TData peek(std::size_t a) const { return mem_.at(a); }
+    void poke(std::size_t a, TData v) { mem_.at(a) = v; }
+
+    std::size_t depth() const noexcept { return mem_.size(); }
+    unsigned data_bits() const noexcept { return data_bits_; }
+    std::uint64_t storage_bits() const noexcept {
+        return static_cast<std::uint64_t>(mem_.size()) * data_bits_;
+    }
+
+private:
+    SpRamPorts<TData, TAddr> p_;
+    std::vector<TData> mem_;
+    unsigned data_bits_;
+    rtl::Reg<TData> dout_reg_{"bram_dout", TData{}};
+};
+
+}  // namespace gaip::mem

@@ -1,0 +1,51 @@
+// The GA memory module: a 256 x 32-bit single-port RAM holding both
+// populations. Each word packs {fitness[31:16], candidate[15:0]}; the
+// address MSB selects the bank (current vs. next population), and the banks
+// swap roles every generation (the currPop <-> newPop exchange of Fig. 2).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/bram.hpp"
+
+namespace gaip::mem {
+
+inline constexpr std::size_t kGaMemoryDepth = 256;
+inline constexpr std::size_t kGaBankSize = 128;
+inline constexpr unsigned kGaMemoryDataBits = 32;
+
+/// Pack a candidate and its fitness into one GA-memory word.
+constexpr std::uint32_t pack_member(std::uint16_t candidate, std::uint16_t fitness) noexcept {
+    return (static_cast<std::uint32_t>(fitness) << 16) | candidate;
+}
+
+constexpr std::uint16_t member_candidate(std::uint32_t word) noexcept {
+    return static_cast<std::uint16_t>(word & 0xFFFFu);
+}
+
+constexpr std::uint16_t member_fitness(std::uint32_t word) noexcept {
+    return static_cast<std::uint16_t>(word >> 16);
+}
+
+/// Address of slot `idx` in bank `bank` (bank bit = address MSB).
+constexpr std::uint8_t bank_address(bool bank, std::uint8_t idx) noexcept {
+    return static_cast<std::uint8_t>((bank ? 0x80u : 0x00u) | (idx & 0x7Fu));
+}
+
+using GaMemoryPorts = SpRamPorts<std::uint32_t, std::uint8_t>;
+
+class GaMemory final : public SpBlockRam<std::uint32_t, std::uint8_t> {
+public:
+    explicit GaMemory(GaMemoryPorts ports)
+        : SpBlockRam("ga_memory", ports, kGaMemoryDepth, kGaMemoryDataBits) {}
+
+    /// Testbench/monitor helpers (backdoor, not modeled hardware).
+    std::uint16_t candidate_at(bool bank, std::uint8_t idx) const {
+        return member_candidate(peek(bank_address(bank, idx)));
+    }
+    std::uint16_t fitness_at(bool bank, std::uint8_t idx) const {
+        return member_fitness(peek(bank_address(bank, idx)));
+    }
+};
+
+}  // namespace gaip::mem

@@ -1,0 +1,61 @@
+// Block-ROM model: read-only storage with synchronous, one-cycle-latency
+// reads. The paper populates block ROMs with precomputed fitness values
+// ("lookup-based fitness computation", Sec. IV-B); RomModule is the clocked
+// wrapper the fitness evaluation modules instantiate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace gaip::mem {
+
+/// Immutable ROM contents, shareable between modules (e.g. the software GA
+/// baseline and the hardware FEM read the very same table).
+class BlockRom {
+public:
+    explicit BlockRom(std::vector<std::uint16_t> words) : words_(std::move(words)) {}
+
+    std::uint16_t read(std::size_t a) const { return words_.at(a); }
+    std::size_t depth() const noexcept { return words_.size(); }
+    std::uint64_t storage_bits() const noexcept { return words_.size() * 16ull; }
+
+    const std::vector<std::uint16_t>& words() const noexcept { return words_; }
+
+private:
+    std::vector<std::uint16_t> words_;
+};
+
+struct RomPorts {
+    rtl::Wire<std::uint16_t>& addr;
+    rtl::Wire<std::uint16_t>& data_out;
+};
+
+class RomModule final : public rtl::Module {
+public:
+    RomModule(std::string name, RomPorts ports, std::shared_ptr<const BlockRom> rom)
+        : Module(std::move(name)), p_(ports), rom_(std::move(rom)) {
+        if (!rom_) throw std::invalid_argument("RomModule: null rom");
+        attach(dout_reg_);
+    }
+
+    void eval() override { p_.data_out.drive(dout_reg_.read()); }
+
+    void tick() override {
+        const std::size_t a = p_.addr.read() % rom_->depth();
+        dout_reg_.load(rom_->read(a));
+    }
+
+    const BlockRom& rom() const noexcept { return *rom_; }
+
+private:
+    RomPorts p_;
+    std::shared_ptr<const BlockRom> rom_;
+    rtl::Reg<std::uint16_t> dout_reg_{"rom_dout", 0};
+};
+
+}  // namespace gaip::mem

@@ -1,0 +1,65 @@
+// 16-cell hybrid rule-90/150 cellular-automaton PRNG.
+//
+// This is the generator the GA core uses, following Scott et al. [5] (the
+// construction is due to Hortensius et al.): a one-dimensional, null-
+// boundary CA where each cell applies either rule 90 (next = left XOR right)
+// or rule 150 (next = left XOR self XOR right). For a suitable rule
+// assignment the transition matrix over GF(2) has a primitive characteristic
+// polynomial, so the state sequence visits all 2^16 - 1 nonzero states
+// before repeating — the maximal period attainable by a linear generator of
+// this width.
+//
+// The rule vector used here (kRule150Mask) was found by exhaustive search
+// over all 2^16 hybrid assignments and is verified to be maximal-period by a
+// unit test. The all-zero state is the lone fixed point; seed 0 is remapped
+// by the RNG module (see rng_module.hpp).
+#pragma once
+
+#include <cstdint>
+
+namespace gaip::prng {
+
+/// Bit i set => cell i runs rule 150; clear => rule 90.
+inline constexpr std::uint16_t kRule150Mask = 0x003C;
+
+/// One CA step for an arbitrary 16-bit rule assignment (null boundary:
+/// cells beyond the edges read as 0).
+constexpr std::uint16_t ca_step(std::uint16_t state, std::uint16_t rule150_mask) noexcept {
+    const std::uint16_t left = static_cast<std::uint16_t>(state >> 1);
+    const std::uint16_t right = static_cast<std::uint16_t>(state << 1);
+    return static_cast<std::uint16_t>(left ^ right ^ (state & rule150_mask));
+}
+
+/// The CA PRNG proper. next16() advances the automaton one step and returns
+/// the new state — this mirrors the hardware, where the CA register is the
+/// RNG output register.
+class CaPrng {
+public:
+    explicit CaPrng(std::uint16_t seed = 1, std::uint16_t rule150_mask = kRule150Mask) noexcept
+        : state_(seed == 0 ? 1 : seed), rule_(rule150_mask) {}
+
+    void seed(std::uint16_t s) noexcept { state_ = (s == 0) ? 1 : s; }
+
+    std::uint16_t state() const noexcept { return state_; }
+
+    std::uint16_t next16() noexcept {
+        state_ = ca_step(state_, rule_);
+        return state_;
+    }
+
+    /// Low nibble of a fresh state — the 4-bit random the core compares
+    /// against the crossover / mutation thresholds.
+    std::uint8_t next4() noexcept { return static_cast<std::uint8_t>(next16() & 0xF); }
+
+    // UniformRandomBitGenerator interface so standard facilities accept it.
+    using result_type = std::uint16_t;
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return 0xFFFF; }
+    result_type operator()() noexcept { return next16(); }
+
+private:
+    std::uint16_t state_;
+    std::uint16_t rule_;
+};
+
+}  // namespace gaip::prng

@@ -1,0 +1,92 @@
+// Comparator PRNGs for the RNG-quality ablation (Sec. II-C of the paper
+// discusses how RNG quality and seed choice affect GA performance; the
+// bench_ablation_rng binary swaps these generators into the GA).
+#pragma once
+
+#include <cstdint>
+
+namespace gaip::prng {
+
+/// 16-bit Fibonacci LFSR with taps 16,15,13,4 (primitive polynomial
+/// x^16 + x^15 + x^13 + x^4 + 1), period 2^16 - 1. This is the classic
+/// "LSHR" generator used by Tommiska & Vuori [6].
+class Lfsr16 {
+public:
+    explicit Lfsr16(std::uint16_t seed = 1) noexcept : state_(seed == 0 ? 1 : seed) {}
+
+    void seed(std::uint16_t s) noexcept { state_ = (s == 0) ? 1 : s; }
+    std::uint16_t state() const noexcept { return state_; }
+
+    std::uint16_t next16() noexcept {
+        // One full 16-bit refresh = 16 single-bit shifts, as a hardware LFSR
+        // clocked 16x per use would produce.
+        for (int i = 0; i < 16; ++i) {
+            const std::uint16_t bit = static_cast<std::uint16_t>(
+                ((state_ >> 15) ^ (state_ >> 14) ^ (state_ >> 12) ^ (state_ >> 3)) & 1u);
+            state_ = static_cast<std::uint16_t>((state_ << 1) | bit);
+        }
+        if (state_ == 0) state_ = 1;
+        return state_;
+    }
+
+    using result_type = std::uint16_t;
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return 0xFFFF; }
+    result_type operator()() noexcept { return next16(); }
+
+private:
+    std::uint16_t state_;
+};
+
+/// Deliberately poor generator: a 16-bit LCG with the low bits' short cycles
+/// exposed (returns the raw state). Serves as the "bad PRNG" pole of the
+/// quality ablation, in the spirit of Meysenburg & Foster's comparisons.
+class WeakLcg16 {
+public:
+    explicit WeakLcg16(std::uint16_t seed = 1) noexcept : state_(seed) {}
+
+    void seed(std::uint16_t s) noexcept { state_ = s; }
+    std::uint16_t state() const noexcept { return state_; }
+
+    std::uint16_t next16() noexcept {
+        state_ = static_cast<std::uint16_t>(state_ * 25173u + 13849u);
+        return state_;
+    }
+
+    using result_type = std::uint16_t;
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return 0xFFFF; }
+    result_type operator()() noexcept { return next16(); }
+
+private:
+    std::uint16_t state_;
+};
+
+/// xorshift-based 16-bit generator (good statistical quality for its size);
+/// the "software-grade" pole of the quality ablation.
+class XorShift16 {
+public:
+    explicit XorShift16(std::uint16_t seed = 1) noexcept : state_(seed == 0 ? 1 : seed) {}
+
+    void seed(std::uint16_t s) noexcept { state_ = (s == 0) ? 1 : s; }
+    std::uint16_t state() const noexcept { return state_; }
+
+    std::uint16_t next16() noexcept {
+        std::uint16_t x = state_;
+        x ^= static_cast<std::uint16_t>(x << 7);
+        x ^= static_cast<std::uint16_t>(x >> 9);
+        x ^= static_cast<std::uint16_t>(x << 8);
+        state_ = x;
+        return state_;
+    }
+
+    using result_type = std::uint16_t;
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept { return 0xFFFF; }
+    result_type operator()() noexcept { return next16(); }
+
+private:
+    std::uint16_t state_;
+};
+
+}  // namespace gaip::prng

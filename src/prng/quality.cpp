@@ -1,0 +1,58 @@
+#include "prng/quality.hpp"
+
+#include <array>
+#include <bit>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace gaip::prng {
+
+std::uint64_t measure_period(const StepFn& step, std::uint16_t first, std::uint64_t limit) {
+    std::uint64_t n = 1;
+    while (n < limit) {
+        if (step() == first) return n;
+        ++n;
+    }
+    return limit;
+}
+
+QualityReport measure_quality(const StepFn& step, std::uint64_t samples) {
+    QualityReport r;
+
+    std::array<std::size_t, 16> nibble_buckets{};
+    std::array<std::size_t, 256> byte_buckets{};
+    std::vector<std::uint16_t> seq;
+    seq.reserve(samples);
+    std::uint64_t set_bits = 0;
+
+    const std::uint16_t first = step();
+    seq.push_back(first);
+    nibble_buckets[first & 0xF]++;
+    byte_buckets[first & 0xFF]++;
+    set_bits += static_cast<std::uint64_t>(std::popcount(first));
+    bool cycled = false;
+
+    for (std::uint64_t i = 1; i < samples; ++i) {
+        const std::uint16_t v = step();
+        if (!cycled && v == first) {
+            r.period = i;
+            cycled = true;
+        }
+        seq.push_back(v);
+        nibble_buckets[v & 0xF]++;
+        byte_buckets[v & 0xFF]++;
+        set_bits += static_cast<std::uint64_t>(std::popcount(v));
+    }
+    if (!cycled) r.period = samples;
+
+    r.chi_square_nibbles = util::chi_square_uniform(
+        std::span<const std::size_t>(nibble_buckets.data(), nibble_buckets.size()), samples);
+    r.chi_square_bytes = util::chi_square_uniform(
+        std::span<const std::size_t>(byte_buckets.data(), byte_buckets.size()), samples);
+    r.serial_correlation = util::serial_correlation(std::span<const std::uint16_t>(seq));
+    r.bit_balance = static_cast<double>(set_bits) / (16.0 * static_cast<double>(samples));
+    return r;
+}
+
+}  // namespace gaip::prng

@@ -1,0 +1,31 @@
+// Statistical quality metrics for 16-bit generators, used by the PRNG unit
+// tests and the RNG-quality ablation bench (Sec. II-C of the paper reviews
+// how RNG quality and seeding interact with GA performance).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace gaip::prng {
+
+/// Type-erased step function: returns the next 16-bit output.
+using StepFn = std::function<std::uint16_t()>;
+
+struct QualityReport {
+    std::uint64_t period = 0;          ///< cycle length from the given start state
+    double chi_square_nibbles = 0.0;   ///< low-nibble uniformity (15 dof)
+    double chi_square_bytes = 0.0;     ///< low-byte uniformity (255 dof)
+    double serial_correlation = 0.0;   ///< lag-1 correlation of full words
+    double bit_balance = 0.0;          ///< mean fraction of set bits (ideal 0.5)
+};
+
+/// Measure the period of `step` starting from `first` (the value returned by
+/// the first call). Capped at `limit` steps; returns `limit` if no cycle was
+/// found within the cap.
+std::uint64_t measure_period(const StepFn& step, std::uint16_t first, std::uint64_t limit = 1u << 20);
+
+/// Compute all quality metrics over `samples` outputs of `step`.
+QualityReport measure_quality(const StepFn& step, std::uint64_t samples = 65535);
+
+}  // namespace gaip::prng

@@ -1,0 +1,65 @@
+#include "prng/rng_module.hpp"
+
+namespace gaip::prng {
+
+namespace {
+/// Parameter index of the RNG seed on the init bus (Table III).
+constexpr std::uint8_t kSeedIndex = 5;
+}  // namespace
+
+std::uint16_t rng_step(RngKind kind, std::uint16_t state) noexcept {
+    switch (kind) {
+        case RngKind::kCellularAutomaton: {
+            CaPrng g(state);
+            return g.next16();
+        }
+        case RngKind::kLfsr: {
+            Lfsr16 g(state);
+            return g.next16();
+        }
+        case RngKind::kWeakLcg: {
+            WeakLcg16 g(state);
+            return g.next16();
+        }
+        case RngKind::kXorShift: {
+            XorShift16 g(state);
+            return g.next16();
+        }
+    }
+    return state;
+}
+
+RngModule::RngModule(RngModulePorts ports, RngKind kind)
+    : Module("rng_module"), p_(ports), kind_(kind) {
+    attach_all(seed_reg_, state_, start_d_);
+}
+
+std::uint16_t RngModule::effective_seed(std::uint8_t preset, std::uint16_t user_seed) noexcept {
+    const std::uint8_t mode = preset & 0x3;
+    if (mode == 0) return user_seed == 0 ? kPresetSeeds[0] : user_seed;
+    return kPresetSeeds[mode - 1];
+}
+
+void RngModule::eval() {
+    p_.rn.drive(state_.read());
+}
+
+void RngModule::tick() {
+    const bool start_rising = p_.start.read() && !start_d_.read();
+    start_d_.load(p_.start.read());
+
+    if (p_.ga_load.read() && p_.data_valid.read() && (p_.index.read() & 0x7) == kSeedIndex) {
+        const std::uint16_t v = p_.value.read();
+        seed_reg_.load(v == 0 ? 1 : v);  // 0 is the CA fixed point; remap
+        return;
+    }
+    if (start_rising) {
+        state_.load(effective_seed(p_.preset.read(), seed_reg_.read()));
+        return;
+    }
+    if (p_.rn_next.read()) {
+        state_.load(rng_step(kind_, state_.read()));
+    }
+}
+
+}  // namespace gaip::prng

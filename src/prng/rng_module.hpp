@@ -1,0 +1,73 @@
+// RTL model of the RNG module (Fig. 4 of the paper: the RNG receives the
+// initialization `value` bus — signal 5 — and drives the `rn` bus — signal
+// 22 — into the GA core).
+//
+// Seed sources:
+//  * user seed: captured from the init bus when the parameter with index 5
+//    (Table III) is written during the initialization handshake;
+//  * preset seeds: three built-in constants selected by the 2-bit `preset`
+//    input (modes 01/10/11 of Table IV). Mode 00 uses the user seed.
+// The chosen seed is loaded into the CA state when `start` is asserted, and
+// the automaton advances by one step whenever the core asserts `rn_next`.
+//
+// Note on `rn_next`: the paper only says "the GA core reads the output
+// register of the RNG module when it needs a random number". We advance the
+// generator per consumption (one explicit enable from the core) instead of
+// free-running it; this makes the RTL core bit-exact with the behavioral
+// model — the same cross-verification the authors performed between their
+// behavioral and RT-level netlists — without changing any GA semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "prng/ca_prng.hpp"
+#include "prng/lfsr.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::prng {
+
+/// Seeds used by the three preset modes (chosen from the seed set the paper
+/// exercises in its hardware experiments, Tables VII-IX).
+inline constexpr std::array<std::uint16_t, 3> kPresetSeeds = {0x2961, 0x061F, 0xB342};
+
+/// Which generator the module instantiates (CA is the paper's choice; the
+/// others exist for the RNG-quality ablation bench).
+enum class RngKind : std::uint8_t { kCellularAutomaton, kLfsr, kWeakLcg, kXorShift };
+
+/// Advance `state` one step of the selected generator kind.
+std::uint16_t rng_step(RngKind kind, std::uint16_t state) noexcept;
+
+struct RngModulePorts {
+    rtl::Wire<bool>& ga_load;      // init mode active
+    rtl::Wire<std::uint8_t>& index;    // parameter index (3 bits)
+    rtl::Wire<std::uint16_t>& value;   // init value bus
+    rtl::Wire<bool>& data_valid;   // init handshake
+    rtl::Wire<std::uint8_t>& preset;   // preset mode selector (2 bits)
+    rtl::Wire<bool>& start;        // start_GA: (re)load the seed
+    rtl::Wire<bool>& rn_next;      // advance enable from the core
+    rtl::Wire<std::uint16_t>& rn;      // random number output (signal 22)
+};
+
+class RngModule final : public rtl::Module {
+public:
+    RngModule(RngModulePorts ports, RngKind kind = RngKind::kCellularAutomaton);
+
+    void eval() override;
+    void tick() override;
+
+    std::uint16_t seed_register() const noexcept { return seed_reg_.read(); }
+    std::uint16_t current_state() const noexcept { return state_.read(); }
+
+    /// Seed the selected mode would load (resolution of user vs preset).
+    static std::uint16_t effective_seed(std::uint8_t preset, std::uint16_t user_seed) noexcept;
+
+private:
+    RngModulePorts p_;
+    RngKind kind_;
+    rtl::Reg<std::uint16_t> seed_reg_{"rng_seed_reg", 1};
+    rtl::Reg<std::uint16_t> state_{"rng_state", 1};
+    rtl::Reg<bool> start_d_{"rng_start_d", false, 1};  // start edge detector
+};
+
+}  // namespace gaip::prng

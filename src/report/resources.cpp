@@ -1,0 +1,67 @@
+#include "report/resources.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "report/virtex2pro.hpp"
+
+namespace gaip::report {
+
+ResourceReport estimate_resources(const ResourceInputs& in) {
+    using Dev = Virtex2ProXc2vp30;
+    ResourceReport r;
+
+    for (const rtl::Module* m : in.logic_modules) r.ff_bits += m->flipflop_bits();
+
+    r.lut_estimate = static_cast<unsigned>(std::lround(r.ff_bits * kLutsPerFlipFlop));
+    r.mult18_blocks = 1;  // the 24x16 selection-threshold multiplier
+
+    // A slice packs 2 LUTs + 2 FFs; real packing is imperfect, add 10%.
+    const double slices_raw = std::max(r.ff_bits / 2.0, r.lut_estimate / 2.0) * 1.10;
+    r.slices = static_cast<unsigned>(std::lround(slices_raw));
+    r.slice_pct = 100.0 * r.slices / Dev::kSlices;
+
+    auto brams = [](std::uint64_t bits) {
+        return static_cast<unsigned>((bits + Dev::kBramDataBits - 1) / Dev::kBramDataBits);
+    };
+    r.ga_mem_brams = brams(in.ga_memory_bits);
+    r.ga_mem_pct = 100.0 * r.ga_mem_brams / Dev::kBramBlocks;
+    r.fitness_rom_brams = brams(in.fitness_rom_bits);
+    r.fitness_rom_pct = 100.0 * r.fitness_rom_brams / Dev::kBramBlocks;
+    return r;
+}
+
+GateCensusEstimate estimate_from_gate_census(std::uint32_t logic_gates,
+                                             std::uint32_t registers) {
+    using Dev = Virtex2ProXc2vp30;
+    GateCensusEstimate e;
+    e.logic_gates = logic_gates;
+    e.registers = registers;
+    e.lut_estimate = static_cast<unsigned>(std::lround(logic_gates / kGatesPerLut));
+    e.slices = static_cast<unsigned>(
+        std::lround(std::max(registers / 2.0, e.lut_estimate / 2.0) * 1.10));
+    e.slice_pct = 100.0 * e.slices / Dev::kSlices;
+    return e;
+}
+
+std::string format_table6(const ResourceReport& r) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(1);
+    os << "Table VI analog: post-'place-and-route' statistics (model estimate)\n";
+    os << "  Design attribute                                | Value\n";
+    os << "  ------------------------------------------------+-----------------\n";
+    os << "  Logic utilization (% slices used)               | " << r.slice_pct << "%  ("
+       << r.slices << " slices; " << r.ff_bits << " FF exact, ~" << r.lut_estimate
+       << " LUT est.)\n";
+    os << "  Clock                                           | " << r.clock_mhz << " MHz\n";
+    os << "  Block memory utilization (GA memory)            | " << r.ga_mem_pct << "%  ("
+       << r.ga_mem_brams << " BRAM)\n";
+    os << "  Block memory utilization (fitness lookup module)| " << r.fitness_rom_pct << "%  ("
+       << r.fitness_rom_brams << " BRAM)\n";
+    os << "  Dedicated multipliers                           | " << r.mult18_blocks
+       << " MULT18X18\n";
+    return os.str();
+}
+
+}  // namespace gaip::report

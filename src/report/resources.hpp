@@ -1,0 +1,74 @@
+// Resource estimation model: the substitute for the Xilinx ISE place-and-
+// route statistics of Table VI.
+//
+// What is exact and what is estimated:
+//   * flip-flop bits — EXACT: every register of the modeled design is
+//     enumerated through the module registry;
+//   * block-RAM utilization — EXACT: storage bits of the GA memory and the
+//     fitness lookup ROM divided by the device's per-block data capacity;
+//   * LUT count / slice count — ESTIMATE: a per-flip-flop LUT factor for
+//     AUDI-style FSM+datapath netlists (next-state logic, operand muxes)
+//     plus the datapath's wide operators. The factor is calibrated so the
+//     reference configuration reproduces the paper's reported 13% slice
+//     utilization; EXPERIMENTS.md reports both the raw flip-flop count and
+//     the calibrated estimate.
+//   * clock — the model runs the GA domain at a fixed 50 MHz by
+//     construction (the paper's achieved clock).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "rtl/module.hpp"
+
+namespace gaip::report {
+
+struct ResourceInputs {
+    /// Logic modules of the GA module proper (core + RNG; memory arrays are
+    /// counted as BRAM, their output registers as logic).
+    std::span<rtl::Module* const> logic_modules;
+    std::uint64_t ga_memory_bits = 0;
+    std::uint64_t fitness_rom_bits = 0;
+};
+
+struct ResourceReport {
+    unsigned ff_bits = 0;          ///< exact
+    unsigned lut_estimate = 0;     ///< heuristic
+    unsigned mult18_blocks = 0;    ///< 24x16 threshold multiplier -> 1 block
+    unsigned slices = 0;
+    double slice_pct = 0.0;
+    unsigned ga_mem_brams = 0;
+    double ga_mem_pct = 0.0;
+    unsigned fitness_rom_brams = 0;
+    double fitness_rom_pct = 0.0;
+    double clock_mhz = 50.0;
+};
+
+/// LUTs charged per flip-flop bit of AUDI-style control/datapath logic.
+/// Calibrated against the paper's 13% slice figure (see header comment).
+inline constexpr double kLutsPerFlipFlop = 6.9;
+
+/// Two-input gates per 4-input LUT after technology mapping (SIS-style
+/// networks typically map 2.5-4 gates into one LUT; 3.0 is the midpoint).
+inline constexpr double kGatesPerLut = 3.0;
+
+ResourceReport estimate_resources(const ResourceInputs& in);
+
+/// Alternative slice estimate grounded in the ACTUAL gate-level netlist of
+/// the full core (src/gates/ga_core_gates): exact two-input-gate and
+/// register counts, one mapping assumption (kGatesPerLut). Returns slices
+/// and utilization percent of the xc2vp30.
+struct GateCensusEstimate {
+    std::uint32_t logic_gates = 0;
+    std::uint32_t registers = 0;
+    unsigned lut_estimate = 0;
+    unsigned slices = 0;
+    double slice_pct = 0.0;
+};
+GateCensusEstimate estimate_from_gate_census(std::uint32_t logic_gates,
+                                             std::uint32_t registers);
+
+/// Render in the layout of Table VI.
+std::string format_table6(const ResourceReport& r);
+
+}  // namespace gaip::report

@@ -1,0 +1,20 @@
+// Device data of the paper's target: Xilinx Virtex-II Pro xc2vp30-7ff896.
+#pragma once
+
+#include <cstdint>
+
+namespace gaip::report {
+
+struct Virtex2ProXc2vp30 {
+    /// Logic slices (each: 2 x 4-input LUT + 2 flip-flops).
+    static constexpr unsigned kSlices = 13696;
+    /// 18 Kb block RAMs (16 Kb data + 2 Kb parity usable as data only for
+    /// some aspect ratios; we count the conservative 16 Kb data capacity,
+    /// which reproduces the paper's 48% figure for the 1 Mb fitness ROM).
+    static constexpr unsigned kBramBlocks = 136;
+    static constexpr std::uint64_t kBramDataBits = 16384;
+    /// Dedicated 18x18 multipliers.
+    static constexpr unsigned kMult18 = 136;
+};
+
+}  // namespace gaip::report

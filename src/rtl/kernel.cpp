@@ -1,0 +1,102 @@
+#include "rtl/kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "rtl/vcd.hpp"
+
+namespace gaip::rtl {
+
+Clock& Kernel::add_clock(std::string name, std::uint64_t freq_hz, SimTime phase_ps) {
+    Domain d;
+    d.clock = std::make_unique<Clock>(std::move(name), freq_hz, phase_ps);
+    domains_.push_back(std::move(d));
+    return *domains_.back().clock;
+}
+
+void Kernel::bind(Module& m, Clock& c) {
+    for (Domain& d : domains_) {
+        if (d.clock.get() == &c) {
+            d.modules.push_back(&m);
+            all_modules_.push_back(&m);
+            return;
+        }
+    }
+    throw std::invalid_argument("bind: clock does not belong to this kernel");
+}
+
+void Kernel::add_combinational(Module& m) {
+    combinational_.push_back(&m);
+    all_modules_.push_back(&m);
+}
+
+void Kernel::reset() {
+    for (Module* m : all_modules_) {
+        m->reset_registers();
+        m->reset_state();
+    }
+    for (Domain& d : domains_) d.clock->restart();
+    now_ = 0;
+    settle();
+}
+
+void Kernel::settle() {
+    // Upper bound: each pass must change at least one wire to continue, and
+    // a loop-free network of N modules settles within N passes.
+    const std::size_t max_passes = all_modules_.size() * 4 + 8;
+    for (std::size_t pass = 0; pass < max_passes; ++pass) {
+        const std::uint64_t before = wire_change_count();
+        for (Module* m : all_modules_) m->eval();
+        ++eval_passes_;
+        if (wire_change_count() == before) return;
+    }
+    throw std::runtime_error("Kernel::settle: combinational loop did not converge");
+}
+
+void Kernel::step() {
+    if (domains_.empty()) throw std::logic_error("Kernel::step: no clocks defined");
+
+    SimTime t = std::numeric_limits<SimTime>::max();
+    for (const Domain& d : domains_) t = std::min(t, d.clock->next_edge());
+    now_ = t;
+
+    settle();
+
+    // Tick every module whose clock rises at t, then commit exactly those
+    // modules' registers (simultaneous flip-flop semantics).
+    std::vector<Module*> ticked;
+    for (Domain& d : domains_) {
+        if (d.clock->next_edge() == t) {
+            for (Module* m : d.modules) {
+                m->tick();
+                ticked.push_back(m);
+            }
+            d.clock->advance();
+        }
+    }
+    for (Module* m : ticked) m->commit_registers();
+
+    settle();
+
+    if (vcd_ != nullptr) {
+        if (!vcd_->header_written()) vcd_->write_header();
+        vcd_->sample(now_);
+    }
+}
+
+void Kernel::run_cycles(Clock& c, std::uint64_t n) {
+    const std::uint64_t target = c.edges() + n;
+    while (c.edges() < target) step();
+}
+
+bool Kernel::run_until(Clock& c, const std::function<bool()>& pred, std::uint64_t max_edges) {
+    const std::uint64_t limit = c.edges() + max_edges;
+    while (c.edges() < limit) {
+        if (pred()) return true;
+        step();
+    }
+    return pred();
+}
+
+}  // namespace gaip::rtl

@@ -1,0 +1,85 @@
+// The cycle-level simulation kernel.
+//
+// Execution model per processed time point t:
+//   1. settle(): run eval() over all modules repeatedly until no Wire
+//      changes (bounded; throws on a combinational loop).
+//   2. tick() every module bound to a clock whose rising edge falls at t
+//      (multiple domains can coincide, e.g. 50 MHz and 200 MHz every 20 ns).
+//   3. commit the registers of exactly the ticked modules.
+//   4. settle() again so Moore outputs reflect the new state before the
+//      next domain's edge.
+//
+// This is the standard two-phase synchronous-RTL semantics: all flip-flops
+// of a domain sample their D inputs simultaneously.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rtl/clock.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::rtl {
+
+class VcdWriter;
+
+class Kernel {
+public:
+    Kernel() = default;
+
+    /// Define a clock domain. The returned reference stays valid for the
+    /// kernel's lifetime.
+    Clock& add_clock(std::string name, std::uint64_t freq_hz, SimTime phase_ps = 0);
+
+    /// Bind a module to a clock domain (tick on its rising edges). A module
+    /// may be bound to at most one clock.
+    void bind(Module& m, Clock& c);
+
+    /// Register a purely combinational module (eval only, never ticked).
+    void add_combinational(Module& m);
+
+    /// Hard-reset: resets every module's registers and state, rewinds all
+    /// clocks and time to zero, then settles combinational logic.
+    void reset();
+
+    /// Advance simulation until `n` further rising edges of `c` have been
+    /// processed.
+    void run_cycles(Clock& c, std::uint64_t n);
+
+    /// Advance until `pred()` becomes true (checked after each time point)
+    /// or `max_edges` edges of `c` elapse. Returns true if pred fired.
+    bool run_until(Clock& c, const std::function<bool()>& pred, std::uint64_t max_edges);
+
+    /// Process exactly one time point (the earliest pending clock edge).
+    void step();
+
+    SimTime now() const noexcept { return now_; }
+
+    /// Attach a VCD tracer (optional). The kernel does not own it.
+    void set_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
+
+    std::span<Module* const> modules() const noexcept { return all_modules_; }
+
+    /// Number of delta-settling eval passes executed (model cost metric).
+    std::uint64_t eval_passes() const noexcept { return eval_passes_; }
+
+private:
+    void settle();
+
+    struct Domain {
+        std::unique_ptr<Clock> clock;
+        std::vector<Module*> modules;
+    };
+
+    std::vector<Domain> domains_;
+    std::vector<Module*> combinational_;
+    std::vector<Module*> all_modules_;
+    SimTime now_ = 0;
+    std::uint64_t eval_passes_ = 0;
+    VcdWriter* vcd_ = nullptr;
+};
+
+}  // namespace gaip::rtl

@@ -1,0 +1,75 @@
+// Module base class of the cycle-level RTL model.
+//
+// A Module is a hardware block with
+//   * eval()  — combinational logic: read registers + input wires, drive
+//               output wires. Must be idempotent; the kernel calls it
+//               repeatedly until all wires settle.
+//   * tick()  — sequential logic: executed once per rising edge of the clock
+//               the module is bound to. Reads wires/registers, loads
+//               registers. Register commits are performed by the kernel
+//               after every module at the edge has ticked.
+//   * reset_state() — re-initialize registers / local state.
+//
+// Modules register their Reg<> members with attach() so the kernel can
+// commit/reset them and so the scan chain, VCD tracer, and resource model
+// can enumerate every flip-flop in the design.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rtl/signal.hpp"
+
+namespace gaip::rtl {
+
+class Module {
+public:
+    explicit Module(std::string name) : name_(std::move(name)) {}
+    virtual ~Module() = default;
+    Module(const Module&) = delete;
+    Module& operator=(const Module&) = delete;
+
+    /// Combinational function; default: none.
+    virtual void eval() {}
+
+    /// Sequential function, called at each rising edge of the bound clock.
+    virtual void tick() {}
+
+    /// Module-specific reset (beyond the automatic hard_reset of attached
+    /// registers, which the kernel performs itself).
+    virtual void reset_state() {}
+
+    const std::string& name() const noexcept { return name_; }
+
+    std::span<RegBase* const> registers() const noexcept { return regs_; }
+
+    /// Total flip-flop bits in this module (resource model input).
+    unsigned flipflop_bits() const noexcept {
+        unsigned n = 0;
+        for (const RegBase* r : regs_) n += r->width();
+        return n;
+    }
+
+    void commit_registers() {
+        for (RegBase* r : regs_) r->commit();
+    }
+
+    void reset_registers() {
+        for (RegBase* r : regs_) r->hard_reset();
+    }
+
+protected:
+    void attach(RegBase& r) { regs_.push_back(&r); }
+
+    template <typename... Rs>
+    void attach_all(Rs&... rs) {
+        (attach(rs), ...);
+    }
+
+private:
+    std::string name_;
+    std::vector<RegBase*> regs_;
+};
+
+}  // namespace gaip::rtl

@@ -1,0 +1,71 @@
+// Scan-chain model (Sec. III-C.2 of the paper): every register of the design
+// is stitched into a single shift register. When `test` is asserted the
+// chain shifts one bit per clock: scanin enters at the chain head (the MSB
+// of the first register) and the chain tail (LSB of the last register)
+// appears on scanout. This gives full controllability/observability of the
+// design state, exactly like the AUDI-inserted scan chain.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rtl/signal.hpp"
+
+namespace gaip::rtl {
+
+class ScanChain {
+public:
+    ScanChain() = default;
+
+    void add(RegBase& r) { regs_.push_back(&r); }
+
+    void add_all(std::span<RegBase* const> rs) {
+        for (RegBase* r : rs) regs_.push_back(r);
+    }
+
+    /// Total chain length in bits.
+    unsigned length() const noexcept {
+        unsigned n = 0;
+        for (const RegBase* r : regs_) n += r->width();
+        return n;
+    }
+
+    /// Bit that scanout presents *before* a shift: the chain tail (LSB of
+    /// the last register).
+    bool tail() const noexcept {
+        if (regs_.empty()) return false;
+        return (regs_.back()->bits() & 1u) != 0;
+    }
+
+    /// Shift the whole chain by one position toward the tail; `scanin`
+    /// enters at the head. Returns the bit shifted out of the tail.
+    bool shift(bool scanin) {
+        bool carry = scanin;
+        for (RegBase* r : regs_) {
+            const std::uint64_t v = r->bits();
+            const bool out = (v & 1u) != 0;
+            std::uint64_t nv = v >> 1;
+            if (carry) nv |= std::uint64_t{1} << (r->width() - 1);
+            r->set_bits(nv);
+            carry = out;
+        }
+        return carry;
+    }
+
+    /// Read the full chain state as a bit vector, head first (for tests).
+    std::vector<bool> snapshot() const {
+        std::vector<bool> bits;
+        bits.reserve(length());
+        for (const RegBase* r : regs_) {
+            for (int i = static_cast<int>(r->width()) - 1; i >= 0; --i)
+                bits.push_back(((r->bits() >> i) & 1u) != 0);
+        }
+        return bits;
+    }
+
+private:
+    std::vector<RegBase*> regs_;
+};
+
+}  // namespace gaip::rtl

@@ -1,0 +1,161 @@
+// Signal primitives of the cycle-level RTL model.
+//
+//  * Wire<T>  — a combinational net. Driven during Module::eval(); the kernel
+//    re-evaluates modules until no wire changes (delta settling), so
+//    combinational chains across modules resolve within a clock edge.
+//  * Reg<T>   — a clocked register with two-phase semantics: Module::tick()
+//    calls load(); the kernel commits all registers of the ticked modules
+//    after every module has sampled its inputs, which models simultaneous
+//    edge-triggered flip-flops without ordering races.
+//
+// Registers expose their raw bits (bits()/set_bits()), which powers the scan
+// chain model and exact flip-flop counting for the resource report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "util/bits.hpp"
+
+namespace gaip::rtl {
+
+namespace detail {
+/// Global delta-settling change counter. The kernel snapshots it before an
+/// eval pass; any Wire::drive() that changes a value bumps it. Relaxed
+/// atomic so independent kernels on different threads stay correct.
+inline std::atomic<std::uint64_t> g_wire_change_count{0};
+
+template <typename T>
+constexpr std::uint64_t to_bits(const T& v) noexcept {
+    if constexpr (std::is_same_v<T, bool>) {
+        return v ? 1u : 0u;
+    } else if constexpr (std::is_enum_v<T>) {
+        return static_cast<std::uint64_t>(static_cast<std::underlying_type_t<T>>(v));
+    } else {
+        return static_cast<std::uint64_t>(v);
+    }
+}
+
+template <typename T>
+constexpr T from_bits(std::uint64_t b) noexcept {
+    if constexpr (std::is_same_v<T, bool>) {
+        return (b & 1u) != 0;
+    } else if constexpr (std::is_enum_v<T>) {
+        return static_cast<T>(static_cast<std::underlying_type_t<T>>(b));
+    } else {
+        return static_cast<T>(b);
+    }
+}
+}  // namespace detail
+
+inline std::uint64_t wire_change_count() noexcept {
+    return detail::g_wire_change_count.load(std::memory_order_relaxed);
+}
+
+/// Combinational net. Default-constructed to T{} (all zeros / false).
+template <typename T>
+class Wire {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+public:
+    Wire() = default;
+    explicit Wire(T initial) : value_(initial) {}
+
+    const T& read() const noexcept { return value_; }
+
+    /// Drive a new value; registers a delta change if the value differs.
+    void drive(const T& v) {
+        if (!(v == value_)) {
+            value_ = v;
+            detail::g_wire_change_count.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+private:
+    T value_{};
+};
+
+/// Type-erased register interface: commit/reset plus raw bit access used by
+/// the scan chain, VCD tracing, and the resource model.
+class RegBase {
+public:
+    RegBase(std::string name, unsigned width) : name_(std::move(name)), width_(width) {}
+    virtual ~RegBase() = default;
+    RegBase(const RegBase&) = delete;
+    RegBase& operator=(const RegBase&) = delete;
+
+    virtual void commit() = 0;
+    virtual void hard_reset() = 0;
+    virtual std::uint64_t bits() const = 0;
+    virtual void set_bits(std::uint64_t b) = 0;
+
+    const std::string& name() const noexcept { return name_; }
+    unsigned width() const noexcept { return width_; }
+
+private:
+    std::string name_;
+    unsigned width_;
+};
+
+/// Edge-triggered register of `width` bits (defaults to the full width of T).
+template <typename T>
+class Reg final : public RegBase {
+    static_assert(std::is_trivially_copyable_v<T>);
+
+public:
+    Reg(std::string name, T reset_value = T{}, unsigned width = 8 * sizeof(T))
+        : RegBase(std::move(name), width), reset_value_(reset_value), cur_(reset_value),
+          nxt_(reset_value) {
+        if (width > 64) throw std::invalid_argument("Reg width > 64");
+    }
+
+    const T& read() const noexcept { return cur_; }
+
+    /// Schedule `v` to become the register value at commit (clock edge end).
+    void load(const T& v) noexcept {
+        nxt_ = v;
+        loaded_ = true;
+    }
+
+    void commit() override {
+        if (loaded_) {
+            cur_ = mask(nxt_);
+            loaded_ = false;
+        }
+    }
+
+    void hard_reset() override {
+        cur_ = reset_value_;
+        nxt_ = reset_value_;
+        loaded_ = false;
+    }
+
+    std::uint64_t bits() const override {
+        return detail::to_bits(cur_) & util::low_mask(width());
+    }
+
+    void set_bits(std::uint64_t b) override {
+        cur_ = detail::from_bits<T>(b & util::low_mask(width()));
+        nxt_ = cur_;
+        loaded_ = false;
+    }
+
+private:
+    T mask(const T& v) const noexcept {
+        if constexpr (std::is_same_v<T, bool> || std::is_enum_v<T>) {
+            return v;
+        } else {
+            return static_cast<T>(detail::to_bits(v) & util::low_mask(width()));
+        }
+    }
+
+    T reset_value_;
+    T cur_;
+    T nxt_;
+    bool loaded_ = false;
+};
+
+}  // namespace gaip::rtl

@@ -1,0 +1,76 @@
+#include "rtl/vcd.hpp"
+
+#include <stdexcept>
+
+namespace gaip::rtl {
+
+VcdWriter::VcdWriter(const std::string& path) : out_(path) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+std::string VcdWriter::make_id(std::size_t n) {
+    // Printable identifier alphabet per the VCD spec (chars '!'..'~').
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+void VcdWriter::add_module(const Module& m) {
+    if (header_written_) throw std::logic_error("VcdWriter: add_module after header");
+    for (const RegBase* r : m.registers()) {
+        Entry e;
+        e.reg = r;
+        e.id = make_id(entries_.size());
+        e.scope = m.name();
+        entries_.push_back(std::move(e));
+    }
+}
+
+void VcdWriter::write_header() {
+    out_ << "$timescale 1ps $end\n";
+    std::string open_scope;
+    for (const Entry& e : entries_) {
+        if (e.scope != open_scope) {
+            if (!open_scope.empty()) out_ << "$upscope $end\n";
+            out_ << "$scope module " << e.scope << " $end\n";
+            open_scope = e.scope;
+        }
+        out_ << "$var reg " << e.reg->width() << ' ' << e.id << ' ' << e.reg->name() << " $end\n";
+    }
+    if (!open_scope.empty()) out_ << "$upscope $end\n";
+    out_ << "$enddefinitions $end\n";
+    header_written_ = true;
+}
+
+void VcdWriter::emit(const Entry& e, std::uint64_t value) {
+    if (e.reg->width() == 1) {
+        out_ << (value & 1u) << e.id << '\n';
+        return;
+    }
+    out_ << 'b';
+    for (int i = static_cast<int>(e.reg->width()) - 1; i >= 0; --i)
+        out_ << ((value >> i) & 1u);
+    out_ << ' ' << e.id << '\n';
+}
+
+void VcdWriter::sample(SimTime t) {
+    bool time_emitted = false;
+    for (Entry& e : entries_) {
+        const std::uint64_t v = e.reg->bits();
+        if (e.first || v != e.last) {
+            if (!time_emitted && t != last_time_) {
+                out_ << '#' << t << '\n';
+                last_time_ = t;
+                time_emitted = true;
+            }
+            emit(e, v);
+            e.last = v;
+            e.first = false;
+        }
+    }
+}
+
+}  // namespace gaip::rtl

@@ -1,0 +1,51 @@
+// Minimal VCD (value change dump) writer tracing every attached register of
+// selected modules. Substitutes for the waveform visibility the authors had
+// via NC-Verilog / ModelSim / ChipScope: dumps load in GTKWave.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "rtl/clock.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::rtl {
+
+class VcdWriter {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    explicit VcdWriter(const std::string& path);
+
+    /// Trace all registers of `m` under a scope named after the module.
+    void add_module(const Module& m);
+
+    /// Emit the header; must be called once, after all add_module calls and
+    /// before the first sample.
+    void write_header();
+
+    /// Sample all traced registers at time `t`; emits only changed values.
+    void sample(SimTime t);
+
+    bool header_written() const noexcept { return header_written_; }
+
+private:
+    struct Entry {
+        const RegBase* reg;
+        std::string id;       // VCD short identifier
+        std::string scope;    // module name
+        std::uint64_t last = ~std::uint64_t{0};
+        bool first = true;
+    };
+
+    static std::string make_id(std::size_t n);
+    void emit(const Entry& e, std::uint64_t value);
+
+    std::ofstream out_;
+    std::vector<Entry> entries_;
+    bool header_written_ = false;
+    SimTime last_time_ = ~SimTime{0};
+};
+
+}  // namespace gaip::rtl

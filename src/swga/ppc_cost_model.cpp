@@ -1,0 +1,20 @@
+#include "swga/ppc_cost_model.hpp"
+
+namespace gaip::swga {
+
+PpcEstimate estimate_ppc_runtime(const OpCounts& ops, const PpcCostModelConfig& cfg) {
+    PpcEstimate e;
+    e.cycles = static_cast<double>(ops.rng_calls) * cfg.cycles_rng_call +
+               static_cast<double>(ops.fitness_lookups) * cfg.cycles_fitness_lookup +
+               static_cast<double>(ops.member_reads + ops.member_writes) *
+                   cfg.cycles_member_access +
+               static_cast<double>(ops.selections) * cfg.cycles_selection +
+               static_cast<double>(ops.crossovers) * cfg.cycles_crossover +
+               static_cast<double>(ops.mutations) * cfg.cycles_mutation +
+               static_cast<double>(ops.offspring_loops) * cfg.cycles_offspring_loop +
+               static_cast<double>(ops.generation_loops) * cfg.cycles_generation_loop;
+    e.seconds = e.cycles / cfg.clock_hz;
+    return e;
+}
+
+}  // namespace gaip::swga

@@ -1,0 +1,145 @@
+#include "swga/software_ga.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace gaip::swga {
+
+namespace {
+
+struct Instrumented {
+    core::RngState rng;
+    const mem::BlockRom& rom;
+    OpCounts ops;
+
+    std::uint16_t next16() {
+        ++ops.rng_calls;
+        return rng.next16();
+    }
+
+    std::uint16_t lookup(std::uint16_t cand) {
+        ++ops.fitness_lookups;
+        return rom.read(cand);
+    }
+};
+
+std::size_t select(Instrumented& ctx, const std::vector<core::Member>& pop,
+                   std::uint32_t fit_sum, std::uint16_t r) {
+    ++ctx.ops.selections;
+    const std::uint32_t thresh =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(fit_sum) * r) >> 16);
+    std::uint32_t cum = 0;
+    std::size_t idx = 0;
+    for (std::size_t reads = 0;; ++reads) {
+        ++ctx.ops.member_reads;
+        const std::uint16_t fit = pop[idx].fitness;
+        if (cum + fit > thresh || reads + 1 >= 2 * pop.size()) return idx;
+        cum += fit;
+        idx = (idx + 1) % pop.size();
+    }
+}
+
+core::RunResult run_once(const core::GaParameters& raw, Instrumented& ctx) {
+    const core::GaParameters params = core::resolve_parameters(0, raw);
+    core::RunResult result;
+    std::uint16_t best_fit = 0;
+    std::uint16_t best_ind = 0;
+    auto offer = [&](std::uint16_t cand, std::uint16_t fit) {
+        if (fit > best_fit) {
+            best_fit = fit;
+            best_ind = cand;
+        }
+    };
+
+    std::vector<core::Member> cur(params.pop_size);
+    std::uint32_t fit_sum_cur = 0;
+    for (core::Member& m : cur) {
+        m.candidate = ctx.next16();
+        m.fitness = ctx.lookup(m.candidate);
+        ++result.evaluations;
+        ++ctx.ops.member_writes;
+        fit_sum_cur += m.fitness;
+        offer(m.candidate, m.fitness);
+    }
+
+    std::vector<core::Member> next(params.pop_size);
+    for (std::uint32_t gen = 0; gen < params.n_gens; ++gen) {
+        ++ctx.ops.generation_loops;
+        next[0] = {best_ind, best_fit};
+        ++ctx.ops.member_writes;
+        std::uint32_t fit_sum_new = best_fit;
+        std::size_t idx = 1;
+
+        while (idx < params.pop_size) {
+            ++ctx.ops.offspring_loops;
+            const std::size_t i1 = select(ctx, cur, fit_sum_cur, ctx.next16());
+            const std::size_t i2 = select(ctx, cur, fit_sum_cur, ctx.next16());
+            ctx.ops.member_reads += 2;
+            std::uint16_t off1 = cur[i1].candidate;
+            std::uint16_t off2 = cur[i2].candidate;
+
+            ++ctx.ops.crossovers;
+            const std::uint16_t rx = ctx.next16();
+            if ((rx & 0xF) < params.xover_threshold) {
+                ++ctx.ops.applied_crossovers;
+                const std::uint16_t mask = util::crossover_mask((rx >> 4) & 0xF);
+                const std::uint16_t o1 = static_cast<std::uint16_t>((off1 & mask) | (off2 & ~mask));
+                const std::uint16_t o2 = static_cast<std::uint16_t>((off2 & mask) | (off1 & ~mask));
+                off1 = o1;
+                off2 = o2;
+            }
+
+            for (std::uint16_t* off : {&off1, &off2}) {
+                ++ctx.ops.mutations;
+                const std::uint16_t rm = ctx.next16();
+                if ((rm & 0xF) < params.mut_threshold) {
+                    ++ctx.ops.applied_mutations;
+                    *off ^= static_cast<std::uint16_t>(1u << ((rm >> 4) & 0xF));
+                }
+                const std::uint16_t f = ctx.lookup(*off);
+                ++result.evaluations;
+                next[idx] = {*off, f};
+                ++ctx.ops.member_writes;
+                fit_sum_new += f;
+                offer(*off, f);
+                ++idx;
+                if (idx >= params.pop_size) break;
+            }
+        }
+        cur.swap(next);
+        fit_sum_cur = fit_sum_new;
+    }
+
+    result.best_candidate = best_ind;
+    result.best_fitness = best_fit;
+    return result;
+}
+
+}  // namespace
+
+SwRunStats run_software_ga(const core::GaParameters& params,
+                           std::shared_ptr<const mem::BlockRom> rom, prng::RngKind rng_kind,
+                           unsigned repeats) {
+    if (!rom) throw std::invalid_argument("run_software_ga: null rom");
+    if (repeats == 0) repeats = 1;
+
+    SwRunStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (unsigned r = 0; r < repeats; ++r) {
+        Instrumented ctx{core::RngState(params.seed, rng_kind), *rom, {}};
+        core::RunResult res = run_once(params, ctx);
+        if (r == 0) {
+            stats.result = std::move(res);
+            stats.ops = ctx.ops;
+        }
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.host_seconds =
+        std::chrono::duration<double>(t1 - t0).count() / static_cast<double>(repeats);
+    return stats;
+}
+
+}  // namespace gaip::swga

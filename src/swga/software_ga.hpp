@@ -1,0 +1,54 @@
+// Software GA baseline for the runtime comparison of Sec. IV-C.
+//
+// The paper ran "a software implementation of a GA optimizer, similar to
+// the GA optimization algorithm in the IP core" in C on the Virtex-II Pro's
+// embedded PowerPC, with the fitness lookup table in FPGA block RAM reached
+// over the processor bus. This module provides:
+//   * the same algorithm in plain software form (identical operators and
+//     RNG, so the comparison is apples-to-apples), instrumented with
+//     operation counters;
+//   * host wall-clock measurement (reference only; a 2020s x86 core is not
+//     the paper's 300 MHz PPC405);
+//   * the operation counts feed the PowerPC cost model
+//     (ppc_cost_model.hpp), which produces the embedded-runtime estimate
+//     actually compared against the modeled hardware time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/behavioral.hpp"
+#include "mem/rom.hpp"
+
+namespace gaip::swga {
+
+/// Dynamic operation counts of one software-GA run.
+struct OpCounts {
+    std::uint64_t rng_calls = 0;
+    std::uint64_t fitness_lookups = 0;   ///< bus transactions to the lookup BRAM
+    std::uint64_t member_reads = 0;      ///< population-array member reads
+    std::uint64_t member_writes = 0;
+    std::uint64_t selections = 0;
+    std::uint64_t crossovers = 0;        ///< crossover operator invocations (incl. skipped)
+    std::uint64_t applied_crossovers = 0;///< invocations where the 4-bit draw passed the threshold
+    std::uint64_t mutations = 0;         ///< mutation operator invocations (incl. skipped)
+    std::uint64_t applied_mutations = 0; ///< invocations that actually flipped a bit
+    std::uint64_t offspring_loops = 0;   ///< inner-loop iterations (per offspring)
+    std::uint64_t generation_loops = 0;
+};
+
+struct SwRunStats {
+    core::RunResult result;
+    OpCounts ops;
+    double host_seconds = 0.0;
+};
+
+/// Run the software GA against a fitness lookup ROM (the identical table the
+/// hardware FEM uses). `repeats` > 1 re-runs the optimization to stabilize
+/// the host timing (counts/result are from the first run).
+SwRunStats run_software_ga(const core::GaParameters& params,
+                           std::shared_ptr<const mem::BlockRom> rom,
+                           prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton,
+                           unsigned repeats = 1);
+
+}  // namespace gaip::swga

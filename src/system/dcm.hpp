@@ -1,0 +1,27 @@
+// Clock tree of the experimental setup (Sec. IV-B): "A digital clock
+// manager core is used to generate the two clocks from the on-board 100 MHz
+// clock" — 50 MHz for the GA module (core, RNG, GA memory) and 200 MHz for
+// the initialization and application (fitness) modules.
+#pragma once
+
+#include "rtl/kernel.hpp"
+
+namespace gaip::system {
+
+inline constexpr std::uint64_t kBoardClockHz = 100'000'000;
+inline constexpr std::uint64_t kGaClockHz = 50'000'000;
+inline constexpr std::uint64_t kAppClockHz = 200'000'000;
+
+struct ClockTree {
+    rtl::Clock& ga_clk;
+    rtl::Clock& app_clk;
+};
+
+/// Instantiate the DCM-derived clocks on a kernel.
+inline ClockTree make_clock_tree(rtl::Kernel& kernel) {
+    rtl::Clock& ga = kernel.add_clock("ga_clk_50mhz", kGaClockHz);
+    rtl::Clock& app = kernel.add_clock("app_clk_200mhz", kAppClockHz);
+    return ClockTree{ga, app};
+}
+
+}  // namespace gaip::system

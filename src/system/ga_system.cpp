@@ -1,0 +1,173 @@
+#include "system/ga_system.hpp"
+
+#include <stdexcept>
+
+#include "fitness/rom_builder.hpp"
+#include "rtl/vcd.hpp"
+
+namespace gaip::system {
+
+GaSystem::GaSystem(GaSystemConfig cfg) : cfg_(std::move(cfg)) {
+    const ClockTree clocks = make_clock_tree(kernel_);
+    ga_clk_ = &clocks.ga_clk;
+    app_clk_ = &clocks.app_clk;
+
+    if (cfg_.use_gate_level_core) {
+        gate_core_ = std::make_unique<gates::GateLevelGaCore>("ga_core_gates",
+                                                              wires_.core_ports(),
+                                                              cfg_.core_config);
+    } else {
+        core_ = std::make_unique<core::GaCore>("ga_core", wires_.core_ports(),
+                                               cfg_.core_config);
+    }
+    if (cfg_.use_gate_level_core) {
+        if (cfg_.rng_kind != prng::RngKind::kCellularAutomaton)
+            throw std::invalid_argument(
+                "GaSystem: the gate-level GA module only implements the CA RNG");
+        gate_rng_ = std::make_unique<gates::GateLevelRngModule>(wires_.rng_ports());
+    } else {
+        rng_ = std::make_unique<prng::RngModule>(wires_.rng_ports(), cfg_.rng_kind);
+    }
+    memory_ = std::make_unique<mem::GaMemory>(wires_.memory_ports());
+    mux_ = std::make_unique<fitness::FemMux>(wires_.mux_ports());
+
+    // Internal FEM slots: either application-specific tables or the named
+    // benchmark functions.
+    std::vector<std::pair<std::string, std::shared_ptr<const mem::BlockRom>>> slots;
+    if (!cfg_.custom_roms.empty()) {
+        for (std::size_t i = 0; i < cfg_.custom_roms.size(); ++i)
+            slots.emplace_back("fem_custom_" + std::to_string(i), cfg_.custom_roms[i]);
+    } else {
+        for (const fitness::FitnessId id : cfg_.internal_fems)
+            slots.emplace_back("fem_" + fitness::fitness_name(id), fitness::fitness_rom(id));
+    }
+    if (slots.size() > fitness::kMaxFitnessSlots)
+        throw std::invalid_argument("GaSystem: too many internal FEMs");
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+        auto fem = std::make_unique<fitness::RomFitnessModule>(
+            slots[i].first, wires_.slot_fem_ports(i), slots[i].second);
+        mux_->set_slot(i, fitness::FemMuxSlot{&wires_.slots[i].request, &wires_.slots[i].value,
+                                              &wires_.slots[i].valid});
+        internal_fems_.push_back(std::move(fem));
+    }
+    if (cfg_.external_fem.has_value()) {
+        external_fem_ = std::make_unique<fitness::RomFitnessModule>(
+            "ext_fem_" + fitness::fitness_name(*cfg_.external_fem), wires_.external_fem_ports(),
+            fitness::fitness_rom(*cfg_.external_fem),
+            fitness::FemConfig{.extra_latency_cycles = cfg_.external_latency_cycles});
+    }
+
+    init_ = std::make_unique<InitModule>(
+        InitModulePorts{wires_.ga_load, wires_.index, wires_.value, wires_.data_valid,
+                        wires_.data_ack, init_done_});
+    if (!cfg_.skip_initialization) init_->program_parameters(cfg_.params);
+
+    app_ = std::make_unique<AppModule>(
+        AppModulePorts{init_done_, wires_.start_ga, wires_.ga_done, wires_.candidate, app_done_});
+
+    monitor_ = std::make_unique<GenerationMonitor>(
+        MonitorPorts{wires_.mon_gen_pulse, wires_.mon_gen_id, wires_.mon_best_fit,
+                     wires_.mon_best_ind, wires_.mon_fit_sum, wires_.mon_bank,
+                     wires_.mon_pop_size},
+        memory_.get(), cfg_.keep_populations);
+
+    // Static pins.
+    wires_.preset.drive(cfg_.preset & 0x3);
+    wires_.fitfunc_select.drive(cfg_.fitfunc_select & 0x7);
+
+    // Clock domain assignment per the paper's setup.
+    if (gate_core_) {
+        kernel_.bind(*gate_core_, *ga_clk_);
+    } else {
+        kernel_.bind(*core_, *ga_clk_);
+    }
+    if (gate_rng_) {
+        kernel_.bind(*gate_rng_, *ga_clk_);
+    } else {
+        kernel_.bind(*rng_, *ga_clk_);
+    }
+    kernel_.bind(*memory_, *ga_clk_);
+    kernel_.bind(*monitor_, *ga_clk_);
+    kernel_.bind(*init_, *app_clk_);
+    kernel_.bind(*app_, *app_clk_);
+    for (auto& fem : internal_fems_) kernel_.bind(*fem, *app_clk_);
+    if (external_fem_) kernel_.bind(*external_fem_, *app_clk_);
+    kernel_.add_combinational(*mux_);
+
+    if (!cfg_.vcd_path.empty()) {
+        vcd_ = std::make_unique<rtl::VcdWriter>(cfg_.vcd_path);
+        if (core_) vcd_->add_module(*core_);
+        if (rng_) vcd_->add_module(*rng_);
+        vcd_->add_module(*memory_);
+        kernel_.set_vcd(vcd_.get());
+    }
+}
+
+std::uint64_t GaSystem::fitness_evaluations() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& fem : internal_fems_) n += fem->evaluations();
+    if (external_fem_) n += external_fem_->evaluations();
+    return n;
+}
+
+std::vector<const fitness::RomFitnessModule*> GaSystem::fems() const {
+    std::vector<const fitness::RomFitnessModule*> out;
+    for (const auto& fem : internal_fems_) out.push_back(fem.get());
+    if (external_fem_) out.push_back(external_fem_.get());
+    return out;
+}
+
+core::RunResult GaSystem::run() {
+    kernel_.reset();
+
+    // Static pins must be re-driven after reset (reset clears nothing, but
+    // keep them authoritative in case a test poked them).
+    wires_.preset.drive(cfg_.preset & 0x3);
+    wires_.fitfunc_select.drive(cfg_.fitfunc_select & 0x7);
+
+    // Cycle bound: evaluations x (handshake + selection scan) with a wide
+    // safety margin, plus the external FEM latency if configured.
+    const core::GaParameters eff = core::resolve_parameters(cfg_.preset, cfg_.params);
+    const std::uint64_t evals =
+        static_cast<std::uint64_t>(eff.pop_size) * (static_cast<std::uint64_t>(eff.n_gens) + 1);
+    const std::uint64_t per_eval =
+        64ull + 8ull * eff.pop_size + 4ull * cfg_.external_latency_cycles;
+    const std::uint64_t max_ga_cycles = evals * per_eval + 100'000;
+
+    std::uint64_t start_edge = 0;
+    bool start_seen = false;
+    std::uint64_t done_edge = 0;
+    bool done_seen = false;
+
+    const bool finished = kernel_.run_until(
+        *app_clk_,
+        [&] {
+            if (!start_seen && wires_.start_ga.read()) {
+                start_seen = true;
+                start_edge = ga_clk_->edges();
+            }
+            if (start_seen && !done_seen && wires_.ga_done.read()) {
+                done_seen = true;
+                done_edge = ga_clk_->edges();
+            }
+            return app_done_.read();
+        },
+        max_ga_cycles * 4 + 10'000);  // in 200 MHz edges
+    if (!finished) throw std::runtime_error("GaSystem::run: did not complete within cycle bound");
+
+    ga_cycles_ = done_seen ? (done_edge - start_edge) : 0;
+
+    core::RunResult result;
+    result.best_candidate = best_candidate();
+    result.best_fitness = best_fitness();
+    result.evaluations = fitness_evaluations();
+    result.history = monitor_->history();
+    return result;
+}
+
+core::RunResult run_ga_system(const GaSystemConfig& cfg) {
+    GaSystem sys(cfg);
+    return sys.run();
+}
+
+}  // namespace gaip::system

@@ -1,0 +1,155 @@
+// GaSystem: the complete single-core system of Fig. 4 — GA core, RNG
+// module, GA memory, fitness-mux with up to eight FEM slots (internal
+// lookup FEMs and an optional external FEM with inter-chip latency),
+// initialization module, application module, and generation monitor — all
+// wired and clocked (50 MHz GA domain / 200 MHz peripheral domain). This is
+// the entry point examples and benches use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "core/ga_core.hpp"
+#include "gates/ga_core_gates.hpp"
+#include "gates/rng_gates.hpp"
+#include "fitness/fem.hpp"
+#include "fitness/fem_mux.hpp"
+#include "fitness/functions.hpp"
+#include "mem/ga_memory.hpp"
+#include "prng/rng_module.hpp"
+#include "rtl/kernel.hpp"
+#include "rtl/vcd.hpp"
+#include "system/app_module.hpp"
+#include "system/dcm.hpp"
+#include "system/init_module.hpp"
+#include "system/monitor.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::system {
+
+struct GaSystemConfig {
+    core::GaParameters params;
+
+    /// Preset pins (Table IV): 0 = user mode (parameters are programmed via
+    /// the init handshake), 1..3 = the built-in parameter/seed presets.
+    std::uint8_t preset = 0;
+
+    /// If true, the init module is left unprogrammed — the fault-tolerance
+    /// scenario where parameter initialization failed and a preset mode
+    /// carries the run.
+    bool skip_initialization = false;
+
+    /// Internal lookup FEMs occupying mux slots 0..n-1 (at most the slots
+    /// the core's external_slot_mask leaves internal).
+    std::vector<fitness::FitnessId> internal_fems = {fitness::FitnessId::kMBf6_2};
+
+    /// Application-specific lookup tables. When non-empty these occupy the
+    /// internal slots instead of `internal_fems` — how a real integration
+    /// attaches its own fitness modules (e.g. the adaptive-healing example's
+    /// temperature-dependent tables).
+    std::vector<std::shared_ptr<const mem::BlockRom>> custom_roms;
+
+    /// Optional FEM on the external ports (second-chip device, Fig. 5).
+    std::optional<fitness::FitnessId> external_fem;
+    unsigned external_latency_cycles = 24;
+
+    /// Which fitness slot the run uses (3-bit fitfunc_select pin).
+    std::uint8_t fitfunc_select = 0;
+
+    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+    core::GaCoreConfig core_config{};
+
+    /// Record full population snapshots per generation (needed by the
+    /// convergence-scatter benches; costs memory for long runs).
+    bool keep_populations = true;
+
+    /// When non-empty, dump a VCD waveform of the GA-module registers
+    /// (core, RNG, memory output register) to this path — the model's
+    /// NC-Verilog/ModelSim waveform visibility.
+    std::string vcd_path;
+
+    /// Instantiate the fully gate-level GA module (gates::GateLevelGaCore
+    /// + gates::GateLevelRngModule) instead of the RT-level models — the
+    /// paper's gate-level netlist deliverable running inside the complete
+    /// system. Bit- and cycle-exact with the RT level (tested), just
+    /// slower to simulate. Requires the CA RNG kind.
+    bool use_gate_level_core = false;
+};
+
+class GaSystem {
+public:
+    explicit GaSystem(GaSystemConfig cfg);
+
+    /// Reset and run the whole flow (initialization handshake, start pulse,
+    /// optimization, GA_done) to completion. Throws std::runtime_error if
+    /// the system does not finish within the internal cycle bound.
+    core::RunResult run();
+
+    // --- post-run metrics ---
+    /// 50 MHz cycles from the start_GA pulse to GA_done (the GA execution
+    /// time the paper measures with its on-fabric counter, Sec. IV-C).
+    std::uint64_t ga_cycles() const noexcept { return ga_cycles_; }
+    /// Same, in seconds of modeled hardware time.
+    double ga_seconds() const noexcept {
+        return static_cast<double>(ga_cycles_) / static_cast<double>(kGaClockHz);
+    }
+    std::uint64_t fitness_evaluations() const noexcept;
+
+    // --- component access (tests, resource report) ---
+    rtl::Kernel& kernel() noexcept { return kernel_; }
+    rtl::Clock& ga_clock() noexcept { return *ga_clk_; }
+    rtl::Clock& app_clock() noexcept { return *app_clk_; }
+    /// RT-level core access (only valid when use_gate_level_core is off).
+    core::GaCore& core() noexcept { return *core_; }
+    bool gate_level() const noexcept { return gate_core_ != nullptr; }
+    const gates::GateLevelGaCore& gate_core() const noexcept { return *gate_core_; }
+    std::uint16_t best_candidate() const noexcept {
+        return gate_core_ ? gate_core_->best_candidate() : core_->best_candidate();
+    }
+    std::uint16_t best_fitness() const noexcept {
+        return gate_core_ ? gate_core_->best_fitness() : core_->best_fitness();
+    }
+    const mem::GaMemory& memory() const noexcept { return *memory_; }
+    CoreWireBundle& wires() noexcept { return wires_; }
+    InitModule& init_module() noexcept { return *init_; }
+    AppModule& app_module() noexcept { return *app_; }
+    const GenerationMonitor& monitor() const noexcept { return *monitor_; }
+    const GaSystemConfig& config() const noexcept { return cfg_; }
+
+    /// All FEMs (internal slots then the external one, if any).
+    std::vector<const fitness::RomFitnessModule*> fems() const;
+
+private:
+    GaSystemConfig cfg_;
+    rtl::Kernel kernel_;
+    rtl::Clock* ga_clk_ = nullptr;
+    rtl::Clock* app_clk_ = nullptr;
+
+    CoreWireBundle wires_;
+    rtl::Wire<bool> init_done_;
+    rtl::Wire<bool> app_done_;
+
+    std::unique_ptr<core::GaCore> core_;
+    std::unique_ptr<gates::GateLevelGaCore> gate_core_;
+    std::unique_ptr<prng::RngModule> rng_;
+    std::unique_ptr<gates::GateLevelRngModule> gate_rng_;
+    std::unique_ptr<mem::GaMemory> memory_;
+    std::unique_ptr<fitness::FemMux> mux_;
+    std::vector<std::unique_ptr<fitness::RomFitnessModule>> internal_fems_;
+    std::unique_ptr<fitness::RomFitnessModule> external_fem_;
+    std::unique_ptr<InitModule> init_;
+    std::unique_ptr<AppModule> app_;
+    std::unique_ptr<GenerationMonitor> monitor_;
+    std::unique_ptr<rtl::VcdWriter> vcd_;
+
+    std::uint64_t ga_cycles_ = 0;
+};
+
+/// Convenience: build, run, and return the result in one call.
+core::RunResult run_ga_system(const GaSystemConfig& cfg);
+
+}  // namespace gaip::system

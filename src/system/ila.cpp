@@ -1,0 +1,21 @@
+#include "system/ila.hpp"
+
+#include <stdexcept>
+
+namespace gaip::system {
+
+std::size_t IntegratedLogicAnalyzer::probe_index(const std::string& name) const {
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        if (probes_[i].name == name) return i;
+    throw std::invalid_argument("ILA: no probe named " + name);
+}
+
+std::vector<std::uint64_t> IntegratedLogicAnalyzer::column(const std::string& name) const {
+    const std::size_t idx = probe_index(name);
+    std::vector<std::uint64_t> out;
+    out.reserve(capture_.size());
+    for (const Sample& s : capture_) out.push_back(s.values[idx]);
+    return out;
+}
+
+}  // namespace gaip::system

@@ -1,0 +1,119 @@
+// Integrated logic analyzer (ILA) — the substrate behind the paper's
+// ChipScope Pro usage. ChipScope cores are trigger-based capture buffers
+// dropped into the fabric: they watch a set of probes every clock, and when
+// a trigger condition fires they freeze a window of pre- and post-trigger
+// samples into block RAM for readout. GenerationMonitor covers the paper's
+// specific "best fitness and sum of fitness per generation" recording; this
+// module provides the general instrument, used by tests to capture protocol
+// windows (e.g. the cycles around a fitness handshake).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/module.hpp"
+
+namespace gaip::system {
+
+class IntegratedLogicAnalyzer final : public rtl::Module {
+public:
+    /// A probe samples one value per clock (usually a lambda over wires).
+    struct Probe {
+        std::string name;
+        std::function<std::uint64_t()> read;
+    };
+
+    struct Config {
+        unsigned pre_trigger = 8;    ///< samples kept before the trigger
+        unsigned post_trigger = 24;  ///< samples captured after it
+        bool one_shot = true;        ///< stop after the first window
+    };
+
+    struct Sample {
+        std::uint64_t cycle;                 ///< module-local cycle counter
+        std::vector<std::uint64_t> values;   ///< one per probe
+        bool at_trigger = false;
+    };
+
+    IntegratedLogicAnalyzer(std::vector<Probe> probes, std::function<bool()> trigger,
+                            Config cfg)
+        : Module("ila"), probes_(std::move(probes)), trigger_(std::move(trigger)), cfg_(cfg) {}
+
+    // Separate overload: a `Config cfg = {}` default argument is ill-formed
+    // inside the class (the nested aggregate is incomplete there for GCC).
+    IntegratedLogicAnalyzer(std::vector<Probe> probes, std::function<bool()> trigger)
+        : IntegratedLogicAnalyzer(std::move(probes), std::move(trigger), Config{}) {}
+
+    void tick() override {
+        Sample s;
+        s.cycle = cycle_++;
+        s.values.reserve(probes_.size());
+        for (const Probe& p : probes_) s.values.push_back(p.read());
+
+        if (capturing_) {
+            capture_.push_back(std::move(s));
+            if (--remaining_ == 0) {
+                capturing_ = false;
+                ++windows_;
+                if (cfg_.one_shot) armed_ = false;
+            }
+            return;
+        }
+        if (armed_ && trigger_()) {
+            // Freeze the pre-trigger history plus this (trigger) sample.
+            for (const Sample& h : history_) capture_.push_back(h);
+            s.at_trigger = true;
+            capture_.push_back(std::move(s));
+            history_.clear();
+            if (cfg_.post_trigger == 0) {
+                ++windows_;
+                if (cfg_.one_shot) armed_ = false;
+            } else {
+                capturing_ = true;
+                remaining_ = cfg_.post_trigger;
+            }
+            return;
+        }
+        history_.push_back(std::move(s));
+        while (history_.size() > cfg_.pre_trigger) history_.pop_front();
+    }
+
+    void reset_state() override {
+        history_.clear();
+        capture_.clear();
+        capturing_ = false;
+        armed_ = true;
+        remaining_ = 0;
+        cycle_ = 0;
+        windows_ = 0;
+    }
+
+    bool triggered() const noexcept { return windows_ > 0; }
+    unsigned windows() const noexcept { return windows_; }
+    const std::vector<Sample>& capture() const noexcept { return capture_; }
+    const std::vector<Probe>& probes() const noexcept { return probes_; }
+
+    /// Index of probe `name` (throws if absent).
+    std::size_t probe_index(const std::string& name) const;
+
+    /// Column of one probe across the capture window.
+    std::vector<std::uint64_t> column(const std::string& name) const;
+
+private:
+    std::vector<Probe> probes_;
+    std::function<bool()> trigger_;
+    Config cfg_;
+
+    std::deque<Sample> history_;
+    std::vector<Sample> capture_;
+    bool capturing_ = false;
+    bool armed_ = true;
+    unsigned remaining_ = 0;
+    std::uint64_t cycle_ = 0;
+    unsigned windows_ = 0;
+};
+
+}  // namespace gaip::system

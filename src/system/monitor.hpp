@@ -1,0 +1,65 @@
+// Generation monitor: the model's stand-in for the ChipScope Pro cores the
+// authors used to "observe and record the best fitness and sum of fitness
+// values for each generation on the FPGA" (Sec. IV-B). Bound to the GA
+// clock; samples the core's monitor taps at each kGenCheck pulse and
+// (optionally) snapshots the full population from GA memory via simulator
+// backdoor access — the data behind the convergence plots (Figs. 8-16).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "mem/ga_memory.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::system {
+
+struct MonitorPorts {
+    rtl::Wire<bool>& gen_pulse;
+    rtl::Wire<std::uint32_t>& gen_id;
+    rtl::Wire<std::uint16_t>& best_fit;
+    rtl::Wire<std::uint16_t>& best_ind;
+    rtl::Wire<std::uint32_t>& fit_sum;
+    rtl::Wire<bool>& bank;
+    rtl::Wire<std::uint8_t>& pop_size;
+};
+
+class GenerationMonitor final : public rtl::Module {
+public:
+    GenerationMonitor(MonitorPorts ports, const mem::GaMemory* memory = nullptr,
+                      bool keep_populations = true)
+        : Module("generation_monitor"), p_(ports), memory_(memory),
+          keep_populations_(keep_populations) {}
+
+    void tick() override {
+        if (!p_.gen_pulse.read()) return;
+        core::GenerationStats s;
+        s.gen = p_.gen_id.read();
+        s.best_fit = p_.best_fit.read();
+        s.best_ind = p_.best_ind.read();
+        s.fit_sum = p_.fit_sum.read();
+        if (keep_populations_ && memory_ != nullptr) {
+            const bool bank = p_.bank.read();
+            const std::uint8_t n = p_.pop_size.read();
+            s.population.reserve(n);
+            for (std::uint8_t i = 0; i < n; ++i) {
+                s.population.push_back(
+                    {memory_->candidate_at(bank, i), memory_->fitness_at(bank, i)});
+            }
+        }
+        history_.push_back(std::move(s));
+    }
+
+    void reset_state() override { history_.clear(); }
+
+    const std::vector<core::GenerationStats>& history() const noexcept { return history_; }
+
+private:
+    MonitorPorts p_;
+    const mem::GaMemory* memory_;
+    bool keep_populations_;
+    std::vector<core::GenerationStats> history_;
+};
+
+}  // namespace gaip::system

@@ -1,0 +1,232 @@
+#include "system/parallel.hpp"
+
+#include <stdexcept>
+
+#include "fitness/fem.hpp"
+#include "fitness/fem_mux.hpp"
+#include "fitness/rom_builder.hpp"
+#include "mem/ga_memory.hpp"
+#include "prng/rng_module.hpp"
+#include "system/app_module.hpp"
+#include "system/init_module.hpp"
+#include "system/monitor.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::system {
+
+/// One complete GA instance (the Fig. 4 system) inside the parallel array.
+struct ParallelGaSystem::Engine {
+    CoreWireBundle wires;
+    rtl::Wire<bool> init_done;
+    rtl::Wire<bool> app_done;
+    std::unique_ptr<core::GaCore> core;
+    std::unique_ptr<prng::RngModule> rng;
+    std::unique_ptr<mem::GaMemory> memory;
+    std::unique_ptr<fitness::FemMux> mux;
+    std::unique_ptr<fitness::RomFitnessModule> fem;
+    std::unique_ptr<InitModule> init;
+    std::unique_ptr<AppModule> app;
+    std::unique_ptr<GenerationMonitor> monitor;
+
+    Engine(std::size_t idx, const ParallelGaConfig& cfg, rtl::Kernel& kernel, rtl::Clock& ga_clk,
+           rtl::Clock& app_clk) {
+        const std::string tag = "_e" + std::to_string(idx);
+        core = std::make_unique<core::GaCore>("ga_core" + tag, wires.core_ports(),
+                                              core::GaCoreConfig{.external_slot_mask = 0xF0});
+        rng = std::make_unique<prng::RngModule>(wires.rng_ports(), cfg.rng_kind);
+        memory = std::make_unique<mem::GaMemory>(wires.memory_ports());
+        mux = std::make_unique<fitness::FemMux>(wires.mux_ports());
+        fem = std::make_unique<fitness::RomFitnessModule>(
+            "fem" + tag, wires.slot_fem_ports(0), fitness::fitness_rom(cfg.fitness));
+        mux->set_slot(0, fitness::FemMuxSlot{&wires.slots[0].request, &wires.slots[0].value,
+                                             &wires.slots[0].valid});
+        init = std::make_unique<InitModule>(InitModulePorts{
+            wires.ga_load, wires.index, wires.value, wires.data_valid, wires.data_ack,
+            init_done});
+        core::GaParameters p = cfg.params;
+        p.seed = cfg.seeds.at(idx);
+        init->program_parameters(p);
+        app = std::make_unique<AppModule>(AppModulePorts{init_done, wires.start_ga,
+                                                         wires.ga_done, wires.candidate,
+                                                         app_done});
+        monitor = std::make_unique<GenerationMonitor>(
+            MonitorPorts{wires.mon_gen_pulse, wires.mon_gen_id, wires.mon_best_fit,
+                         wires.mon_best_ind, wires.mon_fit_sum, wires.mon_bank,
+                         wires.mon_pop_size},
+            memory.get(), /*keep_populations=*/false);
+
+        kernel.bind(*core, ga_clk);
+        kernel.bind(*rng, ga_clk);
+        kernel.bind(*memory, ga_clk);
+        kernel.bind(*monitor, ga_clk);
+        kernel.bind(*init, app_clk);
+        kernel.bind(*app, app_clk);
+        kernel.bind(*fem, app_clk);
+        kernel.add_combinational(*mux);
+    }
+};
+
+ParallelGaSystem::ParallelGaSystem(ParallelGaConfig cfg) : cfg_(std::move(cfg)) {
+    if (cfg_.seeds.empty()) throw std::invalid_argument("ParallelGaSystem: no seeds");
+    const ClockTree clocks = make_clock_tree(kernel_);
+    ga_clk_ = &clocks.ga_clk;
+    app_clk_ = &clocks.app_clk;
+
+    for (std::size_t i = 0; i < cfg_.seeds.size(); ++i)
+        engines_.push_back(std::make_unique<Engine>(i, cfg_, kernel_, *ga_clk_, *app_clk_));
+
+    std::vector<BestOfCombiner::EnginePorts> taps;
+    taps.reserve(engines_.size());
+    for (const auto& e : engines_)
+        taps.push_back(BestOfCombiner::EnginePorts{&e->wires.ga_done, &e->wires.candidate,
+                                                   &e->wires.mon_best_fit});
+    combiner_ = std::make_unique<BestOfCombiner>(std::move(taps));
+    kernel_.bind(*combiner_, *ga_clk_);
+}
+
+ParallelRunResult ParallelGaSystem::run() {
+    kernel_.reset();
+
+    const core::GaParameters eff = core::resolve_parameters(0, cfg_.params);
+    const std::uint64_t evals =
+        static_cast<std::uint64_t>(eff.pop_size) * (static_cast<std::uint64_t>(eff.n_gens) + 1);
+    const std::uint64_t max_edges = (evals * (64ull + 8ull * eff.pop_size) + 100'000) * 4;
+
+    std::vector<std::uint64_t> done_edge(engines_.size(), 0);
+    const bool finished = kernel_.run_until(
+        *app_clk_,
+        [&] {
+            for (std::size_t i = 0; i < engines_.size(); ++i) {
+                if (done_edge[i] == 0 && engines_[i]->wires.ga_done.read())
+                    done_edge[i] = ga_clk_->edges();
+            }
+            return combiner_->all_done();
+        },
+        max_edges);
+    if (!finished)
+        throw std::runtime_error("ParallelGaSystem::run: did not complete within cycle bound");
+
+    ParallelRunResult result;
+    result.best_candidate = combiner_->best_candidate();
+    result.best_fitness = combiner_->best_fitness();
+    result.best_engine = combiner_->best_engine();
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        core::RunResult r;
+        r.best_candidate = engines_[i]->core->best_candidate();
+        r.best_fitness = engines_[i]->core->best_fitness();
+        r.evaluations = engines_[i]->fem->evaluations();
+        r.history = engines_[i]->monitor->history();
+        result.ga_cycles = std::max(result.ga_cycles, done_edge[i]);
+        result.per_engine.push_back(std::move(r));
+    }
+    return result;
+}
+
+// Out-of-line so the unique_ptr<Engine> members destruct with a complete type.
+ParallelGaSystem::~ParallelGaSystem() = default;
+
+IslandRunResult run_island_ga(const IslandGaConfig& cfg, const core::FitnessFn& fitness) {
+    if (!fitness) throw std::invalid_argument("run_island_ga: null fitness");
+    if (cfg.islands == 0) throw std::invalid_argument("run_island_ga: zero islands");
+
+    using core::Member;
+    const core::GaParameters p = core::resolve_parameters(0, cfg.params);
+
+    struct Island {
+        core::RngState rng;
+        std::vector<Member> pop;
+        std::uint32_t fit_sum = 0;
+        std::uint16_t best_fit = 0;
+        std::uint16_t best_ind = 0;
+    };
+
+    IslandRunResult result;
+    std::vector<Island> islands;
+    for (unsigned i = 0; i < cfg.islands; ++i) {
+        Island isl{core::RngState(static_cast<std::uint16_t>(
+                       cfg.seed_base ^ static_cast<std::uint16_t>(i * 0x9E37u)),
+                       cfg.rng_kind),
+                   {}, 0, 0, 0};
+        isl.pop.resize(p.pop_size);
+        for (Member& m : isl.pop) {
+            m.candidate = isl.rng.next16();
+            m.fitness = fitness(m.candidate);
+            ++result.evaluations;
+            isl.fit_sum += m.fitness;
+            if (m.fitness > isl.best_fit) {
+                isl.best_fit = m.fitness;
+                isl.best_ind = m.candidate;
+            }
+        }
+        islands.push_back(std::move(isl));
+    }
+
+    std::vector<Member> next(p.pop_size);
+    for (std::uint32_t gen = 0; gen < p.n_gens; ++gen) {
+        for (Island& isl : islands) {
+            next[0] = {isl.best_ind, isl.best_fit};
+            std::uint32_t sum_new = isl.best_fit;
+            std::size_t idx = 1;
+            while (idx < p.pop_size) {
+                const std::size_t i1 =
+                    core::proportionate_select(isl.pop, isl.fit_sum, isl.rng.next16());
+                const std::size_t i2 =
+                    core::proportionate_select(isl.pop, isl.fit_sum, isl.rng.next16());
+                const std::uint16_t rx = isl.rng.next16();
+                std::uint16_t o1 = isl.pop[i1].candidate;
+                std::uint16_t o2 = isl.pop[i2].candidate;
+                if ((rx & 0xF) < p.xover_threshold)
+                    std::tie(o1, o2) = core::crossover_pair(o1, o2, (rx >> 4) & 0xF);
+                for (std::uint16_t off : {o1, o2}) {
+                    const std::uint16_t rm = isl.rng.next16();
+                    if ((rm & 0xF) < p.mut_threshold)
+                        off ^= static_cast<std::uint16_t>(1u << ((rm >> 4) & 0xF));
+                    const std::uint16_t f = fitness(off);
+                    ++result.evaluations;
+                    next[idx] = {off, f};
+                    sum_new += f;
+                    if (f > isl.best_fit) {
+                        isl.best_fit = f;
+                        isl.best_ind = off;
+                    }
+                    ++idx;
+                    if (idx >= p.pop_size) break;
+                }
+            }
+            isl.pop.swap(next);
+            isl.fit_sum = sum_new;
+        }
+
+        // Ring migration: island i's best-ever member replaces island
+        // (i+1)'s worst member (a second-BRAM-port write in hardware).
+        if (cfg.migration_interval != 0 && (gen + 1) % cfg.migration_interval == 0 &&
+            islands.size() > 1) {
+            for (std::size_t i = 0; i < islands.size(); ++i) {
+                Island& dst = islands[(i + 1) % islands.size()];
+                const Island& src = islands[i];
+                auto worst = std::min_element(
+                    dst.pop.begin(), dst.pop.end(),
+                    [](const Member& a, const Member& b) { return a.fitness < b.fitness; });
+                if (src.best_fit > worst->fitness) {
+                    dst.fit_sum = dst.fit_sum - worst->fitness + src.best_fit;
+                    *worst = {src.best_ind, src.best_fit};
+                    if (src.best_fit > dst.best_fit) {
+                        dst.best_fit = src.best_fit;
+                        dst.best_ind = src.best_ind;
+                    }
+                }
+            }
+        }
+    }
+
+    for (const Island& isl : islands) {
+        result.island_best.push_back(isl.best_fit);
+        if (isl.best_fit > result.best_fitness) {
+            result.best_fitness = isl.best_fit;
+            result.best_candidate = isl.best_ind;
+        }
+    }
+    return result;
+}
+
+}  // namespace gaip::system

@@ -1,0 +1,129 @@
+// Parallel GA extension (the hardware-acceleration direction of Sec. II-B:
+// Graham & Nelson [11], Jelodar et al. [12], Nedjah & Mourelle [13], and
+// Tang & Yip's parallel configurations [9]).
+//
+// Two levels are provided:
+//
+//  * ParallelGaSystem — an RTL system instantiating K complete GA engines
+//    (core + RNG + memory + FEM) side by side on one simulated FPGA, each
+//    programmed with a different RNG seed, plus a best-of combiner module
+//    that tracks the fittest candidate across engines. This is the
+//    "independent parallel runs" configuration: zero inter-core wiring, K x
+//    the throughput per unit wall-clock, and it directly exploits the
+//    core's headline programmable-seed feature. Everything is cycle-level.
+//
+//  * run_island_ga — a behavioral island model with ring migration (each
+//    island pushes its best-ever member over its neighbor's worst slot
+//    every `migration_interval` generations). Migration needs a write path
+//    into a neighbor's population (a second BRAM port in hardware); it is
+//    modeled behaviorally and compared against the RTL-parallel and
+//    single-population configurations in bench_ablation_parallel.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "fitness/functions.hpp"
+#include "system/ga_system.hpp"
+
+namespace gaip::system {
+
+struct ParallelGaConfig {
+    core::GaParameters params;                 ///< shared by every engine
+    std::vector<std::uint16_t> seeds;          ///< one engine per seed
+    fitness::FitnessId fitness = fitness::FitnessId::kMBf6_2;
+    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+};
+
+struct ParallelRunResult {
+    std::uint16_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::size_t best_engine = 0;
+    std::vector<core::RunResult> per_engine;
+    std::uint64_t ga_cycles = 0;  ///< slowest engine (they run concurrently)
+};
+
+/// Best-of combiner: watches every engine's GA_done/candidate pair and
+/// registers the fittest result (it re-evaluates nothing — it compares the
+/// engines' exported best fitness taps).
+class BestOfCombiner final : public rtl::Module {
+public:
+    struct EnginePorts {
+        rtl::Wire<bool>* done;
+        rtl::Wire<std::uint16_t>* candidate;
+        rtl::Wire<std::uint16_t>* best_fit;
+    };
+
+    explicit BestOfCombiner(std::vector<EnginePorts> engines)
+        : Module("best_of_combiner"), engines_(std::move(engines)) {
+        attach_all(best_fit_, best_cand_, best_idx_, all_done_);
+    }
+
+    void tick() override {
+        bool done = !engines_.empty();
+        for (std::size_t i = 0; i < engines_.size(); ++i) {
+            const EnginePorts& e = engines_[i];
+            done = done && e.done->read();
+            if (e.done->read() && e.best_fit->read() > best_fit_.read()) {
+                best_fit_.load(e.best_fit->read());
+                best_cand_.load(e.candidate->read());
+                best_idx_.load(static_cast<std::uint8_t>(i));
+            }
+        }
+        all_done_.load(done);
+    }
+
+    bool all_done() const noexcept { return all_done_.read(); }
+    std::uint16_t best_fitness() const noexcept { return best_fit_.read(); }
+    std::uint16_t best_candidate() const noexcept { return best_cand_.read(); }
+    std::uint8_t best_engine() const noexcept { return best_idx_.read(); }
+
+private:
+    std::vector<EnginePorts> engines_;
+    rtl::Reg<std::uint16_t> best_fit_{"comb_best_fit", 0};
+    rtl::Reg<std::uint16_t> best_cand_{"comb_best_cand", 0};
+    rtl::Reg<std::uint8_t> best_idx_{"comb_best_idx", 0};
+    rtl::Reg<bool> all_done_{"comb_all_done", false, 1};
+};
+
+class ParallelGaSystem {
+public:
+    explicit ParallelGaSystem(ParallelGaConfig cfg);
+    ~ParallelGaSystem();  // out-of-line: Engine is an incomplete type here
+
+    ParallelRunResult run();
+
+    std::size_t engine_count() const noexcept { return engines_.size(); }
+    rtl::Kernel& kernel() noexcept { return kernel_; }
+    const BestOfCombiner& combiner() const noexcept { return *combiner_; }
+
+private:
+    struct Engine;  // full wire bundle + modules for one GA instance
+
+    ParallelGaConfig cfg_;
+    rtl::Kernel kernel_;
+    rtl::Clock* ga_clk_ = nullptr;
+    rtl::Clock* app_clk_ = nullptr;
+    std::vector<std::unique_ptr<Engine>> engines_;
+    std::unique_ptr<BestOfCombiner> combiner_;
+};
+
+struct IslandGaConfig {
+    core::GaParameters params;        ///< per-island parameters
+    unsigned islands = 4;
+    unsigned migration_interval = 8;  ///< generations between migrations
+    std::uint16_t seed_base = 0x2961; ///< island i seeds with base ^ (i * 0x9E37)
+    prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+};
+
+struct IslandRunResult {
+    std::uint16_t best_candidate = 0;
+    std::uint16_t best_fitness = 0;
+    std::uint64_t evaluations = 0;
+    std::vector<std::uint16_t> island_best;  ///< per-island best fitness
+};
+
+IslandRunResult run_island_ga(const IslandGaConfig& cfg, const core::FitnessFn& fitness);
+
+}  // namespace gaip::system

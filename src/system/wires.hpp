@@ -1,0 +1,106 @@
+// Wire bundle owning every net of a single-core GA system. Testbenches and
+// the GaSystem builder instantiate one bundle and pass the derived port
+// structs to the modules; the bundle is the "top-level netlist" of Fig. 4.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ga_core.hpp"
+#include "fitness/fem.hpp"
+#include "fitness/fem_mux.hpp"
+#include "mem/ga_memory.hpp"
+#include "prng/rng_module.hpp"
+#include "rtl/signal.hpp"
+
+namespace gaip::system {
+
+struct CoreWireBundle {
+    // init interface
+    rtl::Wire<bool> ga_load;
+    rtl::Wire<std::uint8_t> index;
+    rtl::Wire<std::uint16_t> value;
+    rtl::Wire<bool> data_valid;
+    rtl::Wire<bool> data_ack;
+
+    // fitness interface (core side, after the mux)
+    rtl::Wire<std::uint16_t> fit_value;
+    rtl::Wire<bool> fit_request;
+    rtl::Wire<bool> fit_valid;
+    rtl::Wire<std::uint16_t> candidate;
+
+    // memory interface
+    rtl::Wire<std::uint8_t> mem_address;
+    rtl::Wire<std::uint32_t> mem_data_out;
+    rtl::Wire<bool> mem_wr;
+    rtl::Wire<std::uint32_t> mem_data_in;
+
+    // control
+    rtl::Wire<bool> start_ga;
+    rtl::Wire<bool> ga_done;
+
+    // scan test
+    rtl::Wire<bool> test;
+    rtl::Wire<bool> scanin;
+    rtl::Wire<bool> scanout;
+
+    // preset / RNG / fitness select / external FEM
+    rtl::Wire<std::uint8_t> preset;
+    rtl::Wire<std::uint16_t> rn;
+    rtl::Wire<std::uint8_t> fitfunc_select;
+    rtl::Wire<std::uint16_t> fit_value_ext;
+    rtl::Wire<bool> fit_valid_ext;
+
+    // extensions
+    rtl::Wire<bool> rn_next;
+    rtl::Wire<bool> sel_found;
+    rtl::Wire<bool> sel_force_found;
+
+    // monitor taps
+    rtl::Wire<bool> mon_gen_pulse;
+    rtl::Wire<std::uint32_t> mon_gen_id;
+    rtl::Wire<std::uint16_t> mon_best_fit;
+    rtl::Wire<std::uint32_t> mon_fit_sum;
+    rtl::Wire<std::uint16_t> mon_best_ind;
+    rtl::Wire<bool> mon_bank;
+    rtl::Wire<std::uint8_t> mon_pop_size;
+
+    // per-fitness-slot nets (internal FEMs behind the mux)
+    struct SlotWires {
+        rtl::Wire<bool> request;
+        rtl::Wire<std::uint16_t> value;
+        rtl::Wire<bool> valid;
+    };
+    SlotWires slots[fitness::kMaxFitnessSlots];
+
+    core::GaCorePorts core_ports() {
+        return core::GaCorePorts{
+            ga_load, index, value, data_valid, data_ack, fit_value, fit_request, fit_valid,
+            candidate, mem_address, mem_data_out, mem_wr, mem_data_in, start_ga, ga_done, test,
+            scanin, scanout, preset, rn, fitfunc_select, fit_value_ext, fit_valid_ext, rn_next,
+            sel_found, sel_force_found, mon_gen_pulse, mon_gen_id, mon_best_fit, mon_fit_sum,
+            mon_best_ind, mon_bank, mon_pop_size};
+    }
+
+    prng::RngModulePorts rng_ports() {
+        return prng::RngModulePorts{ga_load, index, value, data_valid, preset,
+                                    start_ga, rn_next, rn};
+    }
+
+    mem::GaMemoryPorts memory_ports() {
+        return mem::GaMemoryPorts{mem_address, mem_data_out, mem_wr, mem_data_in};
+    }
+
+    fitness::FemMuxPorts mux_ports() {
+        return fitness::FemMuxPorts{fit_request, fitfunc_select, fit_value, fit_valid};
+    }
+
+    fitness::FemPorts slot_fem_ports(std::size_t i) {
+        return fitness::FemPorts{slots[i].request, candidate, slots[i].value, slots[i].valid};
+    }
+
+    fitness::FemPorts external_fem_ports() {
+        return fitness::FemPorts{fit_request, candidate, fit_value_ext, fit_valid_ext};
+    }
+};
+
+}  // namespace gaip::system

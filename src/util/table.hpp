@@ -1,0 +1,101 @@
+// ASCII / CSV table formatting shared by every bench binary so that the
+// reproduced tables print in a consistent, paper-like layout.
+#pragma once
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gaip::util {
+
+/// A simple column-aligned text table with an optional CSV sink.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+    void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+    /// Convenience: build a row out of heterogeneous cells.
+    template <typename... Ts>
+    void add(const Ts&... cells) {
+        std::vector<std::string> row;
+        (row.push_back(to_cell(cells)), ...);
+        add_row(std::move(row));
+    }
+
+    void print(std::ostream& os = std::cout) const {
+        std::vector<std::size_t> w(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string>& row) {
+            for (std::size_t i = 0; i < row.size() && i < w.size(); ++i)
+                w[i] = std::max(w[i], row[i].size());
+        };
+        widen(header_);
+        for (const auto& r : rows_) widen(r);
+
+        auto rule = [&] {
+            os << '+';
+            for (std::size_t x : w) os << std::string(x + 2, '-') << '+';
+            os << '\n';
+        };
+        auto line = [&](const std::vector<std::string>& row) {
+            os << '|';
+            for (std::size_t i = 0; i < w.size(); ++i) {
+                const std::string& c = i < row.size() ? row[i] : std::string{};
+                os << ' ' << std::setw(static_cast<int>(w[i])) << std::left << c << " |";
+            }
+            os << '\n';
+        };
+        rule();
+        line(header_);
+        rule();
+        for (const auto& r : rows_) line(r);
+        rule();
+    }
+
+    /// Write the same data as CSV (header + rows). Returns false on IO error.
+    bool write_csv(const std::string& path) const {
+        std::ofstream f(path);
+        if (!f) return false;
+        auto emit = [&](const std::vector<std::string>& row) {
+            for (std::size_t i = 0; i < row.size(); ++i) {
+                if (i) f << ',';
+                f << row[i];
+            }
+            f << '\n';
+        };
+        emit(header_);
+        for (const auto& r : rows_) emit(r);
+        return static_cast<bool>(f);
+    }
+
+    template <typename T>
+    static std::string to_cell(const T& v) {
+        if constexpr (std::is_same_v<T, std::string>) {
+            return v;
+        } else if constexpr (std::is_convertible_v<T, const char*>) {
+            return std::string(v);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            std::ostringstream ss;
+            ss << std::fixed << std::setprecision(3) << v;
+            return ss.str();
+        } else {
+            return std::to_string(v);
+        }
+    }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format an unsigned value as fixed-width uppercase hex (paper-style seeds).
+inline std::string hex16(std::uint32_t v) {
+    std::ostringstream ss;
+    ss << std::uppercase << std::hex << std::setw(4) << std::setfill('0') << (v & 0xFFFFu);
+    return ss.str();
+}
+
+}  // namespace gaip::util

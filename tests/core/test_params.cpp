@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace gaip::core {
+namespace {
+
+TEST(PresetParameters, MatchTableIV) {
+    const GaParameters m1 = preset_parameters(1);
+    EXPECT_EQ(m1.pop_size, 32);
+    EXPECT_EQ(m1.n_gens, 512u);
+    EXPECT_EQ(m1.xover_threshold, 12);
+    EXPECT_EQ(m1.mut_threshold, 1);
+
+    const GaParameters m2 = preset_parameters(2);
+    EXPECT_EQ(m2.pop_size, 64);
+    EXPECT_EQ(m2.n_gens, 1024u);
+    EXPECT_EQ(m2.xover_threshold, 13);
+    EXPECT_EQ(m2.mut_threshold, 2);
+
+    const GaParameters m3 = preset_parameters(3);
+    EXPECT_EQ(m3.pop_size, 128);
+    EXPECT_EQ(m3.n_gens, 4096u);
+    EXPECT_EQ(m3.xover_threshold, 14);
+    EXPECT_EQ(m3.mut_threshold, 3);
+}
+
+TEST(ResolveParameters, Mode00UsesUserValues) {
+    const GaParameters user{.pop_size = 50, .n_gens = 77, .xover_threshold = 9,
+                            .mut_threshold = 4, .seed = 123};
+    EXPECT_EQ(resolve_parameters(0, user), user);
+}
+
+TEST(ResolveParameters, PresetModesIgnoreUserValues) {
+    const GaParameters user{.pop_size = 50, .n_gens = 77, .xover_threshold = 9,
+                            .mut_threshold = 4, .seed = 123};
+    for (std::uint8_t mode = 1; mode <= 3; ++mode) {
+        EXPECT_EQ(resolve_parameters(mode, user), preset_parameters(mode)) << int(mode);
+    }
+}
+
+TEST(ResolveParameters, ClampsPopulationToBankCapacity) {
+    GaParameters user;
+    user.pop_size = 200;  // Table IV says < 256, but double-banking caps at 128
+    EXPECT_EQ(resolve_parameters(0, user).pop_size, kMaxPopSize);
+    user.pop_size = 1;
+    EXPECT_EQ(resolve_parameters(0, user).pop_size, kMinPopSize);
+    user.pop_size = 0;
+    EXPECT_EQ(resolve_parameters(0, user).pop_size, kMinPopSize);
+}
+
+TEST(ResolveParameters, MasksThresholdsToFourBits) {
+    GaParameters user;
+    user.xover_threshold = 0xFF;
+    user.mut_threshold = 0x1F;
+    const GaParameters r = resolve_parameters(0, user);
+    EXPECT_EQ(r.xover_threshold, 0xF);
+    EXPECT_EQ(r.mut_threshold, 0xF);
+}
+
+TEST(ResolveParameters, SeedZeroRemapped) {
+    GaParameters user;
+    user.seed = 0;
+    EXPECT_EQ(resolve_parameters(0, user).seed, 1u);
+}
+
+TEST(ResolveParameters, PresetBitsAboveTwoIgnored) {
+    GaParameters user;
+    EXPECT_EQ(resolve_parameters(0x4, user).pop_size, resolve_parameters(0, user).pop_size);
+    EXPECT_EQ(resolve_parameters(0x5, user), preset_parameters(1));
+}
+
+}  // namespace
+}  // namespace gaip::core

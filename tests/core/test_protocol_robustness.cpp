@@ -1,0 +1,171 @@
+// Protocol robustness: hostile/degenerate stimulus on the core's
+// interfaces. The core must never hang or corrupt state in the face of
+// glitchy handshakes, spurious starts, or odd initialization orders.
+#include <gtest/gtest.h>
+
+#include "core/ga_core.hpp"
+#include "fitness/functions.hpp"
+#include "rtl/kernel.hpp"
+#include "system/ga_system.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::core {
+namespace {
+
+using fitness::FitnessId;
+
+struct BareCore {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 50'000'000);
+    system::CoreWireBundle w;
+    GaCore core{"ga_core", w.core_ports()};
+
+    BareCore() {
+        kernel.bind(core, clk);
+        kernel.reset();
+    }
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+};
+
+TEST(ProtocolRobustness, DataValidWithoutGaLoadIsIgnored) {
+    BareCore b;
+    b.w.index.drive(2);
+    b.w.value.drive(99);
+    b.w.data_valid.drive(true);
+    b.cycle(5);
+    EXPECT_EQ(b.core.state(), GaCore::State::kIdle);
+    EXPECT_FALSE(b.w.data_ack.read());
+    EXPECT_EQ(b.core.programmed_parameters().pop_size, 32) << "reset default untouched";
+    b.w.data_valid.drive(false);
+}
+
+TEST(ProtocolRobustness, GaLoadDroppedMidHandshakeRecovers) {
+    BareCore b;
+    b.w.ga_load.drive(true);
+    b.w.index.drive(2);
+    b.w.value.drive(77);
+    b.w.data_valid.drive(true);
+    b.cycle(2);  // core latched and acked
+    EXPECT_TRUE(b.w.data_ack.read());
+    // User yanks ga_load while data_valid still high.
+    b.w.ga_load.drive(false);
+    b.cycle(1);
+    b.w.data_valid.drive(false);
+    b.cycle(3);
+    EXPECT_EQ(b.core.state(), GaCore::State::kIdle);
+    EXPECT_EQ(b.core.programmed_parameters().pop_size, 77) << "the latched write persists";
+}
+
+TEST(ProtocolRobustness, OutOfRangeIndexWritesNothing) {
+    BareCore b;
+    const GaParameters before = b.core.programmed_parameters();
+    for (const std::uint8_t idx : {6, 7}) {  // unassigned Table III indices
+        b.w.ga_load.drive(true);
+        b.w.index.drive(idx);
+        b.w.value.drive(0xDEAD);
+        b.w.data_valid.drive(true);
+        for (int i = 0; i < 10 && !b.w.data_ack.read(); ++i) b.cycle();
+        EXPECT_TRUE(b.w.data_ack.read()) << "handshake still completes for index " << int(idx);
+        b.w.data_valid.drive(false);
+        b.cycle(2);
+        b.w.ga_load.drive(false);
+        b.cycle(1);
+    }
+    EXPECT_EQ(b.core.programmed_parameters(), before);
+}
+
+TEST(ProtocolRobustness, SpuriousStartPulsesMidRunAreIgnored) {
+    // start_GA re-pulsed while the core is mid-optimization must not
+    // restart or corrupt the run (edge detection only arms in Idle/Done).
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 6, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0x2961};
+    cfg.internal_fems = {FitnessId::kOneMax};
+    system::GaSystem ref(cfg);
+    const RunResult expect = ref.run();
+
+    system::GaSystem sys(cfg);
+    auto& k = sys.kernel();
+    k.reset();
+    ASSERT_TRUE(k.run_until(
+        sys.app_clock(), [&] { return sys.core().generation() >= 2; }, 10'000'000));
+    // Manually glitch start_GA (the app module has already released it).
+    sys.wires().start_ga.drive(true);
+    k.run_cycles(sys.ga_clock(), 3);
+    sys.wires().start_ga.drive(false);
+    ASSERT_TRUE(k.run_until(
+        sys.app_clock(), [&] { return sys.wires().ga_done.read(); }, 100'000'000));
+    EXPECT_EQ(sys.core().best_candidate(), expect.best_candidate)
+        << "a spurious start pulse mid-run must be inert";
+    EXPECT_EQ(sys.core().best_fitness(), expect.best_fitness);
+}
+
+TEST(ProtocolRobustness, GlitchedDataValidDoubleWriteIsIdempotent) {
+    BareCore b;
+    // data_valid bounces: high, low before ack seen by the user, high again
+    // with the same payload. The core may latch twice; the result is the
+    // same register value.
+    b.w.ga_load.drive(true);
+    b.w.index.drive(3);
+    b.w.value.drive(9);
+    b.w.data_valid.drive(true);
+    b.cycle(1);
+    b.w.data_valid.drive(false);
+    b.cycle(1);
+    b.w.data_valid.drive(true);
+    for (int i = 0; i < 10 && !b.w.data_ack.read(); ++i) b.cycle();
+    b.w.data_valid.drive(false);
+    b.cycle(2);
+    b.w.ga_load.drive(false);
+    b.cycle(1);
+    EXPECT_EQ(b.core.programmed_parameters().xover_threshold, 9);
+    EXPECT_EQ(b.core.state(), GaCore::State::kIdle);
+}
+
+TEST(ProtocolRobustness, FitValidStuckHighStallsCleanlyThenRecovers) {
+    // A broken FEM holding fit_valid high while the core is between
+    // requests: the core waits in kEvalDrop until valid drops, then
+    // continues — no state corruption.
+    BareCore b;
+    b.w.start_ga.drive(true);
+    b.cycle(2);
+    b.w.start_ga.drive(false);
+    // Reach the evaluation request for the first individual.
+    for (int i = 0; i < 50 && b.core.state() != GaCore::State::kEvalReq; ++i) b.cycle();
+    ASSERT_EQ(b.core.state(), GaCore::State::kEvalReq);
+    // Respond, but leave fit_valid stuck high.
+    b.w.fit_value.drive(1234);
+    b.w.fit_valid.drive(true);
+    b.cycle(2);
+    EXPECT_EQ(b.core.state(), GaCore::State::kEvalDrop);
+    b.cycle(20);
+    EXPECT_EQ(b.core.state(), GaCore::State::kEvalDrop) << "must wait, not bypass";
+    b.w.fit_valid.drive(false);
+    b.cycle(2);
+    EXPECT_NE(b.core.state(), GaCore::State::kEvalDrop) << "must proceed once released";
+}
+
+TEST(ProtocolRobustness, FitfuncSelectChangeBetweenRunsHonored) {
+    // fitfunc_select may legally change between runs; the rerun must use
+    // the newly selected FEM.
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 8, .n_gens = 3, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0xB342};
+    cfg.internal_fems = {FitnessId::kF3, FitnessId::kOneMax};
+    cfg.fitfunc_select = 0;
+    system::GaSystem sys(cfg);
+    const RunResult first = sys.run();
+    EXPECT_EQ(first.best_fitness, fitness::fitness_u16(FitnessId::kF3, first.best_candidate));
+
+    sys.wires().fitfunc_select.drive(1);
+    sys.app_module().request_restart();
+    ASSERT_TRUE(sys.kernel().run_until(
+        sys.app_clock(), [&] { return !sys.wires().ga_done.read(); }, 1'000'000));
+    ASSERT_TRUE(sys.kernel().run_until(
+        sys.app_clock(), [&] { return sys.wires().ga_done.read(); }, 100'000'000));
+    EXPECT_EQ(sys.core().best_fitness(),
+              fitness::fitness_u16(FitnessId::kOneMax, sys.core().best_candidate()));
+}
+
+}  // namespace
+}  // namespace gaip::core

@@ -1,0 +1,102 @@
+// Tests of the resynthesized wide-chromosome GA (Sec. III-D option a).
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "core/wide_ga.hpp"
+#include "fitness/functions.hpp"
+
+namespace gaip::core {
+namespace {
+
+TEST(CrossoverWide, CutSemanticsAcrossWidths) {
+    for (const unsigned bits : {8u, 16u, 32u, 48u, 64u}) {
+        const std::uint64_t p1 = 0xAAAAAAAAAAAAAAAAull & util::low_mask(bits);
+        const std::uint64_t p2 = 0x5555555555555555ull & util::low_mask(bits);
+        for (unsigned cut = 0; cut < bits; cut += 5) {
+            const auto [o1, o2] = crossover_pair_wide(p1, p2, cut, bits);
+            for (unsigned b = 0; b < bits; ++b) {
+                const bool from_p1 = b < cut;
+                EXPECT_EQ((o1 >> b) & 1, ((from_p1 ? p1 : p2) >> b) & 1)
+                    << bits << " bits, cut " << cut << ", bit " << b;
+            }
+            EXPECT_EQ(o1 ^ o2, p1 ^ p2);
+        }
+    }
+}
+
+TEST(CrossoverWide, SixteenBitAgreesWithCoreOperator) {
+    for (unsigned cut = 0; cut < 16; ++cut) {
+        const auto [w1, w2] = crossover_pair_wide(0xBEEF, 0x1234, cut, 16);
+        const auto [c1, c2] = crossover_pair(0xBEEF, 0x1234, cut);
+        EXPECT_EQ(w1, c1) << cut;
+        EXPECT_EQ(w2, c2) << cut;
+    }
+}
+
+TEST(WideGa, SolvesOneMax32) {
+    WideGaParameters p;
+    p.chrom_bits = 32;
+    p.pop_size = 64;
+    p.n_gens = 96;
+    p.xover_threshold = 12;
+    p.mut_threshold = 2;
+    p.seed = 0x2961;
+    const WideRunResult r =
+        run_wide_ga(p, [](std::uint64_t x) { return fitness::onemax32(static_cast<std::uint32_t>(x)); });
+    EXPECT_GE(std::popcount(static_cast<std::uint32_t>(r.best_candidate)), 29);
+    EXPECT_EQ(r.evaluations, 64u + 96u * 63u);
+}
+
+TEST(WideGa, RespectsChromosomeWidth) {
+    WideGaParameters p;
+    p.chrom_bits = 24;
+    p.pop_size = 16;
+    p.n_gens = 16;
+    p.seed = 7;
+    const WideRunResult r = run_wide_ga(
+        p, [](std::uint64_t x) { return static_cast<std::uint16_t>(x & 0xFFFF); });
+    EXPECT_EQ(r.best_candidate & ~util::low_mask(24), 0u)
+        << "no bit above the configured width may ever be set";
+}
+
+TEST(WideGa, ElitismMonotoneAt48Bits) {
+    WideGaParameters p;
+    p.chrom_bits = 48;
+    p.pop_size = 24;
+    p.n_gens = 24;
+    p.seed = 0xAAAA;
+    const WideRunResult r = run_wide_ga(p, [](std::uint64_t x) {
+        return static_cast<std::uint16_t>(2047u * std::popcount(x & util::low_mask(48)) / 3u);
+    });
+    for (std::size_t g = 1; g < r.best_per_generation.size(); ++g)
+        EXPECT_GE(r.best_per_generation[g], r.best_per_generation[g - 1]) << g;
+}
+
+TEST(WideGa, DeterministicPerSeed) {
+    WideGaParameters p;
+    p.chrom_bits = 40;
+    p.pop_size = 16;
+    p.n_gens = 8;
+    p.seed = 0x061F;
+    auto fn = [](std::uint64_t x) { return static_cast<std::uint16_t>((x * 0x9E3779B9u) >> 48); };
+    const WideRunResult a = run_wide_ga(p, fn);
+    const WideRunResult b = run_wide_ga(p, fn);
+    EXPECT_EQ(a.best_candidate, b.best_candidate);
+    EXPECT_EQ(a.best_per_generation, b.best_per_generation);
+}
+
+TEST(WideGa, InvalidConfigRejected) {
+    WideGaParameters p;
+    p.chrom_bits = 0;
+    EXPECT_THROW(run_wide_ga(p, [](std::uint64_t) { return std::uint16_t{0}; }),
+                 std::invalid_argument);
+    p.chrom_bits = 65;
+    EXPECT_THROW(run_wide_ga(p, [](std::uint64_t) { return std::uint16_t{0}; }),
+                 std::invalid_argument);
+    p.chrom_bits = 32;
+    EXPECT_THROW(run_wide_ga(p, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gaip::core

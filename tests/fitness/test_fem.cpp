@@ -1,0 +1,189 @@
+// Handshake-protocol tests of the fitness evaluation module and the 8-way
+// fitness multiplexer.
+#include <gtest/gtest.h>
+
+#include "fitness/fem.hpp"
+#include "fitness/fem_mux.hpp"
+#include "fitness/rom_builder.hpp"
+#include "rtl/kernel.hpp"
+
+namespace gaip::fitness {
+namespace {
+
+struct FemBench {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 200'000'000);
+    rtl::Wire<bool> fit_request;
+    rtl::Wire<std::uint16_t> candidate;
+    rtl::Wire<std::uint16_t> fit_value;
+    rtl::Wire<bool> fit_valid;
+    RomFitnessModule fem;
+
+    explicit FemBench(FemConfig cfg = {})
+        : fem("fem", FemPorts{fit_request, candidate, fit_value, fit_valid},
+              fitness_rom(FitnessId::kF3), cfg) {
+        kernel.bind(fem, clk);
+        kernel.reset();
+    }
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+
+    /// Full four-phase handshake; returns the value and cycles-to-valid.
+    std::pair<std::uint16_t, unsigned> evaluate(std::uint16_t cand, unsigned timeout = 100) {
+        candidate.drive(cand);
+        fit_request.drive(true);
+        unsigned waited = 0;
+        while (!fit_valid.read() && waited < timeout) {
+            cycle();
+            ++waited;
+        }
+        EXPECT_TRUE(fit_valid.read()) << "FEM never answered";
+        const std::uint16_t v = fit_value.read();
+        fit_request.drive(false);
+        unsigned drop = 0;
+        while (fit_valid.read() && drop < timeout) {
+            cycle();
+            ++drop;
+        }
+        EXPECT_FALSE(fit_valid.read()) << "FEM never dropped valid";
+        return {v, waited};
+    }
+};
+
+TEST(RomFitnessModule, AnswersWithRomValue) {
+    FemBench b;
+    const auto [v, cycles] = b.evaluate(0xFFFF);
+    EXPECT_EQ(v, 3060u);  // F3 optimum
+    EXPECT_EQ(b.fem.evaluations(), 1u);
+    (void)cycles;
+}
+
+TEST(RomFitnessModule, BaseLatencyIsTwoCycles) {
+    FemBench b;
+    const auto [v, cycles] = b.evaluate(0x1234);
+    (void)v;
+    // IDLE->LOOKUP (request sampled), LOOKUP->PRESENT (ROM read); valid is
+    // a Moore output of PRESENT, visible right after the second edge.
+    EXPECT_EQ(cycles, 2u);
+}
+
+TEST(RomFitnessModule, ExtraLatencyDelaysValid) {
+    FemBench base;
+    FemBench slow(FemConfig{.extra_latency_cycles = 20});
+    const auto [v0, c0] = base.evaluate(42);
+    const auto [v1, c1] = slow.evaluate(42);
+    EXPECT_EQ(v0, v1) << "latency must not change the value";
+    EXPECT_EQ(c1, c0 + 20);
+}
+
+TEST(RomFitnessModule, BackToBackRequestsAreIndependent) {
+    FemBench b;
+    for (std::uint16_t cand : {0x0000, 0x00FF, 0xFF00, 0xABCD}) {
+        const auto [v, c] = b.evaluate(cand);
+        (void)c;
+        EXPECT_EQ(v, b.fem.rom().read(cand));
+    }
+    EXPECT_EQ(b.fem.evaluations(), 4u);
+}
+
+TEST(RomFitnessModule, CandidateLatchedAtRequest) {
+    FemBench b;
+    b.candidate.drive(0xFFFF);
+    b.fit_request.drive(true);
+    b.cycle();              // request accepted, candidate latched
+    b.candidate.drive(0x0000);  // late change must be ignored
+    while (!b.fit_valid.read()) b.cycle();
+    EXPECT_EQ(b.fit_value.read(), 3060u);
+    b.fit_request.drive(false);
+    b.cycle(3);
+}
+
+TEST(RomFitnessModule, ValidHeldUntilRequestDrops) {
+    FemBench b;
+    b.candidate.drive(7);
+    b.fit_request.drive(true);
+    while (!b.fit_valid.read()) b.cycle();
+    b.cycle(5);
+    EXPECT_TRUE(b.fit_valid.read()) << "valid must persist while request is held";
+    b.fit_request.drive(false);
+    b.cycle(2);
+    EXPECT_FALSE(b.fit_valid.read());
+}
+
+// ------------------------------------------------------------------ mux --
+
+struct MuxBench {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 200'000'000);
+    rtl::Wire<bool> fit_request;
+    rtl::Wire<std::uint8_t> sel;
+    rtl::Wire<std::uint16_t> fit_value;
+    rtl::Wire<bool> fit_valid;
+    rtl::Wire<std::uint16_t> candidate;
+
+    struct Slot {
+        rtl::Wire<bool> req;
+        rtl::Wire<std::uint16_t> val;
+        rtl::Wire<bool> valid;
+    };
+    Slot s0, s1;
+    FemMux mux{FemMuxPorts{fit_request, sel, fit_value, fit_valid}};
+    RomFitnessModule fem0{"fem0", FemPorts{s0.req, candidate, s0.val, s0.valid},
+                          fitness_rom(FitnessId::kF3)};
+    RomFitnessModule fem1{"fem1", FemPorts{s1.req, candidate, s1.val, s1.valid},
+                          fitness_rom(FitnessId::kOneMax)};
+
+    MuxBench() {
+        mux.set_slot(0, FemMuxSlot{&s0.req, &s0.val, &s0.valid});
+        mux.set_slot(1, FemMuxSlot{&s1.req, &s1.val, &s1.valid});
+        kernel.add_combinational(mux);
+        kernel.bind(fem0, clk);
+        kernel.bind(fem1, clk);
+        kernel.reset();
+    }
+
+    std::uint16_t evaluate(std::uint8_t slot, std::uint16_t cand) {
+        sel.drive(slot);
+        candidate.drive(cand);
+        fit_request.drive(true);
+        for (int i = 0; i < 50 && !fit_valid.read(); ++i) kernel.run_cycles(clk, 1);
+        EXPECT_TRUE(fit_valid.read());
+        const std::uint16_t v = fit_value.read();
+        fit_request.drive(false);
+        for (int i = 0; i < 50 && fit_valid.read(); ++i) kernel.run_cycles(clk, 1);
+        return v;
+    }
+};
+
+TEST(FemMux, RoutesRequestToSelectedSlotOnly) {
+    MuxBench b;
+    EXPECT_EQ(b.evaluate(0, 0xFFFF), 3060u);        // F3
+    EXPECT_EQ(b.fem0.evaluations(), 1u);
+    EXPECT_EQ(b.fem1.evaluations(), 0u);
+    EXPECT_EQ(b.evaluate(1, 0xFFFF), 16u * 4095u);  // OneMax
+    EXPECT_EQ(b.fem1.evaluations(), 1u);
+    EXPECT_EQ(b.fem0.evaluations(), 1u) << "slot 0 must not see slot 1 traffic";
+}
+
+TEST(FemMux, SwitchingFunctionsNeedsNoResynthesis) {
+    // The headline feature: alternate between fitness functions run to run,
+    // purely by changing fitfunc_select.
+    MuxBench b;
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(b.evaluate(0, 0x00FF), b.fem0.rom().read(0x00FF));
+        EXPECT_EQ(b.evaluate(1, 0x00FF), b.fem1.rom().read(0x00FF));
+    }
+}
+
+TEST(FemMux, UnpopulatedSlotNeverAnswers) {
+    MuxBench b;
+    b.sel.drive(5);
+    b.candidate.drive(1);
+    b.fit_request.drive(true);
+    b.kernel.run_cycles(b.clk, 20);
+    EXPECT_FALSE(b.fit_valid.read());
+    EXPECT_EQ(b.fit_value.read(), 0u);
+    b.fit_request.drive(false);
+}
+
+}  // namespace
+}  // namespace gaip::fitness

@@ -1,0 +1,210 @@
+// Equivalence tests: the gate-level leaf blocks against the RT-level /
+// behavioral implementations (the paper's RT-vs-gate verification step).
+#include <gtest/gtest.h>
+
+#include "core/behavioral.hpp"
+#include "gates/blocks.hpp"
+#include "prng/ca_prng.hpp"
+#include "util/bits.hpp"
+
+namespace gaip::gates {
+namespace {
+
+void set_word(GateNetlist& nl, const Word& w, std::uint64_t v) {
+    for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+}
+
+TEST(GateCaPrng, BitExactWithSoftwareModelOverLongRun) {
+    GateNetlist nl;
+    const CaPrngBlock blk = build_ca_prng(nl);
+
+    // Load the seed through the synchronous load port.
+    set_word(nl, blk.seed, 0x2961);
+    nl.set_input(blk.load, true);
+    nl.eval();
+    nl.clock();
+    nl.set_input(blk.load, false);
+
+    prng::CaPrng ref(0x2961);
+    for (int i = 0; i < 2000; ++i) {
+        nl.eval();
+        nl.clock();
+        nl.eval();
+        EXPECT_EQ(nl.word_value(blk.state), ref.next16()) << "step " << i;
+    }
+}
+
+TEST(GateCaPrng, MaximalPeriodAtGateLevel) {
+    GateNetlist nl;
+    const CaPrngBlock blk = build_ca_prng(nl);
+    set_word(nl, blk.seed, 1);
+    nl.set_input(blk.load, true);
+    nl.eval();
+    nl.clock();
+    nl.set_input(blk.load, false);
+
+    std::uint32_t period = 0;
+    do {
+        nl.eval();
+        nl.clock();
+        ++period;
+        nl.eval();
+    } while (nl.word_value(blk.state) != 1u && period < (1u << 17));
+    EXPECT_EQ(period, 65535u);
+}
+
+TEST(GateCrossover, MatchesBehavioralOperatorForAllCuts) {
+    GateNetlist nl;
+    const CrossoverBlock blk = build_crossover_unit(nl);
+    const std::pair<std::uint16_t, std::uint16_t> parents[] = {
+        {0xAAAA, 0x5555}, {0xBEEF, 0x1234}, {0xFFFF, 0x0000}, {0x0F0F, 0x3C3C}};
+    for (const auto& [p1, p2] : parents) {
+        for (unsigned cut = 0; cut < 16; ++cut) {
+            set_word(nl, blk.p1, p1);
+            set_word(nl, blk.p2, p2);
+            set_word(nl, blk.cut, cut);
+            nl.set_input(blk.do_xover, true);
+            nl.eval();
+            const auto [e1, e2] = core::crossover_pair(p1, p2, cut);
+            EXPECT_EQ(nl.word_value(blk.off1), e1) << "cut " << cut;
+            EXPECT_EQ(nl.word_value(blk.off2), e2) << "cut " << cut;
+        }
+        // Bypass path.
+        nl.set_input(blk.do_xover, false);
+        nl.eval();
+        EXPECT_EQ(nl.word_value(blk.off1), p1);
+        EXPECT_EQ(nl.word_value(blk.off2), p2);
+    }
+}
+
+TEST(GateMutation, FlipsExactlyTheSelectedBit) {
+    GateNetlist nl;
+    const MutationBlock blk = build_mutation_unit(nl);
+    for (unsigned pos = 0; pos < 16; ++pos) {
+        set_word(nl, blk.in, 0x5A5A);
+        set_word(nl, blk.pos, pos);
+        nl.set_input(blk.do_mutate, true);
+        nl.eval();
+        EXPECT_EQ(nl.word_value(blk.out), 0x5A5Au ^ (1u << pos)) << "pos " << pos;
+        nl.set_input(blk.do_mutate, false);
+        nl.eval();
+        EXPECT_EQ(nl.word_value(blk.out), 0x5A5Au);
+    }
+}
+
+TEST(GateThreshold, ExhaustiveRateComparator) {
+    GateNetlist nl;
+    const ThresholdBlock blk = build_threshold_compare(nl);
+    for (unsigned r = 0; r < 16; ++r) {
+        for (unsigned t = 0; t < 16; ++t) {
+            set_word(nl, blk.rand4, r);
+            set_word(nl, blk.threshold, t);
+            nl.eval();
+            EXPECT_EQ(nl.value(blk.fire), r < t) << r << " vs " << t;
+        }
+    }
+}
+
+TEST(GateOperatorDatapath, MatchesBehavioralOperatorsOnRandomVectors) {
+    GateNetlist nl;
+    const OperatorDatapath dp = build_operator_datapath(nl);
+
+    core::RngState rng(0xA0A0);
+    for (int trial = 0; trial < 500; ++trial) {
+        const std::uint16_t p1 = rng.next16();
+        const std::uint16_t p2 = rng.next16();
+        const std::uint16_t rxo = rng.next16();
+        const std::uint16_t rm1 = rng.next16();
+        const std::uint16_t rm2 = rng.next16();
+        const std::uint8_t xt = rng.next16() & 0xF;
+        const std::uint8_t mt = rng.next16() & 0xF;
+
+        set_word(nl, dp.p1, p1);
+        set_word(nl, dp.p2, p2);
+        set_word(nl, dp.rand_xo, rxo);
+        set_word(nl, dp.rand_mu1, rm1);
+        set_word(nl, dp.rand_mu2, rm2);
+        set_word(nl, dp.xover_threshold, xt);
+        set_word(nl, dp.mut_threshold, mt);
+        nl.eval();
+
+        // Reference: the behavioral operator sequence of the core.
+        std::uint16_t o1 = p1;
+        std::uint16_t o2 = p2;
+        if ((rxo & 0xF) < xt) std::tie(o1, o2) = core::crossover_pair(o1, o2, (rxo >> 4) & 0xF);
+        if ((rm1 & 0xF) < mt) o1 ^= static_cast<std::uint16_t>(1u << ((rm1 >> 4) & 0xF));
+        if ((rm2 & 0xF) < mt) o2 ^= static_cast<std::uint16_t>(1u << ((rm2 >> 4) & 0xF));
+
+        EXPECT_EQ(nl.word_value(dp.off1), o1) << "trial " << trial;
+        EXPECT_EQ(nl.word_value(dp.off2), o2) << "trial " << trial;
+    }
+}
+
+
+TEST(GateMultiplier, ExhaustiveSmallAndRandomLarge) {
+    // Exhaustive 6x6.
+    {
+        GateNetlist nl;
+        const Word a = word_input(nl, "a", 6);
+        const Word b = word_input(nl, "b", 6);
+        const Word p = build_multiplier(nl, a, b);
+        ASSERT_EQ(p.size(), 12u);
+        for (unsigned va = 0; va < 64; ++va) {
+            for (unsigned vb = 0; vb < 64; ++vb) {
+                set_word(nl, a, va);
+                set_word(nl, b, vb);
+                nl.eval();
+                EXPECT_EQ(nl.word_value(p), va * vb) << va << "*" << vb;
+            }
+        }
+    }
+    // Random 24x16 (the selection-threshold operand sizes).
+    {
+        GateNetlist nl;
+        const Word a = word_input(nl, "a", 24);
+        const Word b = word_input(nl, "b", 16);
+        const Word p = build_multiplier(nl, a, b);
+        core::RngState rng(0xB342);
+        for (int t = 0; t < 200; ++t) {
+            const std::uint32_t va =
+                (static_cast<std::uint32_t>(rng.next16()) << 8 | (rng.next16() & 0xFF)) &
+                0xFFFFFF;
+            const std::uint16_t vb = rng.next16();
+            set_word(nl, a, va);
+            set_word(nl, b, vb);
+            nl.eval();
+            EXPECT_EQ(nl.word_value(p), static_cast<std::uint64_t>(va) * vb);
+        }
+    }
+}
+
+TEST(GateSelectionThreshold, MatchesCoreFormula) {
+    GateNetlist nl;
+    const SelectionThresholdBlock blk = build_selection_threshold(nl);
+    core::RngState rng(0x061F);
+    for (int t = 0; t < 300; ++t) {
+        const std::uint32_t fsum =
+            (static_cast<std::uint32_t>(rng.next16()) << 8 | (rng.next16() & 0xFF)) & 0xFFFFFF;
+        const std::uint16_t rn = rng.next16();
+        set_word(nl, blk.fit_sum, fsum);
+        set_word(nl, blk.rn, rn);
+        nl.eval();
+        const std::uint32_t expect =
+            static_cast<std::uint32_t>((static_cast<std::uint64_t>(fsum) * rn) >> 16);
+        EXPECT_EQ(nl.word_value(blk.threshold), expect) << fsum << " * " << rn;
+    }
+}
+
+TEST(GateBlocks, StatsAreNonTrivialAndExportable) {
+    GateNetlist nl;
+    build_ca_prng(nl);
+    build_operator_datapath(nl);
+    const GateStats s = nl.stats();
+    EXPECT_EQ(s.registers, 16u);
+    EXPECT_GT(s.logic_gates, 400u) << "the datapath must synthesize to hundreds of gates";
+    const std::string v = nl.to_verilog("ga_operator_datapath");
+    EXPECT_NE(v.find("SCAN_REGISTER r15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaip::gates

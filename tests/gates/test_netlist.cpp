@@ -1,0 +1,240 @@
+// Gate-netlist substrate tests: primitive evaluation, scan behavior,
+// word-level builders (exhaustive where the operand space allows), and the
+// Verilog export.
+#include <gtest/gtest.h>
+
+#include "gates/builder.hpp"
+#include "util/bits.hpp"
+
+namespace gaip::gates {
+namespace {
+
+TEST(GateNetlist, PrimitiveTruthTables) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    const Net b = nl.input("b");
+    const Net n_and = nl.g_and(a, b);
+    const Net n_or = nl.g_or(a, b);
+    const Net n_xor = nl.g_xor(a, b);
+    const Net n_nand = nl.g_nand(a, b);
+    const Net n_nor = nl.g_nor(a, b);
+    const Net n_not = nl.g_not(a);
+
+    for (int va = 0; va <= 1; ++va) {
+        for (int vb = 0; vb <= 1; ++vb) {
+            nl.set_input(a, va);
+            nl.set_input(b, vb);
+            nl.eval();
+            EXPECT_EQ(nl.value(n_and), va && vb);
+            EXPECT_EQ(nl.value(n_or), va || vb);
+            EXPECT_EQ(nl.value(n_xor), (va ^ vb) != 0);
+            EXPECT_EQ(nl.value(n_nand), !(va && vb));
+            EXPECT_EQ(nl.value(n_nor), !(va || vb));
+            EXPECT_EQ(nl.value(n_not), !va);
+        }
+    }
+}
+
+TEST(GateNetlist, ConstantsAndMux) {
+    GateNetlist nl;
+    const Net c0 = nl.constant(false);
+    const Net c1 = nl.constant(true);
+    const Net s = nl.input("s");
+    const Net m = nl.g_mux(s, c1, c0);
+    nl.set_input(s, true);
+    nl.eval();
+    EXPECT_TRUE(nl.value(m));
+    nl.set_input(s, false);
+    nl.eval();
+    EXPECT_FALSE(nl.value(m));
+}
+
+TEST(GateNetlist, ForwardReferenceRejected) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    EXPECT_THROW(nl.gate(GateOp::kAnd, a, a + 5), std::invalid_argument);
+    EXPECT_THROW(nl.gate(GateOp::kInput, a, a), std::invalid_argument);
+}
+
+TEST(GateNetlist, RegisterLatchesOnClock) {
+    GateNetlist nl;
+    const Net d = nl.input("d");
+    const Net q = nl.reg("r");
+    nl.connect_reg(q, d);
+    nl.set_input(d, true);
+    nl.eval();
+    EXPECT_FALSE(nl.value(q)) << "Q must not change before the edge";
+    nl.clock();
+    nl.eval();
+    EXPECT_TRUE(nl.value(q));
+}
+
+TEST(GateNetlist, UnconnectedRegisterThrowsOnClock) {
+    GateNetlist nl;
+    nl.reg("dangling");
+    EXPECT_THROW(nl.clock(), std::logic_error);
+}
+
+TEST(GateNetlist, ScanModeShiftsRegisters) {
+    GateNetlist nl;
+    const Net q0 = nl.reg("r0");
+    const Net q1 = nl.reg("r1");
+    const Net q2 = nl.reg("r2");
+    const Net zero = nl.constant(false);
+    nl.connect_reg(q0, zero);
+    nl.connect_reg(q1, zero);
+    nl.connect_reg(q2, zero);
+
+    // Shift the pattern 1,0,1 in, head first.
+    nl.clock(true, true);
+    nl.clock(true, false);
+    nl.clock(true, true);
+    nl.eval();
+    EXPECT_TRUE(nl.value(q0));   // last bit shifted in
+    EXPECT_FALSE(nl.value(q1));
+    EXPECT_TRUE(nl.value(q2));   // first bit, now at the tail
+
+    // Drain: scan-out returns tail-first.
+    EXPECT_TRUE(nl.clock(true, false));
+    EXPECT_FALSE(nl.clock(true, false));
+    EXPECT_TRUE(nl.clock(true, false));
+}
+
+TEST(WordBuilder, ConstAndValueRoundTrip) {
+    GateNetlist nl;
+    const Word w = word_const(nl, 0xBEEF, 16);
+    nl.eval();
+    EXPECT_EQ(nl.word_value(w), 0xBEEFu);
+}
+
+TEST(WordBuilder, BitwiseOpsExhaustiveOn4Bits) {
+    GateNetlist nl;
+    const Word a = word_input(nl, "a", 4);
+    const Word b = word_input(nl, "b", 4);
+    const Word w_and = word_and(nl, a, b);
+    const Word w_or = word_or(nl, a, b);
+    const Word w_xor = word_xor(nl, a, b);
+    const Word w_not = word_not(nl, a);
+
+    auto set_word = [&](const Word& w, unsigned v) {
+        for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+    };
+    for (unsigned va = 0; va < 16; ++va) {
+        for (unsigned vb = 0; vb < 16; ++vb) {
+            set_word(a, va);
+            set_word(b, vb);
+            nl.eval();
+            EXPECT_EQ(nl.word_value(w_and), va & vb);
+            EXPECT_EQ(nl.word_value(w_or), va | vb);
+            EXPECT_EQ(nl.word_value(w_xor), va ^ vb);
+            EXPECT_EQ(nl.word_value(w_not), (~va) & 0xFu);
+        }
+    }
+}
+
+TEST(WordBuilder, RippleAdderExhaustiveOn5Bits) {
+    GateNetlist nl;
+    const Word a = word_input(nl, "a", 5);
+    const Word b = word_input(nl, "b", 5);
+    const AddResult r = word_add(nl, a, b);
+    auto set_word = [&](const Word& w, unsigned v) {
+        for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+    };
+    for (unsigned va = 0; va < 32; ++va) {
+        for (unsigned vb = 0; vb < 32; ++vb) {
+            set_word(a, va);
+            set_word(b, vb);
+            nl.eval();
+            EXPECT_EQ(nl.word_value(r.sum), (va + vb) & 0x1Fu);
+            EXPECT_EQ(nl.value(r.carry_out), (va + vb) >= 32u);
+        }
+    }
+}
+
+TEST(WordBuilder, ComparatorsExhaustiveOn4Bits) {
+    GateNetlist nl;
+    const Word a = word_input(nl, "a", 4);
+    const Word b = word_input(nl, "b", 4);
+    const Net lt = word_less_than(nl, a, b);
+    const Net eq = word_equal(nl, a, b);
+    auto set_word = [&](const Word& w, unsigned v) {
+        for (std::size_t i = 0; i < w.size(); ++i) nl.set_input(w[i], (v >> i) & 1u);
+    };
+    for (unsigned va = 0; va < 16; ++va) {
+        for (unsigned vb = 0; vb < 16; ++vb) {
+            set_word(a, va);
+            set_word(b, vb);
+            nl.eval();
+            EXPECT_EQ(nl.value(lt), va < vb) << va << " " << vb;
+            EXPECT_EQ(nl.value(eq), va == vb) << va << " " << vb;
+        }
+    }
+}
+
+TEST(WordBuilder, DecoderIsOneHot) {
+    GateNetlist nl;
+    const Word sel = word_input(nl, "s", 4);
+    const Word onehot = decoder(nl, sel);
+    ASSERT_EQ(onehot.size(), 16u);
+    for (unsigned v = 0; v < 16; ++v) {
+        for (std::size_t i = 0; i < sel.size(); ++i) nl.set_input(sel[i], (v >> i) & 1u);
+        nl.eval();
+        EXPECT_EQ(nl.word_value(onehot), 1u << v);
+    }
+}
+
+TEST(WordBuilder, ThermometerMaskMatchesCrossoverMask) {
+    GateNetlist nl;
+    const Word sel = word_input(nl, "s", 4);
+    const Word mask = thermometer_mask(nl, sel, 16);
+    for (unsigned cut = 0; cut < 16; ++cut) {
+        for (std::size_t i = 0; i < sel.size(); ++i) nl.set_input(sel[i], (cut >> i) & 1u);
+        nl.eval();
+        EXPECT_EQ(nl.word_value(mask), util::crossover_mask(cut)) << "cut " << cut;
+    }
+}
+
+TEST(WordBuilder, Reductions) {
+    GateNetlist nl;
+    const Word a = word_input(nl, "a", 3);
+    const Net any = reduce_or(nl, a);
+    const Net all = reduce_and(nl, a);
+    for (unsigned v = 0; v < 8; ++v) {
+        for (std::size_t i = 0; i < a.size(); ++i) nl.set_input(a[i], (v >> i) & 1u);
+        nl.eval();
+        EXPECT_EQ(nl.value(any), v != 0);
+        EXPECT_EQ(nl.value(all), v == 7);
+    }
+}
+
+TEST(GateNetlist, VerilogExportContainsStructure) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    const Net q = nl.reg("r0");
+    nl.connect_reg(q, nl.g_xor(a, q));
+    nl.output("toggle", q);
+    const std::string v = nl.to_verilog("toggler");
+    EXPECT_NE(v.find("module toggler"), std::string::npos);
+    EXPECT_NE(v.find("xor"), std::string::npos);
+    EXPECT_NE(v.find("SCAN_REGISTER"), std::string::npos);
+    EXPECT_NE(v.find("scanout"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(GateNetlist, StatsCountGatesAndRegisters) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    const Net b = nl.input("b");
+    nl.g_and(a, b);
+    nl.g_xor(a, b);
+    nl.g_not(a);
+    nl.reg("r");
+    const GateStats s = nl.stats();
+    EXPECT_EQ(s.inputs, 2u);
+    EXPECT_EQ(s.registers, 1u);
+    EXPECT_EQ(s.logic_gates, 3u);
+    EXPECT_EQ(s.per_op[static_cast<std::size_t>(GateOp::kAnd)], 1u);
+}
+
+}  // namespace
+}  // namespace gaip::gates

@@ -1,0 +1,110 @@
+// Tests of the RNG statistical-quality instruments and multi-kernel
+// isolation of the simulation substrate.
+#include <gtest/gtest.h>
+
+#include "prng/ca_prng.hpp"
+#include "prng/lfsr.hpp"
+#include "prng/quality.hpp"
+#include "rtl/kernel.hpp"
+
+namespace gaip::prng {
+namespace {
+
+TEST(Quality, MeasurePeriodFindsShortCycles) {
+    // A 3-cycle: 1 -> 2 -> 3 -> 1.
+    std::uint16_t s = 1;
+    auto step = [&] { return s = static_cast<std::uint16_t>(s % 3 + 1); };
+    const std::uint16_t first = step();
+    EXPECT_EQ(measure_period([&] { return step(); }, first), 3u);
+}
+
+TEST(Quality, MeasurePeriodHonorsLimit) {
+    std::uint16_t s = 0;
+    auto step = [&] { return ++s; };  // period 65536 > limit
+    const std::uint16_t first = step();
+    EXPECT_EQ(measure_period([&] { return step(); }, first, 1000), 1000u);
+}
+
+TEST(Quality, CaPrngReportIsHealthy) {
+    CaPrng g(0x2961);
+    const QualityReport r = measure_quality([&] { return g.next16(); }, 65535);
+    EXPECT_EQ(r.period, 65535u);
+    // chi-square on nibbles has 15 dof: healthy values are far below 100.
+    EXPECT_LT(r.chi_square_nibbles, 50.0);
+    EXPECT_LT(r.chi_square_bytes, 400.0);  // 255 dof
+    EXPECT_NEAR(r.bit_balance, 0.5, 0.01);
+    // Known CA-PRNG caveat (Wolfram's time-spacing advice): consecutive
+    // raw CA states are locally related, so the lag-1 correlation is
+    // genuinely nonzero (~0.37 here) — unlike the LFSR below, which shifts
+    // 16 times per emitted word. Pinned so the property stays visible.
+    EXPECT_NEAR(r.serial_correlation, 0.37, 0.1);
+}
+
+TEST(Quality, LfsrFullRefreshDecorrelatesConsecutiveWords) {
+    Lfsr16 g(0x2961);
+    const QualityReport r = measure_quality([&] { return g.next16(); }, 65535);
+    EXPECT_EQ(r.period, 65535u);
+    EXPECT_NEAR(r.serial_correlation, 0.0, 0.05)
+        << "16 shifts per word must decorrelate consecutive outputs";
+}
+
+TEST(Quality, WeakLcgLowBitsAreVisiblyWorse) {
+    WeakLcg16 weak(0x2961);
+    const QualityReport bad = measure_quality([&] { return weak.next16(); }, 65535);
+    CaPrng good_gen(0x2961);
+    const QualityReport good = measure_quality([&] { return good_gen.next16(); }, 65535);
+    // The LCG's alternating low bit produces an extreme lag-1 structure in
+    // the low nibbles; measure on the low nibble stream directly.
+    WeakLcg16 w2(7);
+    int alternations = 0;
+    bool prev = (w2.next16() & 1) != 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool cur = (w2.next16() & 1) != 0;
+        if (cur != prev) ++alternations;
+        prev = cur;
+    }
+    EXPECT_EQ(alternations, 1000) << "LCG low bit must strictly alternate";
+    EXPECT_LE(good.chi_square_nibbles, bad.chi_square_nibbles + 50.0)
+        << "the CA must not be meaningfully worse than the LCG on uniformity";
+}
+
+TEST(Quality, AllMaximalGeneratorsBalanceBits) {
+    for (int kind = 0; kind < 2; ++kind) {
+        double balance;
+        if (kind == 0) {
+            CaPrng g(0xAAAA);
+            balance = measure_quality([&] { return g.next16(); }, 30000).bit_balance;
+        } else {
+            Lfsr16 g(0xAAAA);
+            balance = measure_quality([&] { return g.next16(); }, 30000).bit_balance;
+        }
+        EXPECT_NEAR(balance, 0.5, 0.02) << "kind " << kind;
+    }
+}
+
+/// Two kernels with their own modules must not interfere (the wire change
+/// counter is global but only consumed as a delta within one settle loop).
+TEST(MultiKernel, IndependentKernelsDoNotInterfere) {
+    struct Count final : rtl::Module {
+        rtl::Reg<std::uint32_t> c{"c", 0};
+        Count() : Module("count") { attach(c); }
+        void tick() override { c.load(c.read() + 1); }
+    };
+
+    rtl::Kernel k1, k2;
+    rtl::Clock& c1 = k1.add_clock("a", 1'000'000);
+    rtl::Clock& c2 = k2.add_clock("b", 3'000'000);
+    Count m1, m2;
+    k1.bind(m1, c1);
+    k2.bind(m2, c2);
+    k1.reset();
+    k2.reset();
+    k1.run_cycles(c1, 5);
+    k2.run_cycles(c2, 11);
+    k1.run_cycles(c1, 2);
+    EXPECT_EQ(m1.c.read(), 7u);
+    EXPECT_EQ(m2.c.read(), 11u);
+}
+
+}  // namespace
+}  // namespace gaip::prng

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "rtl/kernel.hpp"
+#include "rtl/vcd.hpp"
+
+namespace gaip::rtl {
+namespace {
+
+/// Free-running counter register, Moore output on a wire.
+class Counter final : public Module {
+public:
+    Counter(std::string name, Wire<std::uint32_t>& out) : Module(std::move(name)), out_(out) {
+        attach(count_);
+    }
+    void eval() override { out_.drive(count_.read()); }
+    void tick() override { count_.load(count_.read() + 1); }
+
+private:
+    Wire<std::uint32_t>& out_;
+    Reg<std::uint32_t> count_{"count", 0};
+};
+
+/// Combinational doubler: out = 2 * in.
+class Doubler final : public Module {
+public:
+    Doubler(Wire<std::uint32_t>& in, Wire<std::uint32_t>& out)
+        : Module("doubler"), in_(in), out_(out) {}
+    void eval() override { out_.drive(in_.read() * 2); }
+
+private:
+    Wire<std::uint32_t>& in_;
+    Wire<std::uint32_t>& out_;
+};
+
+TEST(Kernel, CountsEdgesAtClockRate) {
+    Kernel k;
+    Clock& clk = k.add_clock("clk", 100'000'000);  // 10 ns period
+    Wire<std::uint32_t> out;
+    Counter c("c", out);
+    k.bind(c, clk);
+    k.reset();
+    k.run_cycles(clk, 5);
+    EXPECT_EQ(out.read(), 5u);
+    EXPECT_EQ(clk.edges(), 5u);
+    EXPECT_EQ(k.now(), 40'000u);  // 5th edge at t = 4 periods (first at t=0)
+}
+
+TEST(Kernel, CombinationalChainsSettleWithinEdge) {
+    Kernel k;
+    Clock& clk = k.add_clock("clk", 100'000'000);
+    Wire<std::uint32_t> a, b, c;
+    Counter cnt("c", a);
+    Doubler d1(a, b), d2(b, c);
+    k.bind(cnt, clk);
+    k.add_combinational(d1);
+    k.add_combinational(d2);
+    k.reset();
+    k.run_cycles(clk, 3);
+    EXPECT_EQ(a.read(), 3u);
+    EXPECT_EQ(c.read(), 12u) << "two combinational stages must settle";
+}
+
+TEST(Kernel, TwoDomainsInterleaveFourToOne) {
+    Kernel k;
+    Clock& slow = k.add_clock("slow", 50'000'000);
+    Clock& fast = k.add_clock("fast", 200'000'000);
+    Wire<std::uint32_t> s, f;
+    Counter cs("cs", s), cf("cf", f);
+    k.bind(cs, slow);
+    k.bind(cf, fast);
+    k.reset();
+    k.run_cycles(slow, 10);
+    EXPECT_EQ(s.read(), 10u);
+    // Fast edges land at every 5 ns, slow at every 20 ns starting together:
+    // after the 10th slow edge, fast has ticked at the shared instants too.
+    EXPECT_EQ(f.read(), 37u);  // edges at 0,5,..,180 ns: 37 processed
+}
+
+TEST(Kernel, ResetRestartsTimeAndState) {
+    Kernel k;
+    Clock& clk = k.add_clock("clk", 100'000'000);
+    Wire<std::uint32_t> out;
+    Counter c("c", out);
+    k.bind(c, clk);
+    k.reset();
+    k.run_cycles(clk, 7);
+    k.reset();
+    EXPECT_EQ(k.now(), 0u);
+    EXPECT_EQ(clk.edges(), 0u);
+    k.run_cycles(clk, 2);
+    EXPECT_EQ(out.read(), 2u);
+}
+
+TEST(Kernel, RunUntilPredicateStopsEarly) {
+    Kernel k;
+    Clock& clk = k.add_clock("clk", 100'000'000);
+    Wire<std::uint32_t> out;
+    Counter c("c", out);
+    k.bind(c, clk);
+    k.reset();
+    const bool hit = k.run_until(clk, [&] { return out.read() >= 4; }, 1000);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(out.read(), 4u);
+}
+
+TEST(Kernel, RunUntilReportsTimeout) {
+    Kernel k;
+    Clock& clk = k.add_clock("clk", 100'000'000);
+    Wire<std::uint32_t> out;
+    Counter c("c", out);
+    k.bind(c, clk);
+    k.reset();
+    EXPECT_FALSE(k.run_until(clk, [] { return false; }, 50));
+    EXPECT_EQ(clk.edges(), 50u);
+}
+
+/// Combinational logic with no stable point (out = !out): a ring oscillator
+/// the settling loop must flag instead of spinning forever. (A two-inverter
+/// ring would be a latch — it has stable states and settles fine.)
+class Inverter final : public Module {
+public:
+    Inverter(std::string name, Wire<bool>& in, Wire<bool>& out)
+        : Module(std::move(name)), in_(in), out_(out) {}
+    void eval() override { out_.drive(!in_.read()); }
+
+private:
+    Wire<bool>& in_;
+    Wire<bool>& out_;
+};
+
+TEST(Kernel, DetectsCombinationalLoop) {
+    Kernel k;
+    k.add_clock("clk", 100'000'000);
+    Wire<bool> a;
+    Inverter osc("osc", a, a);  // out = !out, oscillates every eval pass
+    k.add_combinational(osc);
+    EXPECT_THROW(k.reset(), std::runtime_error);
+}
+
+TEST(Kernel, TwoInverterRingIsAStableLatch) {
+    Kernel k;
+    k.add_clock("clk", 100'000'000);
+    Wire<bool> a, b;
+    Inverter i1("i1", a, b), i2("i2", b, a);
+    k.add_combinational(i1);
+    k.add_combinational(i2);
+    EXPECT_NO_THROW(k.reset());
+    EXPECT_NE(a.read(), b.read());
+}
+
+TEST(Kernel, BindToForeignClockThrows) {
+    Kernel k1, k2;
+    Clock& foreign = k2.add_clock("clk", 1'000'000);
+    Wire<std::uint32_t> out;
+    Counter c("c", out);
+    EXPECT_THROW(k1.bind(c, foreign), std::invalid_argument);
+}
+
+TEST(Kernel, StepWithoutClocksThrows) {
+    Kernel k;
+    EXPECT_THROW(k.step(), std::logic_error);
+}
+
+TEST(VcdWriter, ProducesParsableDump) {
+    const std::string path = ::testing::TempDir() + "/gaip_kernel_test.vcd";
+    {
+        Kernel k;
+        Clock& clk = k.add_clock("clk", 100'000'000);
+        Wire<std::uint32_t> out;
+        Counter c("counter", out);
+        k.bind(c, clk);
+        VcdWriter vcd(path);
+        vcd.add_module(c);
+        k.set_vcd(&vcd);
+        k.reset();
+        k.run_cycles(clk, 4);
+    }
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(text.find("$scope module counter $end"), std::string::npos);
+    EXPECT_NE(text.find("$var reg 32"), std::string::npos);
+    EXPECT_NE(text.find("#0"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gaip::rtl

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "rtl/scan.hpp"
+#include "rtl/signal.hpp"
+
+namespace gaip::rtl {
+namespace {
+
+TEST(ScanChain, LengthIsSumOfWidths) {
+    Reg<std::uint16_t> a("a", 0);
+    Reg<std::uint8_t> b("b", 0, 4);
+    Reg<bool> c("c", false, 1);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+    chain.add(c);
+    EXPECT_EQ(chain.length(), 21u);
+}
+
+TEST(ScanChain, ShiftMovesBitsTowardTail) {
+    Reg<std::uint8_t> a("a", 0b1010'0001);
+    Reg<std::uint8_t> b("b", 0b0000'0000);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+
+    // a's LSB (1) moves into b's MSB; scanin (0) enters a's MSB.
+    const bool out = chain.shift(false);
+    EXPECT_FALSE(out) << "b's LSB was 0";
+    EXPECT_EQ(a.read(), 0b0101'0000u);
+    EXPECT_EQ(b.read(), 0b1000'0000u);
+}
+
+TEST(ScanChain, FullRotationRestoresState) {
+    Reg<std::uint16_t> a("a", 0xBEEF);
+    Reg<std::uint8_t> b("b", 0x5, 4);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+
+    // Feeding the tail back to the head for `length` shifts is a rotation.
+    for (unsigned i = 0; i < chain.length(); ++i) chain.shift(chain.tail());
+    EXPECT_EQ(a.read(), 0xBEEFu);
+    EXPECT_EQ(b.read(), 0x5u);
+}
+
+TEST(ScanChain, LoadArbitraryPatternThroughScanin) {
+    Reg<std::uint8_t> a("a", 0);
+    ScanChain chain;
+    chain.add(a);
+    // Shift in 0xC3 MSB-first: after 8 shifts the register holds it.
+    for (int i = 7; i >= 0; --i) chain.shift(((0xC3 >> i) & 1) != 0);
+    EXPECT_EQ(a.read(), 0xC3u);
+}
+
+TEST(ScanChain, DrainObservesFullState) {
+    Reg<std::uint8_t> a("a", 0xA5);
+    ScanChain chain;
+    chain.add(a);
+    std::uint8_t captured = 0;
+    for (int i = 0; i < 8; ++i) {
+        captured = static_cast<std::uint8_t>((captured >> 1) | (chain.shift(false) ? 0x80 : 0));
+    }
+    EXPECT_EQ(captured, 0xA5u);
+    EXPECT_EQ(a.read(), 0u) << "zeros were shifted in behind the drained state";
+}
+
+TEST(ScanChain, SnapshotIsHeadFirstBitVector) {
+    Reg<std::uint8_t> a("a", 0b1100'0000);
+    Reg<bool> b("b", true, 1);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+    const std::vector<bool> bits = chain.snapshot();
+    ASSERT_EQ(bits.size(), 9u);
+    EXPECT_TRUE(bits[0]);
+    EXPECT_TRUE(bits[1]);
+    EXPECT_FALSE(bits[2]);
+    EXPECT_TRUE(bits[8]);
+}
+
+TEST(ScanChain, EmptyChainIsBenign) {
+    ScanChain chain;
+    EXPECT_EQ(chain.length(), 0u);
+    EXPECT_FALSE(chain.tail());
+    EXPECT_TRUE(chain.shift(true));  // scanin falls straight through
+}
+
+}  // namespace
+}  // namespace gaip::rtl

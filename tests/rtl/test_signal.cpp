@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "rtl/signal.hpp"
+
+namespace gaip::rtl {
+namespace {
+
+TEST(Wire, DriveChangesValueAndCountsDeltas) {
+    Wire<std::uint16_t> w;
+    EXPECT_EQ(w.read(), 0u);
+    const std::uint64_t before = wire_change_count();
+    w.drive(42);
+    EXPECT_EQ(w.read(), 42u);
+    EXPECT_EQ(wire_change_count(), before + 1);
+    w.drive(42);  // no change, no delta
+    EXPECT_EQ(wire_change_count(), before + 1);
+}
+
+TEST(Reg, TwoPhaseCommit) {
+    Reg<std::uint16_t> r("r", 5);
+    EXPECT_EQ(r.read(), 5u);
+    r.load(9);
+    EXPECT_EQ(r.read(), 5u) << "load must not be visible before commit";
+    r.commit();
+    EXPECT_EQ(r.read(), 9u);
+    r.commit();  // idempotent without a pending load
+    EXPECT_EQ(r.read(), 9u);
+}
+
+TEST(Reg, HardResetRestoresResetValue) {
+    Reg<std::uint8_t> r("r", 0xAB);
+    r.load(1);
+    r.commit();
+    r.hard_reset();
+    EXPECT_EQ(r.read(), 0xABu);
+}
+
+TEST(Reg, WidthMasksCommittedValue) {
+    Reg<std::uint8_t> r("thresh", 0, 4);
+    r.load(0xFF);
+    r.commit();
+    EXPECT_EQ(r.read(), 0xFu);
+}
+
+TEST(Reg, BitsRoundTripForIntegral) {
+    Reg<std::uint16_t> r("r", 0);
+    r.set_bits(0xBEEF);
+    EXPECT_EQ(r.read(), 0xBEEFu);
+    EXPECT_EQ(r.bits(), 0xBEEFu);
+}
+
+TEST(Reg, BitsRoundTripForBool) {
+    Reg<bool> r("b", false, 1);
+    r.set_bits(1);
+    EXPECT_TRUE(r.read());
+    EXPECT_EQ(r.bits(), 1u);
+    r.set_bits(0);
+    EXPECT_FALSE(r.read());
+}
+
+enum class Color : std::uint8_t { kRed = 0, kGreen = 1, kBlue = 2 };
+
+TEST(Reg, BitsRoundTripForEnum) {
+    Reg<Color> r("c", Color::kRed, 2);
+    r.load(Color::kBlue);
+    r.commit();
+    EXPECT_EQ(r.bits(), 2u);
+    r.set_bits(1);
+    EXPECT_EQ(r.read(), Color::kGreen);
+}
+
+TEST(Reg, SetBitsClearsPendingLoad) {
+    Reg<std::uint16_t> r("r", 0);
+    r.load(77);
+    r.set_bits(12);
+    r.commit();
+    EXPECT_EQ(r.read(), 12u) << "set_bits must cancel an uncommitted load";
+}
+
+TEST(Reg, RejectsWidthOver64) {
+    EXPECT_THROW((Reg<std::uint64_t>("w", 0, 65)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gaip::rtl

@@ -1,0 +1,149 @@
+// Dual-core 32-bit GA (Fig. 6): lockstep integrity, elite coherence, and
+// the probability-composition equations.
+#include <gtest/gtest.h>
+
+#include "core/dual_behavioral.hpp"
+#include "core/dual_core.hpp"
+#include "fitness/functions.hpp"
+
+namespace gaip {
+namespace {
+
+using core::DualGaConfig;
+using core::DualGaSystem;
+using core::DualRunResult;
+
+TEST(DualCoreProbability, ComposeMatchesPaperEquation) {
+    // xovProb32 = p(MSB) + p(LSB) - p(MSB)*p(LSB)
+    EXPECT_DOUBLE_EQ(core::compose_probability(0.5, 0.5), 0.75);
+    EXPECT_DOUBLE_EQ(core::compose_probability(0.0, 0.3), 0.3);
+    EXPECT_DOUBLE_EQ(core::compose_probability(1.0, 0.3), 1.0);
+    EXPECT_DOUBLE_EQ(core::compose_probability(0.25, 0.125), 0.25 + 0.125 - 0.25 * 0.125);
+}
+
+TEST(DualCoreProbability, SplitThresholdStaysAtOrBelowTarget) {
+    for (int t = 1; t <= 16; ++t) {
+        const double target = t / 16.0;
+        const std::uint8_t thr = core::split_threshold_for_rate32(target);
+        const double per_half = thr / 16.0;
+        EXPECT_LE(core::compose_probability(per_half, per_half), target + 1e-12)
+            << "target " << target;
+    }
+    EXPECT_EQ(core::split_threshold_for_rate32(0.0), 0);
+    EXPECT_EQ(core::split_threshold_for_rate32(1.0), 15);
+}
+
+TEST(DualCoreSystem, SolvesOneMax32) {
+    DualGaConfig cfg;
+    cfg.pop_size = 32;
+    cfg.n_gens = 64;
+    cfg.fitness = [](std::uint32_t x) { return fitness::onemax32(x); };
+    DualGaSystem sys(cfg);
+    const DualRunResult r = sys.run();
+
+    // 32 ones is the optimum; the GA should get close within 64 generations.
+    EXPECT_GE(std::popcount(r.best_candidate), 27) << std::hex << r.best_candidate;
+    EXPECT_EQ(r.best_fitness, fitness::onemax32(r.best_candidate));
+    EXPECT_GT(r.ga_cycles, 0u);
+}
+
+TEST(DualCoreSystem, CoresStayInLockstep) {
+    DualGaConfig cfg;
+    cfg.pop_size = 16;
+    cfg.n_gens = 8;
+    cfg.fitness = [](std::uint32_t x) { return fitness::sphere32(x, 0xDEADBEEF); };
+    DualGaSystem sys(cfg);
+    sys.run();
+
+    // After a completed run both cores must have identical control state:
+    // same FSM state, generation count, bank, and best fitness.
+    EXPECT_EQ(sys.core_msb().state(), sys.core_lsb().state());
+    EXPECT_EQ(sys.core_msb().generation(), sys.core_lsb().generation());
+    EXPECT_EQ(sys.core_msb().current_bank(), sys.core_lsb().current_bank());
+    EXPECT_EQ(sys.core_msb().best_fitness(), sys.core_lsb().best_fitness());
+}
+
+TEST(DualCoreSystem, EliteSlotHoldsCoherent32BitIndividual) {
+    DualGaConfig cfg;
+    cfg.pop_size = 16;
+    cfg.n_gens = 12;
+    cfg.fitness = [](std::uint32_t x) { return fitness::onemax32(x); };
+    DualGaSystem sys(cfg);
+    const DualRunResult r = sys.run();
+
+    // Slot 0 of the final bank is the elite: its stored fitness must be the
+    // true fitness of its stored (concatenated) candidate, and must equal
+    // the reported best.
+    const bool bank = sys.core_msb().current_bank();
+    const std::uint32_t elite = sys.memory().candidate32_at(bank, 0);
+    const std::uint16_t elite_fit = sys.memory().fitness_at(bank, 0);
+    EXPECT_EQ(elite_fit, fitness::onemax32(elite));
+    EXPECT_EQ(elite, r.best_candidate);
+    EXPECT_EQ(elite_fit, r.best_fitness);
+}
+
+TEST(DualCoreSystem, StoredFitnessesMatchStoredCandidates) {
+    // Every member of the final population must satisfy fitness(candidate)
+    // == stored fitness — i.e. the MSB and LSB halves written by the two
+    // cores belong to the same evaluated individual (no chimera writes).
+    DualGaConfig cfg;
+    cfg.pop_size = 24;
+    cfg.n_gens = 10;
+    cfg.seed_msb = 0x061F;
+    cfg.seed_lsb = 0xAAAA;
+    cfg.fitness = [](std::uint32_t x) { return fitness::sphere32(x, 0x12345678); };
+    DualGaSystem sys(cfg);
+    sys.run();
+
+    const bool bank = sys.core_msb().current_bank();
+    for (std::uint8_t i = 0; i < cfg.pop_size; ++i) {
+        const std::uint32_t cand = sys.memory().candidate32_at(bank, i);
+        const std::uint16_t fit = sys.memory().fitness_at(bank, i);
+        EXPECT_EQ(fit, fitness::sphere32(cand, 0x12345678)) << "member " << int(i);
+    }
+}
+
+
+class DualEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DualEquivalence, RtlPairMatchesDualBehavioralModelBitExactly) {
+    // The executable specification of the Fig. 6 composition: the lockstep
+    // RTL pair must agree with the dual behavioral model on the best
+    // individual, evaluation count, and the entire final population.
+    DualGaConfig cfg;
+    cfg.pop_size = GetParam() == 0 ? 16 : 13;  // odd size exercises the Mu2 skip
+    cfg.n_gens = 6;
+    cfg.xover_threshold_msb = 9;
+    cfg.xover_threshold_lsb = 7;
+    cfg.mut_threshold_msb = 2;
+    cfg.mut_threshold_lsb = 3;
+    cfg.seed_msb = 0x2961;
+    cfg.seed_lsb = 0xAAAA;
+    cfg.fitness = GetParam() == 0
+                      ? core::FitnessFn32([](std::uint32_t x) { return fitness::onemax32(x); })
+                      : core::FitnessFn32([](std::uint32_t x) {
+                            return fitness::sphere32(x, 0x13579BDF);
+                        });
+
+    DualGaSystem sys(cfg);
+    const DualRunResult hw = sys.run();
+    const core::DualBehavioralResult sw = core::run_dual_behavioral(cfg);
+
+    EXPECT_EQ(hw.best_candidate, sw.best_candidate);
+    EXPECT_EQ(hw.best_fitness, sw.best_fitness);
+    EXPECT_EQ(hw.evaluations, sw.evaluations);
+
+    const bool bank = sys.core_msb().current_bank();
+    ASSERT_EQ(sw.final_population.size(), cfg.pop_size);
+    for (std::uint8_t i = 0; i < cfg.pop_size; ++i) {
+        EXPECT_EQ(sys.memory().candidate32_at(bank, i), sw.final_population[i].first)
+            << "member " << int(i);
+        EXPECT_EQ(sys.memory().fitness_at(bank, i), sw.final_population[i].second)
+            << "member " << int(i);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DualEquivalence, ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace gaip

@@ -1,0 +1,167 @@
+// System-level tests: multi-FEM switching, external FEMs, monitor
+// consistency, and end-to-end optimization quality on the paper's functions.
+#include <gtest/gtest.h>
+
+#include "core/behavioral.hpp"
+#include "fitness/functions.hpp"
+#include "fitness/rom_builder.hpp"
+#include "system/ga_system.hpp"
+
+namespace gaip::system {
+namespace {
+
+using core::GaParameters;
+using core::RunResult;
+using fitness::FitnessId;
+
+GaParameters small_params(std::uint16_t seed) {
+    return {.pop_size = 16, .n_gens = 8, .xover_threshold = 10, .mut_threshold = 1, .seed = seed};
+}
+
+TEST(GaSystem, SwitchingFitnessSlotsWithoutRebuild) {
+    // Two internal FEMs; the same netlist optimizes either function purely
+    // by the fitfunc_select pin — the paper's no-resynthesis feature.
+    for (std::uint8_t slot : {0, 1}) {
+        GaSystemConfig cfg;
+        cfg.params = small_params(0x2961);
+        cfg.internal_fems = {FitnessId::kF3, FitnessId::kOneMax};
+        cfg.fitfunc_select = slot;
+        GaSystem sys(cfg);
+        const RunResult r = sys.run();
+        const FitnessId expect = slot == 0 ? FitnessId::kF3 : FitnessId::kOneMax;
+        EXPECT_EQ(r.best_fitness, fitness::fitness_u16(expect, r.best_candidate)) << int(slot);
+        // Only the selected FEM may have served requests.
+        EXPECT_EQ(sys.fems()[slot]->evaluations(), r.evaluations);
+        EXPECT_EQ(sys.fems()[1 - slot]->evaluations(), 0u);
+    }
+}
+
+TEST(GaSystem, ExternalFemProducesIdenticalResultsAtHigherLatency) {
+    // The same function served internally (slot 0) vs. externally (slot 4,
+    // through fit_value_ext with inter-chip latency): identical GA outcome,
+    // more cycles.
+    GaSystemConfig internal_cfg;
+    internal_cfg.params = small_params(0x061F);
+    internal_cfg.internal_fems = {FitnessId::kMBf6_2};
+    internal_cfg.fitfunc_select = 0;
+    GaSystem internal_sys(internal_cfg);
+    const RunResult internal = internal_sys.run();
+
+    GaSystemConfig external_cfg;
+    external_cfg.params = small_params(0x061F);
+    external_cfg.internal_fems = {};
+    external_cfg.external_fem = FitnessId::kMBf6_2;
+    external_cfg.external_latency_cycles = 40;
+    external_cfg.fitfunc_select = 4;  // slots 4-7 are external by default
+    GaSystem external_sys(external_cfg);
+    const RunResult external = external_sys.run();
+
+    EXPECT_EQ(external.best_candidate, internal.best_candidate);
+    EXPECT_EQ(external.best_fitness, internal.best_fitness);
+    EXPECT_GT(external_sys.ga_cycles(), internal_sys.ga_cycles())
+        << "inter-chip latency must cost hardware time";
+}
+
+TEST(GaSystem, HybridSystemSelectsBetweenInternalAndExternal) {
+    // Fig. 5: internal FEM on slot 0 AND an external FEM reachable via the
+    // ext ports, selected at run time.
+    for (std::uint8_t slot : {std::uint8_t{0}, std::uint8_t{4}}) {
+        GaSystemConfig cfg;
+        cfg.params = small_params(0xB342);
+        cfg.internal_fems = {FitnessId::kF2};
+        cfg.external_fem = FitnessId::kMShubert2D;
+        cfg.fitfunc_select = slot;
+        GaSystem sys(cfg);
+        const RunResult r = sys.run();
+        const FitnessId expect = slot == 0 ? FitnessId::kF2 : FitnessId::kMShubert2D;
+        EXPECT_EQ(r.best_fitness, fitness::fitness_u16(expect, r.best_candidate))
+            << "slot " << int(slot);
+    }
+}
+
+TEST(GaSystem, MonitorHistoryMatchesMemoryContents) {
+    GaSystemConfig cfg;
+    cfg.params = small_params(45890);
+    cfg.internal_fems = {FitnessId::kBf6};
+    GaSystem sys(cfg);
+    const RunResult r = sys.run();
+
+    ASSERT_EQ(r.history.size(), cfg.params.n_gens + 1u);
+    for (const auto& s : r.history) {
+        ASSERT_EQ(s.population.size(), cfg.params.pop_size);
+        std::uint32_t sum = 0;
+        std::uint16_t best = 0;
+        for (const auto& m : s.population) {
+            EXPECT_EQ(m.fitness, fitness::fitness_u16(FitnessId::kBf6, m.candidate));
+            sum += m.fitness;
+            best = std::max(best, m.fitness);
+        }
+        EXPECT_EQ(sum, s.fit_sum) << "gen " << s.gen;
+        EXPECT_LE(best, s.best_fit) << "best-ever must dominate the bank's best";
+    }
+    // The last bank's elite slot carries the best-ever fitness as of the
+    // start of the last generation — never more than the final best.
+    const auto& hist = r.history;
+    EXPECT_EQ(hist.back().population[0].fitness, hist[hist.size() - 2].best_fit);
+    EXPECT_LE(hist.back().population[0].fitness, r.best_fitness);
+}
+
+TEST(GaSystem, BestFitnessMonotoneAcrossGenerations) {
+    GaSystemConfig cfg;
+    cfg.params = {.pop_size = 32, .n_gens = 16, .xover_threshold = 12, .mut_threshold = 2,
+                  .seed = 0xAAAA};
+    cfg.internal_fems = {FitnessId::kMShubert2D};
+    const RunResult r = run_ga_system(cfg);
+    for (std::size_t g = 1; g < r.history.size(); ++g)
+        EXPECT_GE(r.history[g].best_fit, r.history[g - 1].best_fit) << "gen " << g;
+}
+
+TEST(GaSystem, RngKindIsPluggable) {
+    // The ablation hook: the GA must run (and generally differ) under the
+    // comparator generators.
+    std::vector<std::uint16_t> bests;
+    for (const auto kind : {prng::RngKind::kCellularAutomaton, prng::RngKind::kLfsr,
+                            prng::RngKind::kXorShift, prng::RngKind::kWeakLcg}) {
+        GaSystemConfig cfg;
+        cfg.params = small_params(0x2961);
+        cfg.internal_fems = {FitnessId::kMBf6_2};
+        cfg.rng_kind = kind;
+        cfg.keep_populations = false;
+        const RunResult r = run_ga_system(cfg);
+        EXPECT_GT(r.best_fitness, 4096u) << "any generator should beat the additive offset";
+        bests.push_back(r.best_fitness);
+    }
+    // The CA and LFSR runs must genuinely differ (different sequences).
+    EXPECT_NE(bests[0], bests[1]);
+}
+
+TEST(GaSystem, EvaluationCountMatchesBehavioralModel) {
+    GaSystemConfig cfg;
+    cfg.params = {.pop_size = 24, .n_gens = 6, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 1567};
+    cfg.internal_fems = {FitnessId::kF2};
+    GaSystem sys(cfg);
+    const RunResult r = sys.run();
+    EXPECT_EQ(r.evaluations, 24u + 6u * 23u);
+}
+
+TEST(GaSystem, GaCyclesAccountingIsSane) {
+    GaSystemConfig cfg;
+    cfg.params = small_params(3);
+    cfg.internal_fems = {FitnessId::kOneMax};
+    GaSystem sys(cfg);
+    sys.run();
+    // The run must take at least a handful of cycles per evaluation and
+    // produce a consistent seconds figure at 50 MHz.
+    EXPECT_GT(sys.ga_cycles(), sys.fitness_evaluations() * 10);
+    EXPECT_DOUBLE_EQ(sys.ga_seconds(), sys.ga_cycles() / 50e6);
+}
+
+TEST(GaSystem, TooManyInternalFemsRejected) {
+    GaSystemConfig cfg;
+    cfg.internal_fems.assign(9, FitnessId::kOneMax);
+    EXPECT_THROW(GaSystem{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gaip::system

@@ -1,0 +1,124 @@
+// ILA capture tests: trigger semantics on a synthetic counter and a real
+// protocol capture — the cycles around a fitness handshake in a live run.
+#include <gtest/gtest.h>
+
+#include "core/ga_core.hpp"
+#include "fitness/functions.hpp"
+#include "rtl/kernel.hpp"
+#include "system/ga_system.hpp"
+#include "system/ila.hpp"
+
+namespace gaip::system {
+namespace {
+
+/// Synthetic counter module for deterministic trigger tests.
+struct Counter final : rtl::Module {
+    rtl::Reg<std::uint32_t> c{"c", 0};
+    Counter() : Module("counter") { attach(c); }
+    void tick() override { c.load(c.read() + 1); }
+};
+
+TEST(Ila, CapturesPreAndPostTriggerWindow) {
+    rtl::Kernel k;
+    rtl::Clock& clk = k.add_clock("clk", 1'000'000);
+    Counter cnt;
+    IntegratedLogicAnalyzer ila(
+        {{"count", [&] { return cnt.c.read(); }}}, [&] { return cnt.c.read() == 20; },
+        {.pre_trigger = 4, .post_trigger = 6, .one_shot = true});
+    k.bind(cnt, clk);
+    k.bind(ila, clk);
+    k.reset();
+    k.run_cycles(clk, 50);
+
+    ASSERT_TRUE(ila.triggered());
+    const auto& cap = ila.capture();
+    ASSERT_EQ(cap.size(), 4u + 1u + 6u);
+    const auto col = ila.column("count");
+    for (std::size_t i = 0; i < col.size(); ++i) EXPECT_EQ(col[i], 16u + i);
+    // The trigger sample is flagged.
+    EXPECT_TRUE(cap[4].at_trigger);
+    EXPECT_EQ(cap[4].values[0], 20u);
+}
+
+TEST(Ila, OneShotIgnoresLaterTriggers) {
+    rtl::Kernel k;
+    rtl::Clock& clk = k.add_clock("clk", 1'000'000);
+    Counter cnt;
+    IntegratedLogicAnalyzer ila(
+        {{"count", [&] { return cnt.c.read(); }}},
+        [&] { return cnt.c.read() % 10 == 0 && cnt.c.read() > 0; },
+        {.pre_trigger = 0, .post_trigger = 2, .one_shot = true});
+    k.bind(cnt, clk);
+    k.bind(ila, clk);
+    k.reset();
+    k.run_cycles(clk, 100);
+    EXPECT_EQ(ila.windows(), 1u);
+    EXPECT_EQ(ila.capture().size(), 3u);
+}
+
+TEST(Ila, RepeatingModeCollectsMultipleWindows) {
+    rtl::Kernel k;
+    rtl::Clock& clk = k.add_clock("clk", 1'000'000);
+    Counter cnt;
+    IntegratedLogicAnalyzer ila(
+        {{"count", [&] { return cnt.c.read(); }}},
+        [&] { return cnt.c.read() % 10 == 0 && cnt.c.read() > 0; },
+        {.pre_trigger = 0, .post_trigger = 1, .one_shot = false});
+    k.bind(cnt, clk);
+    k.bind(ila, clk);
+    k.reset();
+    k.run_cycles(clk, 55);
+    EXPECT_EQ(ila.windows(), 5u);  // triggers at 10, 20, 30, 40, 50
+}
+
+TEST(Ila, UnknownProbeRejected) {
+    IntegratedLogicAnalyzer ila({{"a", [] { return 0ull; }}}, [] { return false; });
+    EXPECT_THROW(ila.probe_index("b"), std::invalid_argument);
+}
+
+TEST(Ila, CapturesFitnessHandshakeInLiveSystem) {
+    // Probe the fitness handshake of a real run and trigger on the first
+    // fit_valid — the classic ChipScope debugging session.
+    GaSystemConfig cfg;
+    cfg.params = {.pop_size = 8, .n_gens = 2, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0x2961};
+    cfg.internal_fems = {fitness::FitnessId::kF3};
+    cfg.keep_populations = false;
+    GaSystem sys(cfg);
+
+    IntegratedLogicAnalyzer ila(
+        {{"fit_request", [&] { return sys.wires().fit_request.read() ? 1ull : 0ull; }},
+         {"fit_valid", [&] { return sys.wires().fit_valid.read() ? 1ull : 0ull; }},
+         {"candidate", [&] { return static_cast<std::uint64_t>(sys.wires().candidate.read()); }},
+         {"fit_value", [&] { return static_cast<std::uint64_t>(sys.wires().fit_value.read()); }}},
+        [&] { return sys.wires().fit_valid.read(); },
+        {.pre_trigger = 12, .post_trigger = 12, .one_shot = true});
+    // Sample in the fast (200 MHz) domain: the FEM answers within one GA
+    // clock period, so the request->valid ordering is only visible there.
+    sys.kernel().bind(ila, sys.app_clock());
+    sys.run();
+
+    ASSERT_TRUE(ila.triggered());
+    const auto req = ila.column("fit_request");
+    const auto valid = ila.column("fit_valid");
+    const auto cand = ila.column("candidate");
+    const auto fitv = ila.column("fit_value");
+
+    // Somewhere in the window, request precedes valid (four-phase order).
+    std::size_t first_req = req.size(), first_valid = valid.size();
+    for (std::size_t i = 0; i < req.size(); ++i) {
+        if (req[i] && first_req == req.size()) first_req = i;
+        if (valid[i] && first_valid == valid.size()) first_valid = i;
+    }
+    ASSERT_LT(first_req, req.size());
+    ASSERT_LT(first_valid, valid.size());
+    EXPECT_LT(first_req, first_valid) << "request must precede valid";
+    // The value delivered while valid is the ROM fitness of the candidate
+    // presented with the request.
+    EXPECT_EQ(fitv[first_valid],
+              fitness::fitness_u16(fitness::FitnessId::kF3,
+                                   static_cast<std::uint16_t>(cand[first_req])));
+}
+
+}  // namespace
+}  // namespace gaip::system

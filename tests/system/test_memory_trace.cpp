@@ -1,0 +1,105 @@
+// Golden-trace test of the GA memory bus: every write the core issues
+// during a run must match, in order, the sequence derivable from the
+// behavioral model — initial population into bank 0, then per generation
+// the elite into slot 0 of the alternating bank followed by the offspring
+// in slot order.
+#include <gtest/gtest.h>
+
+#include "core/behavioral.hpp"
+#include "fitness/functions.hpp"
+#include "mem/ga_memory.hpp"
+#include "system/ga_system.hpp"
+
+namespace gaip::system {
+namespace {
+
+using fitness::FitnessId;
+
+/// Passive bus monitor: records every (address, data) the core writes.
+class BusSpy final : public rtl::Module {
+public:
+    struct Write {
+        std::uint8_t address;
+        std::uint32_t data;
+        bool operator==(const Write&) const = default;
+    };
+
+    BusSpy(rtl::Wire<std::uint8_t>& addr, rtl::Wire<std::uint32_t>& data, rtl::Wire<bool>& wr)
+        : Module("bus_spy"), addr_(addr), data_(data), wr_(wr) {}
+
+    void tick() override {
+        if (wr_.read()) writes_.push_back({addr_.read(), data_.read()});
+    }
+    void reset_state() override { writes_.clear(); }
+
+    const std::vector<Write>& writes() const noexcept { return writes_; }
+
+private:
+    rtl::Wire<std::uint8_t>& addr_;
+    rtl::Wire<std::uint32_t>& data_;
+    rtl::Wire<bool>& wr_;
+    std::vector<Write> writes_;
+};
+
+TEST(MemoryTrace, WriteSequenceMatchesBehavioralModel) {
+    const core::GaParameters params{.pop_size = 12, .n_gens = 5, .xover_threshold = 10,
+                                    .mut_threshold = 2, .seed = 0x061F};
+    const FitnessId fn = FitnessId::kMBf6_2;
+
+    GaSystemConfig cfg;
+    cfg.params = params;
+    cfg.internal_fems = {fn};
+    GaSystem sys(cfg);
+    BusSpy spy(sys.wires().mem_address, sys.wires().mem_data_out, sys.wires().mem_wr);
+    sys.kernel().bind(spy, sys.ga_clock());
+    sys.run();
+
+    // Expected trace from the behavioral model.
+    const core::RunResult sw = core::run_behavioral_ga(
+        params, [&](std::uint16_t x) { return fitness::fitness_u16(fn, x); });
+    std::vector<BusSpy::Write> expect;
+    // Initial population: bank 0, slots 0..P-1 in order.
+    for (std::uint8_t i = 0; i < params.pop_size; ++i) {
+        const auto& m = sw.history[0].population[i];
+        expect.push_back({mem::bank_address(false, i),
+                          mem::pack_member(m.candidate, m.fitness)});
+    }
+    // Each generation: the new bank's slots 0..P-1 in order (slot 0 is the
+    // elite write, then the offspring stores).
+    for (std::uint32_t g = 1; g < sw.history.size(); ++g) {
+        const bool bank = (g % 2) == 1;
+        for (std::uint8_t i = 0; i < params.pop_size; ++i) {
+            const auto& m = sw.history[g].population[i];
+            expect.push_back({mem::bank_address(bank, i),
+                              mem::pack_member(m.candidate, m.fitness)});
+        }
+    }
+
+    ASSERT_EQ(spy.writes().size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(spy.writes()[i], expect[i])
+            << "write " << i << ": addr 0x" << std::hex << int(spy.writes()[i].address)
+            << " data 0x" << spy.writes()[i].data << " vs expected addr 0x"
+            << int(expect[i].address) << " data 0x" << expect[i].data;
+    }
+}
+
+TEST(MemoryTrace, NoWritesOutsideTheActiveBanks) {
+    const core::GaParameters params{.pop_size = 10, .n_gens = 4, .xover_threshold = 12,
+                                    .mut_threshold = 1, .seed = 0xAAAA};
+    GaSystemConfig cfg;
+    cfg.params = params;
+    cfg.internal_fems = {FitnessId::kF2};
+    GaSystem sys(cfg);
+    BusSpy spy(sys.wires().mem_address, sys.wires().mem_data_out, sys.wires().mem_wr);
+    sys.kernel().bind(spy, sys.ga_clock());
+    sys.run();
+
+    for (const auto& w : spy.writes()) {
+        EXPECT_LT(w.address & 0x7F, params.pop_size)
+            << "no write beyond the population bound";
+    }
+}
+
+}  // namespace
+}  // namespace gaip::system

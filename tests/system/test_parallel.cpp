@@ -1,0 +1,139 @@
+// Tests of the parallel GA array (RTL) and the behavioral island model.
+#include <gtest/gtest.h>
+
+#include "fitness/functions.hpp"
+#include "system/ga_system.hpp"
+#include "system/parallel.hpp"
+
+namespace gaip::system {
+namespace {
+
+using core::GaParameters;
+using fitness::FitnessId;
+
+const GaParameters kSmall{.pop_size = 16, .n_gens = 8, .xover_threshold = 10,
+                          .mut_threshold = 1, .seed = 0};
+
+TEST(ParallelGaSystem, EnginesMatchStandaloneRunsExactly) {
+    // Each engine in the array must behave exactly like a standalone system
+    // with the same seed — full isolation between engines.
+    ParallelGaConfig cfg;
+    cfg.params = kSmall;
+    cfg.seeds = {0x2961, 0x061F, 0xB342};
+    cfg.fitness = FitnessId::kMBf6_2;
+    ParallelGaSystem par(cfg);
+    const ParallelRunResult r = par.run();
+    ASSERT_EQ(r.per_engine.size(), 3u);
+
+    for (std::size_t i = 0; i < cfg.seeds.size(); ++i) {
+        GaSystemConfig solo;
+        solo.params = kSmall;
+        solo.params.seed = cfg.seeds[i];
+        solo.internal_fems = {FitnessId::kMBf6_2};
+        solo.keep_populations = false;
+        const core::RunResult ref = run_ga_system(solo);
+        EXPECT_EQ(r.per_engine[i].best_candidate, ref.best_candidate) << "engine " << i;
+        EXPECT_EQ(r.per_engine[i].best_fitness, ref.best_fitness) << "engine " << i;
+        EXPECT_EQ(r.per_engine[i].evaluations, ref.evaluations) << "engine " << i;
+    }
+}
+
+TEST(ParallelGaSystem, CombinerPicksTheFittestEngine) {
+    ParallelGaConfig cfg;
+    cfg.params = kSmall;
+    cfg.seeds = {0x2961, 0x061F, 0xB342, 0xAAAA};
+    cfg.fitness = FitnessId::kMShubert2D;
+    ParallelGaSystem par(cfg);
+    const ParallelRunResult r = par.run();
+
+    std::uint16_t expect_best = 0;
+    for (const auto& e : r.per_engine) expect_best = std::max(expect_best, e.best_fitness);
+    EXPECT_EQ(r.best_fitness, expect_best);
+    EXPECT_EQ(r.per_engine[r.best_engine].best_fitness, expect_best);
+    EXPECT_EQ(r.best_candidate, r.per_engine[r.best_engine].best_candidate);
+    EXPECT_EQ(r.best_fitness,
+              fitness::fitness_u16(FitnessId::kMShubert2D, r.best_candidate));
+}
+
+TEST(ParallelGaSystem, SeedDiversityBeatsOrEqualsAnySingleEngine) {
+    ParallelGaConfig cfg;
+    cfg.params = {.pop_size = 32, .n_gens = 16, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0};
+    cfg.seeds = {0x2961, 0x061F, 0xB342, 0xAAAA};
+    cfg.fitness = FitnessId::kBf6;
+    ParallelGaSystem par(cfg);
+    const ParallelRunResult r = par.run();
+    for (const auto& e : r.per_engine) EXPECT_GE(r.best_fitness, e.best_fitness);
+    EXPECT_GT(r.ga_cycles, 0u);
+}
+
+TEST(ParallelGaSystem, NoSeedsRejected) {
+    ParallelGaConfig cfg;
+    cfg.seeds = {};
+    EXPECT_THROW(ParallelGaSystem{cfg}, std::invalid_argument);
+}
+
+TEST(IslandGa, MatchesBudgetAndReportsPerIslandBest) {
+    IslandGaConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 16, .xover_threshold = 10, .mut_threshold = 2,
+                  .seed = 0};
+    cfg.islands = 4;
+    const IslandRunResult r = run_island_ga(
+        cfg, [](std::uint16_t x) { return fitness::fitness_u16(FitnessId::kMBf6_2, x); });
+    EXPECT_EQ(r.evaluations, 4u * (16u + 16u * 15u));
+    ASSERT_EQ(r.island_best.size(), 4u);
+    std::uint16_t mx = 0;
+    for (const std::uint16_t b : r.island_best) mx = std::max(mx, b);
+    EXPECT_EQ(r.best_fitness, mx);
+}
+
+TEST(IslandGa, MigrationSpreadsTheBestMember) {
+    // With frequent migration, every island's best converges toward the
+    // global best; with migration off they stay independent.
+    auto fn = [](std::uint16_t x) { return fitness::fitness_u16(FitnessId::kOneMax, x); };
+    IslandGaConfig with;
+    with.params = {.pop_size = 16, .n_gens = 32, .xover_threshold = 10, .mut_threshold = 2,
+                   .seed = 0};
+    with.islands = 4;
+    with.migration_interval = 4;
+    const IslandRunResult a = run_island_ga(with, fn);
+
+    IslandGaConfig without = with;
+    without.migration_interval = 0;
+    const IslandRunResult b = run_island_ga(without, fn);
+
+    auto spread = [](const std::vector<std::uint16_t>& v) {
+        const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+        return static_cast<int>(*mx) - static_cast<int>(*mn);
+    };
+    EXPECT_LE(spread(a.island_best), spread(b.island_best))
+        << "migration must not increase the inter-island spread";
+    EXPECT_GE(a.best_fitness, b.best_fitness - 200)
+        << "migration must not substantially hurt the global best";
+}
+
+TEST(IslandGa, SingleIslandEqualsBehavioralGa) {
+    IslandGaConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 8, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0};
+    cfg.islands = 1;
+    cfg.seed_base = 0xB342;
+    auto fn = [](std::uint16_t x) { return fitness::fitness_u16(FitnessId::kF2, x); };
+    const IslandRunResult r = run_island_ga(cfg, fn);
+    core::GaParameters p = cfg.params;
+    p.seed = 0xB342;
+    const core::RunResult ref =
+        core::run_behavioral_ga(p, fn, prng::RngKind::kCellularAutomaton, false);
+    EXPECT_EQ(r.best_candidate, ref.best_candidate);
+    EXPECT_EQ(r.best_fitness, ref.best_fitness);
+}
+
+TEST(IslandGa, ZeroIslandsRejected) {
+    IslandGaConfig cfg;
+    cfg.islands = 0;
+    EXPECT_THROW(run_island_ga(cfg, [](std::uint16_t) { return std::uint16_t{0}; }),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gaip::system

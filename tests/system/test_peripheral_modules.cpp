@@ -1,0 +1,206 @@
+// Dedicated unit tests of the peripheral modules: initialization module,
+// application module, and generation monitor.
+#include <gtest/gtest.h>
+
+#include "core/behavioral.hpp"
+#include "rtl/kernel.hpp"
+#include "system/app_module.hpp"
+#include "system/init_module.hpp"
+#include "system/monitor.hpp"
+
+namespace gaip::system {
+namespace {
+
+// ------------------------------------------------------------- init ------
+
+struct InitBench {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 200'000'000);
+    rtl::Wire<bool> ga_load;
+    rtl::Wire<std::uint8_t> index;
+    rtl::Wire<std::uint16_t> value;
+    rtl::Wire<bool> data_valid;
+    rtl::Wire<bool> data_ack;
+    rtl::Wire<bool> init_done;
+    InitModule init{InitModulePorts{ga_load, index, value, data_valid, data_ack, init_done}};
+
+    InitBench() { kernel.bind(init, clk); }
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+};
+
+TEST(InitModule, EmptyProgramFinishesImmediately) {
+    InitBench b;
+    b.kernel.reset();
+    b.cycle(2);
+    EXPECT_TRUE(b.init_done.read());
+    EXPECT_FALSE(b.ga_load.read());
+}
+
+TEST(InitModule, WalksEveryProgramItemWithHandshake) {
+    InitBench b;
+    b.init.set_program({{0, 100}, {2, 48}, {5, 0xBEEF}});
+    b.kernel.reset();
+
+    std::vector<std::pair<std::uint8_t, std::uint16_t>> seen;
+    for (int i = 0; i < 200 && !b.init_done.read(); ++i) {
+        if (b.data_valid.read() && !b.data_ack.read()) {
+            // Act as the responding core for one handshake.
+            seen.emplace_back(b.index.read(), b.value.read());
+            b.data_ack.drive(true);
+        } else if (!b.data_valid.read() && b.data_ack.read()) {
+            b.data_ack.drive(false);
+        }
+        b.cycle();
+    }
+    EXPECT_TRUE(b.init_done.read());
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], (std::pair<std::uint8_t, std::uint16_t>{0, 100}));
+    EXPECT_EQ(seen[1], (std::pair<std::uint8_t, std::uint16_t>{2, 48}));
+    EXPECT_EQ(seen[2], (std::pair<std::uint8_t, std::uint16_t>{5, 0xBEEF}));
+    EXPECT_FALSE(b.ga_load.read()) << "init mode must end after the last item";
+}
+
+TEST(InitModule, ProgramParametersEmitsTableIIIWrites) {
+    InitBench b;
+    b.init.program_parameters(core::GaParameters{.pop_size = 64, .n_gens = 0x00020001,
+                                                 .xover_threshold = 11, .mut_threshold = 3,
+                                                 .seed = 0xA0A0});
+    b.kernel.reset();
+    std::vector<std::pair<std::uint8_t, std::uint16_t>> seen;
+    for (int i = 0; i < 400 && !b.init_done.read(); ++i) {
+        if (b.data_valid.read() && !b.data_ack.read()) {
+            seen.emplace_back(b.index.read(), b.value.read());
+            b.data_ack.drive(true);
+        } else if (!b.data_valid.read() && b.data_ack.read()) {
+            b.data_ack.drive(false);
+        }
+        b.cycle();
+    }
+    ASSERT_EQ(seen.size(), 6u);
+    EXPECT_EQ(seen[0], (std::pair<std::uint8_t, std::uint16_t>{0, 0x0001}));  // gens lo
+    EXPECT_EQ(seen[1], (std::pair<std::uint8_t, std::uint16_t>{1, 0x0002}));  // gens hi
+    EXPECT_EQ(seen[2], (std::pair<std::uint8_t, std::uint16_t>{2, 64}));
+    EXPECT_EQ(seen[3], (std::pair<std::uint8_t, std::uint16_t>{3, 11}));
+    EXPECT_EQ(seen[4], (std::pair<std::uint8_t, std::uint16_t>{4, 3}));
+    EXPECT_EQ(seen[5], (std::pair<std::uint8_t, std::uint16_t>{5, 0xA0A0}));
+}
+
+TEST(InitModule, HoldsGaLoadAcrossItems) {
+    InitBench b;
+    b.init.set_program({{0, 1}, {1, 2}});
+    b.kernel.reset();
+    bool saw_load_during_items = true;
+    for (int i = 0; i < 100 && !b.init_done.read(); ++i) {
+        if (b.data_valid.read() && !b.data_ack.read()) b.data_ack.drive(true);
+        if (!b.data_valid.read() && b.data_ack.read()) b.data_ack.drive(false);
+        if (!b.init_done.read() && i > 1 && !b.ga_load.read() &&
+            b.init.done() == false) {
+            // ga_load may only drop once done
+            saw_load_during_items = b.init.done();
+        }
+        b.cycle();
+    }
+    EXPECT_TRUE(saw_load_during_items);
+}
+
+// -------------------------------------------------------------- app ------
+
+struct AppBench {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 200'000'000);
+    rtl::Wire<bool> init_done;
+    rtl::Wire<bool> start_ga;
+    rtl::Wire<bool> ga_done;
+    rtl::Wire<std::uint16_t> candidate;
+    rtl::Wire<bool> app_done;
+    AppModule app{AppModulePorts{init_done, start_ga, ga_done, candidate, app_done}};
+
+    AppBench() {
+        kernel.bind(app, clk);
+        kernel.reset();
+    }
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+};
+
+TEST(AppModule, WaitsForInitThenStretchesStartPulse) {
+    AppBench b;
+    b.cycle(5);
+    EXPECT_FALSE(b.start_ga.read()) << "must not start before init_done";
+    b.init_done.drive(true);
+    b.cycle(2);
+    EXPECT_TRUE(b.start_ga.read());
+    // The pulse must span at least 8 fast cycles (two slow periods).
+    unsigned held = 0;
+    while (b.start_ga.read() && held < 100) {
+        b.cycle();
+        ++held;
+    }
+    EXPECT_GE(held, 8u);
+    EXPECT_FALSE(b.app_done.read());
+}
+
+TEST(AppModule, LatchesCandidateOnGaDone) {
+    AppBench b;
+    b.init_done.drive(true);
+    b.cycle(20);  // start pulse over, waiting for done
+    b.candidate.drive(0xCAFE);
+    b.ga_done.drive(true);
+    b.cycle(2);
+    EXPECT_TRUE(b.app_done.read());
+    EXPECT_EQ(b.app.result(), 0xCAFE);
+    b.candidate.drive(0x0000);  // later bus changes must not alter the latch
+    b.cycle(2);
+    EXPECT_EQ(b.app.result(), 0xCAFE);
+}
+
+TEST(AppModule, RestartIssuesAnotherPulse) {
+    AppBench b;
+    b.init_done.drive(true);
+    b.cycle(20);
+    b.ga_done.drive(true);
+    b.candidate.drive(7);
+    b.cycle(2);
+    ASSERT_TRUE(b.app.done());
+    b.ga_done.drive(false);
+    b.app.request_restart();
+    b.cycle(2);
+    EXPECT_TRUE(b.start_ga.read()) << "restart must re-issue start_GA";
+    EXPECT_FALSE(b.app_done.read());
+}
+
+// ---------------------------------------------------------- monitor ------
+
+TEST(GenerationMonitor, SamplesOncePerPulseWithoutMemory) {
+    rtl::Kernel k;
+    rtl::Clock& clk = k.add_clock("clk", 50'000'000);
+    rtl::Wire<bool> pulse;
+    rtl::Wire<std::uint32_t> gen_id;
+    rtl::Wire<std::uint16_t> best_fit, best_ind;
+    rtl::Wire<std::uint32_t> fit_sum;
+    rtl::Wire<bool> bank;
+    rtl::Wire<std::uint8_t> pop;
+    GenerationMonitor mon(MonitorPorts{pulse, gen_id, best_fit, best_ind, fit_sum, bank, pop},
+                          nullptr, true);
+    k.bind(mon, clk);
+    k.reset();
+
+    for (std::uint32_t g = 0; g < 3; ++g) {
+        gen_id.drive(g);
+        best_fit.drive(static_cast<std::uint16_t>(100 + g));
+        fit_sum.drive(1000 + g);
+        pulse.drive(true);
+        k.run_cycles(clk, 1);
+        pulse.drive(false);
+        k.run_cycles(clk, 4);  // idle cycles: no extra samples
+    }
+    ASSERT_EQ(mon.history().size(), 3u);
+    for (std::uint32_t g = 0; g < 3; ++g) {
+        EXPECT_EQ(mon.history()[g].gen, g);
+        EXPECT_EQ(mon.history()[g].best_fit, 100 + g);
+        EXPECT_EQ(mon.history()[g].fit_sum, 1000 + g);
+        EXPECT_TRUE(mon.history()[g].population.empty()) << "no memory attached";
+    }
+}
+
+}  // namespace
+}  // namespace gaip::system

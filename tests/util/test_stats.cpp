@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace gaip::util {
+namespace {
+
+TEST(Summarize, BasicMoments) {
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    const Summary s = summarize(xs);
+    EXPECT_EQ(s.n, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Summarize, EmptyAndSingle) {
+    EXPECT_EQ(summarize(std::vector<double>{}).n, 0u);
+    const Summary s = summarize(std::vector<int>{7});
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(ChiSquareUniform, PerfectlyUniformIsZero) {
+    const std::array<std::size_t, 4> buckets = {25, 25, 25, 25};
+    EXPECT_DOUBLE_EQ(chi_square_uniform({buckets.data(), buckets.size()}, 100), 0.0);
+}
+
+TEST(ChiSquareUniform, SkewGrowsStatistic) {
+    const std::array<std::size_t, 4> a = {26, 24, 25, 25};
+    const std::array<std::size_t, 4> b = {80, 10, 5, 5};
+    EXPECT_LT(chi_square_uniform({a.data(), a.size()}, 100),
+              chi_square_uniform({b.data(), b.size()}, 100));
+}
+
+TEST(SerialCorrelation, AlternatingIsNegative) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_LT(serial_correlation(std::span<const double>(xs)), -0.9);
+}
+
+TEST(SerialCorrelation, MonotoneIsPositive) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(i);
+    EXPECT_GT(serial_correlation(std::span<const double>(xs)), 0.9);
+}
+
+TEST(ConvergenceGeneration, FindsFivePercentSettling) {
+    // Mean fitness: fast growth then a plateau; the paper's "convergence"
+    // column is the generation where growth first drops below 5%.
+    const std::vector<double> mean = {100, 200, 400, 800, 820, 825, 826};
+    EXPECT_EQ(convergence_generation(mean), 3u);
+}
+
+TEST(ConvergenceGeneration, NeverSettlesReturnsLast) {
+    const std::vector<double> mean = {100, 200, 400, 800};
+    EXPECT_EQ(convergence_generation(mean), 3u);
+}
+
+TEST(SettlingGeneration, FindsNinetyFivePercentOfRise) {
+    const std::vector<double> mean = {100, 500, 900, 1080, 1095, 1100};
+    // rise = 1000, target = 100 + 950 = 1050 -> first reached at index 3.
+    EXPECT_EQ(settling_generation(mean), 3u);
+}
+
+TEST(SettlingGeneration, OffsetInsensitive) {
+    // The same trajectory riding a +100000 offset must settle identically —
+    // the property the paper's literal definition lacks.
+    std::vector<double> a = {0, 50, 90, 99, 100};
+    std::vector<double> b = a;
+    for (double& v : b) v += 100000;
+    EXPECT_EQ(settling_generation(a), settling_generation(b));
+}
+
+TEST(SettlingGeneration, FlatSeriesSettlesImmediately) {
+    const std::vector<double> mean = {42, 42, 42};
+    EXPECT_EQ(settling_generation(mean), 0u);
+}
+
+}  // namespace
+}  // namespace gaip::util

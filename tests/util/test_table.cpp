@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace gaip::util {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsRules) {
+    TextTable t({"Name", "Value"});
+    t.add("alpha", 1);
+    t.add("bb", 22.5);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| Name "), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22.500"), std::string::npos);
+    // Three rules + header + 2 rows = 6 lines.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TextTable, HeterogeneousCellFormatting) {
+    EXPECT_EQ(TextTable::to_cell(std::string("s")), "s");
+    EXPECT_EQ(TextTable::to_cell("lit"), "lit");
+    EXPECT_EQ(TextTable::to_cell(42), "42");
+    EXPECT_EQ(TextTable::to_cell(42u), "42");
+    EXPECT_EQ(TextTable::to_cell(1.5), "1.500");
+}
+
+TEST(TextTable, ShortRowsPadWithEmptyCells) {
+    TextTable t({"A", "B", "C"});
+    t.add_row({"only-one"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+    const std::string path = ::testing::TempDir() + "/gaip_table_test.csv";
+    TextTable t({"x", "y"});
+    t.add(1, 2);
+    t.add(3, 4);
+    ASSERT_TRUE(t.write_csv(path));
+
+    std::ifstream f(path);
+    std::string line;
+    std::getline(f, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(f, line);
+    EXPECT_EQ(line, "1,2");
+    std::getline(f, line);
+    EXPECT_EQ(line, "3,4");
+    std::filesystem::remove(path);
+}
+
+TEST(TextTable, CsvToUnwritablePathFails) {
+    TextTable t({"x"});
+    EXPECT_FALSE(t.write_csv("/nonexistent_dir_zzz/out.csv"));
+}
+
+TEST(Hex16, FormatsUppercaseFourDigits) {
+    EXPECT_EQ(hex16(0x2961), "2961");
+    EXPECT_EQ(hex16(0x061F), "061F");
+    EXPECT_EQ(hex16(0xFFFF), "FFFF");
+    EXPECT_EQ(hex16(0), "0000");
+    EXPECT_EQ(hex16(0x12961), "2961") << "only the low 16 bits";
+}
+
+}  // namespace
+}  // namespace gaip::util
