@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rng.dir/bench_ablation_rng.cpp.o"
+  "CMakeFiles/bench_ablation_rng.dir/bench_ablation_rng.cpp.o.d"
+  "bench_ablation_rng"
+  "bench_ablation_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

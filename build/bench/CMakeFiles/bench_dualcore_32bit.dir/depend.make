@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dualcore_32bit.
+# This may be replaced when dependencies are built.

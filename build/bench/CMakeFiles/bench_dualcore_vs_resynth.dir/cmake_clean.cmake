@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dualcore_vs_resynth.dir/bench_dualcore_vs_resynth.cpp.o"
+  "CMakeFiles/bench_dualcore_vs_resynth.dir/bench_dualcore_vs_resynth.cpp.o.d"
+  "bench_dualcore_vs_resynth"
+  "bench_dualcore_vs_resynth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dualcore_vs_resynth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dualcore_vs_resynth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_function_shapes.dir/bench_fig7_function_shapes.cpp.o"
+  "CMakeFiles/bench_fig7_function_shapes.dir/bench_fig7_function_shapes.cpp.o.d"
+  "bench_fig7_function_shapes"
+  "bench_fig7_function_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_function_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

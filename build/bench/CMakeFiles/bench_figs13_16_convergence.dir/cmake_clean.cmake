@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figs13_16_convergence.dir/bench_figs13_16_convergence.cpp.o"
+  "CMakeFiles/bench_figs13_16_convergence.dir/bench_figs13_16_convergence.cpp.o.d"
+  "bench_figs13_16_convergence"
+  "bench_figs13_16_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figs13_16_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figs8_12_convergence.dir/bench_figs8_12_convergence.cpp.o"
+  "CMakeFiles/bench_figs8_12_convergence.dir/bench_figs8_12_convergence.cpp.o.d"
+  "bench_figs8_12_convergence"
+  "bench_figs8_12_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figs8_12_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_netlist.dir/bench_gate_netlist.cpp.o"
+  "CMakeFiles/bench_gate_netlist.dir/bench_gate_netlist.cpp.o.d"
+  "bench_gate_netlist"
+  "bench_gate_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stats_robustness.dir/bench_stats_robustness.cpp.o"
+  "CMakeFiles/bench_stats_robustness.dir/bench_stats_robustness.cpp.o.d"
+  "bench_stats_robustness"
+  "bench_stats_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stats_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

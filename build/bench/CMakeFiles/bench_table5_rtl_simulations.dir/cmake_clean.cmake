@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_rtl_simulations.dir/bench_table5_rtl_simulations.cpp.o"
+  "CMakeFiles/bench_table5_rtl_simulations.dir/bench_table5_rtl_simulations.cpp.o.d"
+  "bench_table5_rtl_simulations"
+  "bench_table5_rtl_simulations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_rtl_simulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

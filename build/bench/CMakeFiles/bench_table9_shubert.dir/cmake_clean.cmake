@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_shubert.dir/bench_table9_shubert.cpp.o"
+  "CMakeFiles/bench_table9_shubert.dir/bench_table9_shubert.cpp.o.d"
+  "bench_table9_shubert"
+  "bench_table9_shubert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_shubert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_healing.dir/adaptive_healing.cpp.o"
+  "CMakeFiles/adaptive_healing.dir/adaptive_healing.cpp.o.d"
+  "adaptive_healing"
+  "adaptive_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

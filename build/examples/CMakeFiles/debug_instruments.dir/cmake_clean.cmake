@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_instruments.dir/debug_instruments.cpp.o"
+  "CMakeFiles/debug_instruments.dir/debug_instruments.cpp.o.d"
+  "debug_instruments"
+  "debug_instruments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_instruments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

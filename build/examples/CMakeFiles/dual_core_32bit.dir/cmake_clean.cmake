@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_core_32bit.dir/dual_core_32bit.cpp.o"
+  "CMakeFiles/dual_core_32bit.dir/dual_core_32bit.cpp.o.d"
+  "dual_core_32bit"
+  "dual_core_32bit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_core_32bit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

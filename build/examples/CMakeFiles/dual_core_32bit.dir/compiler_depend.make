@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dual_core_32bit.
+# This may be replaced when dependencies are built.

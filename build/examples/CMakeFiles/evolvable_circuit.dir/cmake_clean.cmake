@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolvable_circuit.dir/evolvable_circuit.cpp.o"
+  "CMakeFiles/evolvable_circuit.dir/evolvable_circuit.cpp.o.d"
+  "evolvable_circuit"
+  "evolvable_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolvable_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

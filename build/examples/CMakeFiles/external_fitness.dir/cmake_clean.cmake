@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_fitness.dir/external_fitness.cpp.o"
+  "CMakeFiles/external_fitness.dir/external_fitness.cpp.o.d"
+  "external_fitness"
+  "external_fitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

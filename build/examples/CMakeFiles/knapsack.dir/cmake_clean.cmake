@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knapsack.dir/knapsack.cpp.o"
+  "CMakeFiles/knapsack.dir/knapsack.cpp.o.d"
+  "knapsack"
+  "knapsack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knapsack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

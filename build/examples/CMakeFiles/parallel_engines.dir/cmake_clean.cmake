@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_engines.dir/parallel_engines.cpp.o"
+  "CMakeFiles/parallel_engines.dir/parallel_engines.cpp.o.d"
+  "parallel_engines"
+  "parallel_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/compact_ga.cpp" "src/baselines/CMakeFiles/gaip_baselines.dir/compact_ga.cpp.o" "gcc" "src/baselines/CMakeFiles/gaip_baselines.dir/compact_ga.cpp.o.d"
+  "/root/repo/src/baselines/pipelined.cpp" "src/baselines/CMakeFiles/gaip_baselines.dir/pipelined.cpp.o" "gcc" "src/baselines/CMakeFiles/gaip_baselines.dir/pipelined.cpp.o.d"
+  "/root/repo/src/baselines/templates.cpp" "src/baselines/CMakeFiles/gaip_baselines.dir/templates.cpp.o" "gcc" "src/baselines/CMakeFiles/gaip_baselines.dir/templates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

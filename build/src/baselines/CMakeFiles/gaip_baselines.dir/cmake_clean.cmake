@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_baselines.dir/compact_ga.cpp.o"
+  "CMakeFiles/gaip_baselines.dir/compact_ga.cpp.o.d"
+  "CMakeFiles/gaip_baselines.dir/pipelined.cpp.o"
+  "CMakeFiles/gaip_baselines.dir/pipelined.cpp.o.d"
+  "CMakeFiles/gaip_baselines.dir/templates.cpp.o"
+  "CMakeFiles/gaip_baselines.dir/templates.cpp.o.d"
+  "libgaip_baselines.a"
+  "libgaip_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

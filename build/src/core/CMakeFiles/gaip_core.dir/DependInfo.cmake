@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavioral.cpp" "src/core/CMakeFiles/gaip_core.dir/behavioral.cpp.o" "gcc" "src/core/CMakeFiles/gaip_core.dir/behavioral.cpp.o.d"
+  "/root/repo/src/core/dual_behavioral.cpp" "src/core/CMakeFiles/gaip_core.dir/dual_behavioral.cpp.o" "gcc" "src/core/CMakeFiles/gaip_core.dir/dual_behavioral.cpp.o.d"
+  "/root/repo/src/core/dual_core.cpp" "src/core/CMakeFiles/gaip_core.dir/dual_core.cpp.o" "gcc" "src/core/CMakeFiles/gaip_core.dir/dual_core.cpp.o.d"
+  "/root/repo/src/core/ga_core.cpp" "src/core/CMakeFiles/gaip_core.dir/ga_core.cpp.o" "gcc" "src/core/CMakeFiles/gaip_core.dir/ga_core.cpp.o.d"
+  "/root/repo/src/core/wide_ga.cpp" "src/core/CMakeFiles/gaip_core.dir/wide_ga.cpp.o" "gcc" "src/core/CMakeFiles/gaip_core.dir/wide_ga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

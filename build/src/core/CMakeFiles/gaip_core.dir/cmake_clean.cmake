@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_core.dir/behavioral.cpp.o"
+  "CMakeFiles/gaip_core.dir/behavioral.cpp.o.d"
+  "CMakeFiles/gaip_core.dir/dual_behavioral.cpp.o"
+  "CMakeFiles/gaip_core.dir/dual_behavioral.cpp.o.d"
+  "CMakeFiles/gaip_core.dir/dual_core.cpp.o"
+  "CMakeFiles/gaip_core.dir/dual_core.cpp.o.d"
+  "CMakeFiles/gaip_core.dir/ga_core.cpp.o"
+  "CMakeFiles/gaip_core.dir/ga_core.cpp.o.d"
+  "CMakeFiles/gaip_core.dir/wide_ga.cpp.o"
+  "CMakeFiles/gaip_core.dir/wide_ga.cpp.o.d"
+  "libgaip_core.a"
+  "libgaip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fitness/fem.cpp" "src/fitness/CMakeFiles/gaip_fitness.dir/fem.cpp.o" "gcc" "src/fitness/CMakeFiles/gaip_fitness.dir/fem.cpp.o.d"
+  "/root/repo/src/fitness/functions.cpp" "src/fitness/CMakeFiles/gaip_fitness.dir/functions.cpp.o" "gcc" "src/fitness/CMakeFiles/gaip_fitness.dir/functions.cpp.o.d"
+  "/root/repo/src/fitness/rom_builder.cpp" "src/fitness/CMakeFiles/gaip_fitness.dir/rom_builder.cpp.o" "gcc" "src/fitness/CMakeFiles/gaip_fitness.dir/rom_builder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

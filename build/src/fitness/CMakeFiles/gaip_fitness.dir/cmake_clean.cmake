@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_fitness.dir/fem.cpp.o"
+  "CMakeFiles/gaip_fitness.dir/fem.cpp.o.d"
+  "CMakeFiles/gaip_fitness.dir/functions.cpp.o"
+  "CMakeFiles/gaip_fitness.dir/functions.cpp.o.d"
+  "CMakeFiles/gaip_fitness.dir/rom_builder.cpp.o"
+  "CMakeFiles/gaip_fitness.dir/rom_builder.cpp.o.d"
+  "libgaip_fitness.a"
+  "libgaip_fitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gates/asic_flow.cpp" "src/gates/CMakeFiles/gaip_gates.dir/asic_flow.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/asic_flow.cpp.o.d"
+  "/root/repo/src/gates/blocks.cpp" "src/gates/CMakeFiles/gaip_gates.dir/blocks.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/blocks.cpp.o.d"
+  "/root/repo/src/gates/builder.cpp" "src/gates/CMakeFiles/gaip_gates.dir/builder.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/builder.cpp.o.d"
+  "/root/repo/src/gates/ga_core_gates.cpp" "src/gates/CMakeFiles/gaip_gates.dir/ga_core_gates.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/ga_core_gates.cpp.o.d"
+  "/root/repo/src/gates/netlist.cpp" "src/gates/CMakeFiles/gaip_gates.dir/netlist.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/netlist.cpp.o.d"
+  "/root/repo/src/gates/optimize.cpp" "src/gates/CMakeFiles/gaip_gates.dir/optimize.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/optimize.cpp.o.d"
+  "/root/repo/src/gates/rng_gates.cpp" "src/gates/CMakeFiles/gaip_gates.dir/rng_gates.cpp.o" "gcc" "src/gates/CMakeFiles/gaip_gates.dir/rng_gates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_gates.dir/asic_flow.cpp.o"
+  "CMakeFiles/gaip_gates.dir/asic_flow.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/blocks.cpp.o"
+  "CMakeFiles/gaip_gates.dir/blocks.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/builder.cpp.o"
+  "CMakeFiles/gaip_gates.dir/builder.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/ga_core_gates.cpp.o"
+  "CMakeFiles/gaip_gates.dir/ga_core_gates.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/netlist.cpp.o"
+  "CMakeFiles/gaip_gates.dir/netlist.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/optimize.cpp.o"
+  "CMakeFiles/gaip_gates.dir/optimize.cpp.o.d"
+  "CMakeFiles/gaip_gates.dir/rng_gates.cpp.o"
+  "CMakeFiles/gaip_gates.dir/rng_gates.cpp.o.d"
+  "libgaip_gates.a"
+  "libgaip_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

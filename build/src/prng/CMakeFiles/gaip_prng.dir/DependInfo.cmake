@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prng/quality.cpp" "src/prng/CMakeFiles/gaip_prng.dir/quality.cpp.o" "gcc" "src/prng/CMakeFiles/gaip_prng.dir/quality.cpp.o.d"
+  "/root/repo/src/prng/rng_module.cpp" "src/prng/CMakeFiles/gaip_prng.dir/rng_module.cpp.o" "gcc" "src/prng/CMakeFiles/gaip_prng.dir/rng_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_prng.dir/quality.cpp.o"
+  "CMakeFiles/gaip_prng.dir/quality.cpp.o.d"
+  "CMakeFiles/gaip_prng.dir/rng_module.cpp.o"
+  "CMakeFiles/gaip_prng.dir/rng_module.cpp.o.d"
+  "libgaip_prng.a"
+  "libgaip_prng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgaip_prng.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_report.dir/resources.cpp.o"
+  "CMakeFiles/gaip_report.dir/resources.cpp.o.d"
+  "libgaip_report.a"
+  "libgaip_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

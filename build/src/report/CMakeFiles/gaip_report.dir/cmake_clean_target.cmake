@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgaip_report.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_rtl.dir/kernel.cpp.o"
+  "CMakeFiles/gaip_rtl.dir/kernel.cpp.o.d"
+  "CMakeFiles/gaip_rtl.dir/vcd.cpp.o"
+  "CMakeFiles/gaip_rtl.dir/vcd.cpp.o.d"
+  "libgaip_rtl.a"
+  "libgaip_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swga/ppc_cost_model.cpp" "src/swga/CMakeFiles/gaip_swga.dir/ppc_cost_model.cpp.o" "gcc" "src/swga/CMakeFiles/gaip_swga.dir/ppc_cost_model.cpp.o.d"
+  "/root/repo/src/swga/software_ga.cpp" "src/swga/CMakeFiles/gaip_swga.dir/software_ga.cpp.o" "gcc" "src/swga/CMakeFiles/gaip_swga.dir/software_ga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_swga.dir/ppc_cost_model.cpp.o"
+  "CMakeFiles/gaip_swga.dir/ppc_cost_model.cpp.o.d"
+  "CMakeFiles/gaip_swga.dir/software_ga.cpp.o"
+  "CMakeFiles/gaip_swga.dir/software_ga.cpp.o.d"
+  "libgaip_swga.a"
+  "libgaip_swga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_swga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaip_system.dir/ga_system.cpp.o"
+  "CMakeFiles/gaip_system.dir/ga_system.cpp.o.d"
+  "CMakeFiles/gaip_system.dir/ila.cpp.o"
+  "CMakeFiles/gaip_system.dir/ila.cpp.o.d"
+  "CMakeFiles/gaip_system.dir/parallel.cpp.o"
+  "CMakeFiles/gaip_system.dir/parallel.cpp.o.d"
+  "libgaip_system.a"
+  "libgaip_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaip_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

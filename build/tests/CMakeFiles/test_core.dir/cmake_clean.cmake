@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_behavioral.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_behavioral.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ga_core_rtl.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ga_core_rtl.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ga_core_scan_midrun.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ga_core_scan_midrun.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_params.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_params.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_protocol_robustness.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_protocol_robustness.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_wide_ga.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_wide_ga.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gates/test_asic_flow.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_asic_flow.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_asic_flow.cpp.o.d"
+  "/root/repo/tests/gates/test_blocks.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_blocks.cpp.o.d"
+  "/root/repo/tests/gates/test_ga_core_gates.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_ga_core_gates.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_ga_core_gates.cpp.o.d"
+  "/root/repo/tests/gates/test_netlist.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_netlist.cpp.o.d"
+  "/root/repo/tests/gates/test_optimize.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_optimize.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_optimize.cpp.o.d"
+  "/root/repo/tests/gates/test_rng_gates.cpp" "tests/CMakeFiles/test_gates.dir/gates/test_rng_gates.cpp.o" "gcc" "tests/CMakeFiles/test_gates.dir/gates/test_rng_gates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gaip_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/gaip_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/gaip_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/swga/CMakeFiles/gaip_swga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/gaip_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gates.dir/gates/test_asic_flow.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_asic_flow.cpp.o.d"
+  "CMakeFiles/test_gates.dir/gates/test_blocks.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_blocks.cpp.o.d"
+  "CMakeFiles/test_gates.dir/gates/test_ga_core_gates.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_ga_core_gates.cpp.o.d"
+  "CMakeFiles/test_gates.dir/gates/test_netlist.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_netlist.cpp.o.d"
+  "CMakeFiles/test_gates.dir/gates/test_optimize.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_optimize.cpp.o.d"
+  "CMakeFiles/test_gates.dir/gates/test_rng_gates.cpp.o"
+  "CMakeFiles/test_gates.dir/gates/test_rng_gates.cpp.o.d"
+  "test_gates"
+  "test_gates.pdb"
+  "test_gates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

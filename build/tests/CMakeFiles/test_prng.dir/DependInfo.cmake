@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/prng/test_ca_prng.cpp" "tests/CMakeFiles/test_prng.dir/prng/test_ca_prng.cpp.o" "gcc" "tests/CMakeFiles/test_prng.dir/prng/test_ca_prng.cpp.o.d"
+  "/root/repo/tests/prng/test_quality.cpp" "tests/CMakeFiles/test_prng.dir/prng/test_quality.cpp.o" "gcc" "tests/CMakeFiles/test_prng.dir/prng/test_quality.cpp.o.d"
+  "/root/repo/tests/prng/test_rng_module.cpp" "tests/CMakeFiles/test_prng.dir/prng/test_rng_module.cpp.o" "gcc" "tests/CMakeFiles/test_prng.dir/prng/test_rng_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gaip_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/gaip_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/gaip_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/swga/CMakeFiles/gaip_swga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/gaip_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prng.dir/prng/test_ca_prng.cpp.o"
+  "CMakeFiles/test_prng.dir/prng/test_ca_prng.cpp.o.d"
+  "CMakeFiles/test_prng.dir/prng/test_quality.cpp.o"
+  "CMakeFiles/test_prng.dir/prng/test_quality.cpp.o.d"
+  "CMakeFiles/test_prng.dir/prng/test_rng_module.cpp.o"
+  "CMakeFiles/test_prng.dir/prng/test_rng_module.cpp.o.d"
+  "test_prng"
+  "test_prng.pdb"
+  "test_prng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtl.dir/rtl/test_kernel.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_kernel.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_scan.cpp.o.d"
+  "CMakeFiles/test_rtl.dir/rtl/test_signal.cpp.o"
+  "CMakeFiles/test_rtl.dir/rtl/test_signal.cpp.o.d"
+  "test_rtl"
+  "test_rtl.pdb"
+  "test_rtl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

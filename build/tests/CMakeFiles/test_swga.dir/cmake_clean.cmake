@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swga.dir/swga/test_software_ga.cpp.o"
+  "CMakeFiles/test_swga.dir/swga/test_software_ga.cpp.o.d"
+  "test_swga"
+  "test_swga.pdb"
+  "test_swga[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

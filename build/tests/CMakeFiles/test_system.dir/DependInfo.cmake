@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/system/test_dual_core.cpp" "tests/CMakeFiles/test_system.dir/system/test_dual_core.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_dual_core.cpp.o.d"
+  "/root/repo/tests/system/test_equivalence.cpp" "tests/CMakeFiles/test_system.dir/system/test_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_equivalence.cpp.o.d"
+  "/root/repo/tests/system/test_ga_system.cpp" "tests/CMakeFiles/test_system.dir/system/test_ga_system.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_ga_system.cpp.o.d"
+  "/root/repo/tests/system/test_ila.cpp" "tests/CMakeFiles/test_system.dir/system/test_ila.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_ila.cpp.o.d"
+  "/root/repo/tests/system/test_memory_trace.cpp" "tests/CMakeFiles/test_system.dir/system/test_memory_trace.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_memory_trace.cpp.o.d"
+  "/root/repo/tests/system/test_parallel.cpp" "tests/CMakeFiles/test_system.dir/system/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_parallel.cpp.o.d"
+  "/root/repo/tests/system/test_peripheral_modules.cpp" "tests/CMakeFiles/test_system.dir/system/test_peripheral_modules.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_peripheral_modules.cpp.o.d"
+  "/root/repo/tests/system/test_regression_goldens.cpp" "tests/CMakeFiles/test_system.dir/system/test_regression_goldens.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_regression_goldens.cpp.o.d"
+  "/root/repo/tests/system/test_vcd_integration.cpp" "tests/CMakeFiles/test_system.dir/system/test_vcd_integration.cpp.o" "gcc" "tests/CMakeFiles/test_system.dir/system/test_vcd_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gaip_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/gaip_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/gates/CMakeFiles/gaip_gates.dir/DependInfo.cmake"
+  "/root/repo/build/src/swga/CMakeFiles/gaip_swga.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gaip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/gaip_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/fitness/CMakeFiles/gaip_fitness.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/gaip_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/gaip_rtl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/system/test_dual_core.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_dual_core.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_equivalence.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_equivalence.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_ga_system.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_ga_system.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_ila.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_ila.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_memory_trace.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_memory_trace.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_parallel.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_parallel.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_peripheral_modules.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_peripheral_modules.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_regression_goldens.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_regression_goldens.cpp.o.d"
+  "CMakeFiles/test_system.dir/system/test_vcd_integration.cpp.o"
+  "CMakeFiles/test_system.dir/system/test_vcd_integration.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

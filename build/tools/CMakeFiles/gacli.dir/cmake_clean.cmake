@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gacli.dir/gacli.cpp.o"
+  "CMakeFiles/gacli.dir/gacli.cpp.o.d"
+  "gacli"
+  "gacli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gacli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gacli_smoke_rtl "/root/repo/build/tools/gacli" "--fitness" "OneMax" "--pop" "16" "--gens" "8" "--quiet")
+set_tests_properties(gacli_smoke_rtl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gacli_smoke_behavioral "/root/repo/build/tools/gacli" "--fitness" "mShubert2D" "--behavioral" "--pop" "32" "--gens" "16" "--quiet")
+set_tests_properties(gacli_smoke_behavioral PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gacli_smoke_preset "/root/repo/build/tools/gacli" "--fitness" "F2" "--preset" "1" "--quiet")
+set_tests_properties(gacli_smoke_preset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gacli_smoke_gate_level "/root/repo/build/tools/gacli" "--fitness" "OneMax" "--pop" "8" "--gens" "3" "--gate-level" "--quiet")
+set_tests_properties(gacli_smoke_gate_level PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gacli_smoke_runs "/root/repo/build/tools/gacli" "--fitness" "mBF6_2" "--runs" "5" "--gens" "16")
+set_tests_properties(gacli_smoke_runs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gacli_bad_option "/root/repo/build/tools/gacli" "--frobnicate")
+set_tests_properties(gacli_bad_option PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
