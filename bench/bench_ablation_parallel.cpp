@@ -4,9 +4,29 @@
 //   * K seed-parallel engines, best-of (the RTL ParallelGaSystem — also
 //     reports the wall-clock advantage: K engines run concurrently),
 //   * K islands with ring migration (behavioral).
+#include <chrono>
+#include <thread>
+
 #include "bench/common.hpp"
 #include "fitness/functions.hpp"
 #include "system/parallel.hpp"
+
+namespace {
+
+/// Host wall-clock of a ParallelGaSystem::run with a given worker pool
+/// size; the results must be (and are, see test_parallel) bit-identical,
+/// so only the timing changes.
+double timed_run_ms(gaip::system::ParallelGaConfig cfg, unsigned threads,
+                    gaip::system::ParallelRunResult& out) {
+    cfg.threads = threads;
+    gaip::system::ParallelGaSystem sys(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    out = sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
 
 int main() {
     using namespace gaip;
@@ -72,6 +92,40 @@ int main() {
         table.print();
         table.write_csv(bench::out_path(std::string("ablation_parallel_") +
                                         fitness::fitness_name(fn) + ".csv"));
+    }
+
+    // Host-side threading ablation: the same 4-engine array simulated by a
+    // 1-thread pool vs a 4-thread pool. Each engine owns its kernel, so
+    // this is embarrassingly parallel; on a multi-core host the speedup
+    // approaches the engine count.
+    {
+        std::printf("\nHost simulation threading (4 engines, pop 32 x 32 gens, mBF6_2):\n");
+        util::TextTable table({"Worker threads", "Wall ms", "Speedup", "Best fitness",
+                               "Identical results"});
+        system::ParallelGaConfig cfg;
+        cfg.params = {.pop_size = 32, .n_gens = 32, .xover_threshold = 10,
+                      .mut_threshold = 1, .seed = 0};
+        cfg.seeds = {0x2961, 0x061F, 0xB342, 0xAAAA};
+        cfg.fitness = fitness::FitnessId::kMBf6_2;
+
+        system::ParallelRunResult seq, pooled;
+        const double ms1 = timed_run_ms(cfg, 1, seq);
+        const double ms4 = timed_run_ms(cfg, 4, pooled);
+        const bool identical = seq.best_candidate == pooled.best_candidate &&
+                               seq.best_fitness == pooled.best_fitness &&
+                               seq.best_engine == pooled.best_engine &&
+                               seq.ga_cycles == pooled.ga_cycles;
+        char speedup[32];
+        std::snprintf(speedup, sizeof speedup, "%.2fx", ms1 / ms4);
+        table.add("1 (sequential)", static_cast<unsigned long long>(ms1), "1.00x",
+                  seq.best_fitness, "-");
+        table.add("4 (pool)", static_cast<unsigned long long>(ms4), speedup,
+                  pooled.best_fitness, identical ? "yes" : "NO (BUG)");
+        table.print();
+        table.write_csv(bench::out_path("ablation_parallel_threads.csv"));
+        std::printf("(speedup is bounded by the host's core count: "
+                    "hardware_concurrency=%u)\n",
+                    std::thread::hardware_concurrency());
     }
 
     std::cout << "\nReadings: at equal budget, seed-parallel engines match or beat the single\n"

@@ -11,6 +11,7 @@
 #include "prng/lfsr.hpp"
 #include "swga/software_ga.hpp"
 #include "system/ga_system.hpp"
+#include "system/parallel.hpp"
 
 namespace {
 
@@ -79,6 +80,54 @@ void BM_RtlSystemRun(benchmark::State& state) {
         benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RtlSystemRun);
+
+void BM_RtlSystemScheduler(benchmark::State& state) {
+    // Event-driven (arg 0) vs evaluate-everything sweep (arg 1) on the same
+    // full-system run. The kernel's stats counters expose how much work the
+    // dirty-tracking scheduler avoids: module eval() calls per simulated
+    // time point and modules skipped per settle.
+    const bool full_settle = state.range(0) != 0;
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 8, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0x2961};
+    cfg.internal_fems = {fitness::FitnessId::kMBf6_2};
+    cfg.keep_populations = false;
+    system::GaSystem sys(cfg);
+    sys.kernel().set_full_settle(full_settle);
+    for (auto _ : state) sys.run();
+    const rtl::KernelStats s = sys.kernel().stats();  // last run's counters
+    state.counters["evals_per_cycle"] = benchmark::Counter(s.evals_per_time_point());
+    state.counters["settle_passes"] = benchmark::Counter(static_cast<double>(s.settle_passes));
+    state.counters["module_evals"] = benchmark::Counter(static_cast<double>(s.module_evals));
+    state.counters["skipped"] = benchmark::Counter(static_cast<double>(s.modules_skipped));
+}
+BENCHMARK(BM_RtlSystemScheduler)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("full_settle");
+
+void BM_ParallelGaSystemRun(benchmark::State& state) {
+    // 4-engine parallel array; arg = worker threads (1 = sequential). On a
+    // multi-core host the pooled run is near-linearly faster; the results
+    // are bit-identical either way (asserted in test_parallel).
+    system::ParallelGaConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 8, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0};
+    cfg.seeds = {0x2961, 0x061F, 0xB342, 0xAAAA};
+    cfg.fitness = fitness::FitnessId::kMBf6_2;
+    cfg.threads = static_cast<unsigned>(state.range(0));
+    system::ParallelGaSystem sys(cfg);
+    for (auto _ : state) benchmark::DoNotOptimize(sys.run());
+    state.counters["threads"] =
+        benchmark::Counter(static_cast<double>(sys.resolved_threads()));
+    state.counters["engines"] = benchmark::Counter(static_cast<double>(sys.engine_count()));
+}
+BENCHMARK(BM_ParallelGaSystemRun)
+    ->Arg(1)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DualCoreRun(benchmark::State& state) {
     core::DualGaConfig cfg;

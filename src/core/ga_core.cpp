@@ -18,6 +18,10 @@ GaCore::GaCore(std::string name, GaCorePorts ports, GaCoreConfig cfg)
                fit_sum_new_, sel_thresh_, sel_cum_, parent1_, parent2_, off1_, off2_, eval_cand_,
                fit_reg_, xo_cut_, xo_do_, start_d_);
     scan_.add_all(registers());
+    // Complete eval() sensitivity: every other input port is sampled in
+    // tick() only (fitness/init/start/RNG buses), so the scheduler needs to
+    // re-run eval() just for scan-mode entry and memory-read data.
+    sense(p_.test, p_.mem_data_in);
 }
 
 GaParameters GaCore::programmed_parameters() const {
@@ -148,7 +152,10 @@ void GaCore::eval() {
 void GaCore::tick() {
     if (p_.test.read()) {
         // Scan mode freezes the controller and shifts the register chain.
+        // Shifting writes registers through set_bits (no commit), so tell
+        // the scheduler directly that our state — and thus scanout — moved.
         scan_.shift(p_.scanin.read());
+        input_changed();
         return;
     }
     // start_GA edge detection. The detector only tracks the pin in the two
@@ -199,7 +206,10 @@ void GaCore::tick_init_handshake() {
     switch (static_cast<ParamIndex>(p_.index.read() & 0x7)) {
         case ParamIndex::kNumGensLo: ngens_lo_.load(v); break;
         case ParamIndex::kNumGensHi: ngens_hi_.load(v); break;
-        case ParamIndex::kPopSize: pop_size_.load(static_cast<std::uint8_t>(v)); break;
+        // Clamp on the full 16-bit bus BEFORE narrowing to the 8-bit
+        // register: programming 256 must clamp to 128 (Table IV's "< 256"
+        // row), not wrap to 0 and end up at the minimum of 2.
+        case ParamIndex::kPopSize: pop_size_.load(clamp_pop_size(v)); break;
         case ParamIndex::kCrossoverRate: xover_thresh_.load(static_cast<std::uint8_t>(v)); break;
         case ParamIndex::kMutationRate: mut_thresh_.load(static_cast<std::uint8_t>(v)); break;
         case ParamIndex::kRngSeed: break;  // captured by the RNG module

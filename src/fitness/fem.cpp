@@ -9,6 +9,7 @@ RomFitnessModule::RomFitnessModule(std::string name, FemPorts ports,
     : Module(std::move(name)), p_(ports), rom_(std::move(rom)), cfg_(cfg) {
     if (!rom_) throw std::invalid_argument("RomFitnessModule: null rom");
     attach_all(state_, addr_, value_, delay_);
+    sense();  // eval() reads the FSM/value registers only; the handshake is ticked
 }
 
 void RomFitnessModule::eval() {

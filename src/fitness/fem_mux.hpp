@@ -33,11 +33,18 @@ struct FemMuxPorts {
 
 class FemMux final : public rtl::Module {
 public:
-    explicit FemMux(FemMuxPorts ports) : Module("fem_mux"), p_(ports) {}
+    explicit FemMux(FemMuxPorts ports) : Module("fem_mux"), p_(ports) {
+        sense(p_.fit_request, p_.fitfunc_select);
+    }
 
     /// Populate internal slot `idx` (0..7). Unpopulated / external slots
     /// simply never answer on the internal pair.
-    void set_slot(std::size_t idx, FemMuxSlot slot) { slots_.at(idx) = slot; }
+    void set_slot(std::size_t idx, FemMuxSlot slot) {
+        slots_.at(idx) = slot;
+        // The slot's answer pair joins the mux's eval() sensitivity.
+        if (slot.value != nullptr) sense(*slot.value);
+        if (slot.valid != nullptr) sense(*slot.valid);
+    }
 
     void eval() override {
         const std::size_t sel = p_.fitfunc_select.read() & 0x7;

@@ -31,6 +31,7 @@ public:
                unsigned data_bits = 8 * sizeof(TData))
         : Module(std::move(name)), p_(ports), mem_(depth, TData{}), data_bits_(data_bits) {
         attach(dout_reg_);
+        sense();  // eval() presents the read register only; ports are tick inputs
     }
 
     void eval() override { p_.data_out.drive(dout_reg_.read()); }

@@ -32,6 +32,7 @@ std::uint16_t rng_step(RngKind kind, std::uint16_t state) noexcept {
 RngModule::RngModule(RngModulePorts ports, RngKind kind)
     : Module("rng_module"), p_(ports), kind_(kind) {
     attach_all(seed_reg_, state_, start_d_);
+    sense();  // eval() reads the state register only; the buses are tick inputs
 }
 
 std::uint16_t RngModule::effective_seed(std::uint8_t preset, std::uint16_t user_seed) noexcept {

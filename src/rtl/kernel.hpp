@@ -1,16 +1,25 @@
 // The cycle-level simulation kernel.
 //
 // Execution model per processed time point t:
-//   1. settle(): run eval() over all modules repeatedly until no Wire
-//      changes (bounded; throws on a combinational loop).
+//   1. settle(): re-evaluate modules until no Wire changes (bounded; throws
+//      on a combinational loop).
 //   2. tick() every module bound to a clock whose rising edge falls at t
 //      (multiple domains can coincide, e.g. 50 MHz and 200 MHz every 20 ns).
-//   3. commit the registers of exactly the ticked modules.
+//   3. commit the registers of exactly the ticked modules; modules whose
+//      registers actually changed are marked for re-evaluation.
 //   4. settle() again so Moore outputs reflect the new state before the
 //      next domain's edge.
 //
 // This is the standard two-phase synchronous-RTL semantics: all flip-flops
 // of a domain sample their D inputs simultaneously.
+//
+// Scheduling: settle() is event-driven. Modules that declared their eval()
+// sensitivity (Module::sense) are only re-evaluated when a sensed wire or
+// one of their own registers changed since their last eval(); modules that
+// did not are swept in full fixed-point passes exactly like the original
+// kernel. Setting the environment variable GAIP_KERNEL_FULL_SETTLE=1 (or
+// calling set_full_settle(true)) forces the original sweep for every module
+// — the escape hatch differential tests compare against.
 #pragma once
 
 #include <cstdint>
@@ -26,9 +35,25 @@ namespace gaip::rtl {
 
 class VcdWriter;
 
+/// Scheduler cost counters, cleared by Kernel::reset(). The model's own
+/// simulation cost metric (host work), not modeled hardware time.
+struct KernelStats {
+    std::uint64_t time_points = 0;     ///< processed clock-edge instants
+    std::uint64_t settle_calls = 0;    ///< settle() invocations (2 per time point + resets)
+    std::uint64_t settle_passes = 0;   ///< fixed-point sweep iterations executed
+    std::uint64_t module_evals = 0;    ///< individual Module::eval() calls
+    std::uint64_t modules_skipped = 0; ///< evals avoided vs. one full sweep per settle pass
+
+    double evals_per_time_point() const noexcept {
+        return time_points == 0 ? 0.0
+                                : static_cast<double>(module_evals) /
+                                      static_cast<double>(time_points);
+    }
+};
+
 class Kernel {
 public:
-    Kernel() = default;
+    Kernel();
 
     /// Define a clock domain. The returned reference stays valid for the
     /// kernel's lifetime.
@@ -42,7 +67,7 @@ public:
     void add_combinational(Module& m);
 
     /// Hard-reset: resets every module's registers and state, rewinds all
-    /// clocks and time to zero, then settles combinational logic.
+    /// clocks, time, and stats to zero, then settles combinational logic.
     void reset();
 
     /// Advance simulation until `n` further rising edges of `c` have been
@@ -63,11 +88,26 @@ public:
 
     std::span<Module* const> modules() const noexcept { return all_modules_; }
 
-    /// Number of delta-settling eval passes executed (model cost metric).
-    std::uint64_t eval_passes() const noexcept { return eval_passes_; }
+    /// Number of delta-settling sweep passes executed (legacy alias of
+    /// stats().settle_passes).
+    std::uint64_t eval_passes() const noexcept { return stats_.settle_passes; }
+
+    const KernelStats& stats() const noexcept { return stats_; }
+
+    /// Force the original evaluate-everything fixed-point sweep (the
+    /// GAIP_KERNEL_FULL_SETTLE escape hatch, programmatically).
+    void set_full_settle(bool on) noexcept { full_settle_ = on; }
+    bool full_settle() const noexcept { return full_settle_; }
+
+    /// True when the GAIP_KERNEL_FULL_SETTLE environment variable requests
+    /// the sweep scheduler (any value but "0" / empty counts as set).
+    static bool full_settle_from_env();
 
 private:
     void settle();
+    void drain_worklist(std::uint64_t& evals, std::uint64_t max_evals);
+    void discard_worklist();
+    void register_module(Module& m);
 
     struct Domain {
         std::unique_ptr<Clock> clock;
@@ -77,8 +117,11 @@ private:
     std::vector<Domain> domains_;
     std::vector<Module*> combinational_;
     std::vector<Module*> all_modules_;
+    std::vector<Module*> legacy_;    ///< modules without a sensitivity list
+    std::vector<Module*> worklist_;  ///< event-driven modules pending eval
     SimTime now_ = 0;
-    std::uint64_t eval_passes_ = 0;
+    KernelStats stats_;
+    bool full_settle_ = false;
     VcdWriter* vcd_ = nullptr;
 };
 

@@ -13,6 +13,16 @@
 // Modules register their Reg<> members with attach() so the kernel can
 // commit/reset them and so the scan chain, VCD tracer, and resource model
 // can enumerate every flip-flop in the design.
+//
+// Event-driven scheduling: a module that declares the complete set of wires
+// its eval() reads via sense(...) opts into the kernel's event-driven
+// scheduler — its eval() is skipped whenever neither a sensed wire nor one
+// of its own registers changed since the last evaluation. The contract is
+// that such an eval() is a pure function of the sensed wires and the
+// attached registers (no other mutable inputs). Call sense() with no
+// arguments for a module whose eval() reads registers only. Modules that
+// never call sense() keep the legacy semantics: they are re-evaluated in
+// every settling pass.
 #pragma once
 
 #include <span>
@@ -23,7 +33,7 @@
 
 namespace gaip::rtl {
 
-class Module {
+class Module : public EvalTarget {
 public:
     explicit Module(std::string name) : name_(std::move(name)) {}
     virtual ~Module() = default;
@@ -51,13 +61,45 @@ public:
         return n;
     }
 
-    void commit_registers() {
-        for (RegBase* r : regs_) r->commit();
+    /// Commit all pending register loads; returns true iff any register
+    /// value actually changed (i.e. the module's Moore outputs may move).
+    bool commit_registers() {
+        bool changed = false;
+        for (RegBase* r : regs_) changed |= r->commit();
+        return changed;
     }
 
     void reset_registers() {
         for (RegBase* r : regs_) r->hard_reset();
     }
+
+    /// True once the module declared its complete eval() sensitivity list
+    /// (possibly empty) — the opt-in for event-driven scheduling.
+    bool event_driven() const noexcept { return sensitivity_declared_; }
+
+    // --- scheduler interface (used by Kernel) ---
+
+    /// Wire-change callback: marks the module for re-evaluation and appends
+    /// it to the kernel's worklist (once until re-evaluated).
+    void input_changed() noexcept final {
+        if (!dirty_) {
+            dirty_ = true;
+            if (worklist_ != nullptr) worklist_->push_back(this);
+        }
+    }
+
+    /// Install the kernel's worklist the module enqueues itself on. Called
+    /// at bind time; a module belongs to exactly one kernel. A module whose
+    /// inputs moved before it was bound (wires driven during system
+    /// construction) is enqueued right away — its dirty flag is already set,
+    /// so later input_changed() calls would short-circuit and never queue it.
+    void attach_scheduler(std::vector<Module*>* worklist) noexcept {
+        worklist_ = worklist;
+        if (dirty_) worklist_->push_back(this);
+    }
+
+    bool dirty() const noexcept { return dirty_; }
+    void clear_dirty() noexcept { dirty_ = false; }
 
 protected:
     void attach(RegBase& r) { regs_.push_back(&r); }
@@ -67,9 +109,21 @@ protected:
         (attach(rs), ...);
     }
 
+    /// Declare the complete set of wires eval() reads. Callable multiple
+    /// times (e.g. as inputs are wired up incrementally); with no arguments
+    /// it declares an empty sensitivity list (eval() reads registers only).
+    template <typename... Ws>
+    void sense(Ws&... ws) {
+        sensitivity_declared_ = true;
+        (static_cast<WireBase&>(ws).add_listener(this), ...);
+    }
+
 private:
     std::string name_;
     std::vector<RegBase*> regs_;
+    std::vector<Module*>* worklist_ = nullptr;
+    bool dirty_ = false;
+    bool sensitivity_declared_ = false;
 };
 
 }  // namespace gaip::rtl

@@ -2,31 +2,43 @@
 //
 //  * Wire<T>  — a combinational net. Driven during Module::eval(); the kernel
 //    re-evaluates modules until no wire changes (delta settling), so
-//    combinational chains across modules resolve within a clock edge.
+//    combinational chains across modules resolve within a clock edge. A wire
+//    additionally carries a listener list: modules that declared the wire as
+//    an eval() input (Module::sense) are notified on every value change,
+//    which is what powers the kernel's event-driven scheduler.
 //  * Reg<T>   — a clocked register with two-phase semantics: Module::tick()
 //    calls load(); the kernel commits all registers of the ticked modules
 //    after every module has sampled its inputs, which models simultaneous
-//    edge-triggered flip-flops without ordering races.
+//    edge-triggered flip-flops without ordering races. commit() reports
+//    whether the stored value actually changed so the scheduler can skip
+//    re-evaluating modules whose state is unchanged.
 //
 // Registers expose their raw bits (bits()/set_bits()), which powers the scan
 // chain model and exact flip-flop counting for the resource report.
+//
+// Thread-safety contract: a Wire/Reg belongs to exactly one Kernel and must
+// only be driven/committed from the thread currently running that kernel.
+// The delta change counter is thread-local, so independent kernels on
+// different worker threads (the parallel GA array) neither contend nor
+// perturb each other's settling convergence checks.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <vector>
 
 #include "util/bits.hpp"
 
 namespace gaip::rtl {
 
 namespace detail {
-/// Global delta-settling change counter. The kernel snapshots it before an
-/// eval pass; any Wire::drive() that changes a value bumps it. Relaxed
-/// atomic so independent kernels on different threads stay correct.
-inline std::atomic<std::uint64_t> g_wire_change_count{0};
+/// Per-thread delta-settling change counter. The kernel snapshots it before
+/// an eval pass; any Wire::drive() that changes a value bumps it. Thread-
+/// local (not a shared atomic) so kernels running concurrently on worker
+/// threads cannot make each other's fixed-point check spuriously fail.
+inline thread_local std::uint64_t g_wire_change_count = 0;
 
 template <typename T>
 constexpr std::uint64_t to_bits(const T& v) noexcept {
@@ -52,12 +64,58 @@ constexpr T from_bits(std::uint64_t b) noexcept {
 }  // namespace detail
 
 inline std::uint64_t wire_change_count() noexcept {
-    return detail::g_wire_change_count.load(std::memory_order_relaxed);
+    return detail::g_wire_change_count;
 }
+
+/// Implemented by Module: the callback a wire fires when its value changes,
+/// so the kernel can re-evaluate exactly the modules that read it.
+class EvalTarget {
+public:
+    virtual void input_changed() noexcept = 0;
+
+protected:
+    ~EvalTarget() = default;
+};
+
+namespace detail {
+/// The module whose eval() is currently running on this thread (set by the
+/// kernel). Wires use it to learn their driver, and to distinguish module
+/// drives from external testbench pokes.
+inline thread_local EvalTarget* g_current_driver = nullptr;
+}  // namespace detail
+
+/// Type-erased base of Wire<T>: the listener list lives here so modules can
+/// register sensitivity without knowing the wire's payload type.
+class WireBase {
+public:
+    /// Register `t` to be notified whenever the wire's value changes.
+    /// Listeners are never deregistered; wires and the modules observing
+    /// them belong to the same system object and die together.
+    void add_listener(EvalTarget* t) { listeners_.push_back(t); }
+
+protected:
+    void notify_changed() noexcept {
+        ++detail::g_wire_change_count;
+        if (detail::g_current_driver != nullptr) {
+            driver_ = detail::g_current_driver;
+        } else if (driver_ != nullptr) {
+            // External (testbench) poke of a module-driven net. Under the
+            // evaluate-everything sweep, the driving module would overwrite
+            // the poked value at the next settle; schedule that module so
+            // the event-driven schedule behaves identically.
+            driver_->input_changed();
+        }
+        for (EvalTarget* t : listeners_) t->input_changed();
+    }
+
+private:
+    std::vector<EvalTarget*> listeners_;
+    EvalTarget* driver_ = nullptr;
+};
 
 /// Combinational net. Default-constructed to T{} (all zeros / false).
 template <typename T>
-class Wire {
+class Wire : public WireBase {
     static_assert(std::is_trivially_copyable_v<T>);
 
 public:
@@ -66,11 +124,12 @@ public:
 
     const T& read() const noexcept { return value_; }
 
-    /// Drive a new value; registers a delta change if the value differs.
+    /// Drive a new value; registers a delta change (and wakes listening
+    /// modules) if the value differs.
     void drive(const T& v) {
         if (!(v == value_)) {
             value_ = v;
-            detail::g_wire_change_count.fetch_add(1, std::memory_order_relaxed);
+            notify_changed();
         }
     }
 
@@ -87,7 +146,9 @@ public:
     RegBase(const RegBase&) = delete;
     RegBase& operator=(const RegBase&) = delete;
 
-    virtual void commit() = 0;
+    /// Apply the pending load, if any. Returns true iff the stored value
+    /// changed (the scheduler uses this to skip settled modules).
+    virtual bool commit() = 0;
     virtual void hard_reset() = 0;
     virtual std::uint64_t bits() const = 0;
     virtual void set_bits(std::uint64_t b) = 0;
@@ -120,11 +181,13 @@ public:
         loaded_ = true;
     }
 
-    void commit() override {
-        if (loaded_) {
-            cur_ = mask(nxt_);
-            loaded_ = false;
-        }
+    bool commit() override {
+        if (!loaded_) return false;
+        loaded_ = false;
+        const T next = mask(nxt_);
+        if (next == cur_) return false;
+        cur_ = next;
+        return true;
     }
 
     void hard_reset() override {

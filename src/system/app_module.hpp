@@ -24,6 +24,7 @@ class AppModule final : public rtl::Module {
 public:
     explicit AppModule(AppModulePorts ports) : Module("app_module"), p_(ports) {
         attach_all(state_, hold_, result_);
+        sense();  // eval() reads the FSM state register only
     }
 
     void eval() override {

@@ -30,6 +30,7 @@ class InitModule final : public rtl::Module {
 public:
     InitModule(InitModulePorts ports) : Module("init_module"), p_(ports) {
         attach_all(state_, item_);
+        sense();  // eval() reads the FSM registers (and the pre-run program) only
     }
 
     /// Replace the parameter program with the six writes covering Table III

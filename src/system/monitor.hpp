@@ -30,7 +30,9 @@ public:
     GenerationMonitor(MonitorPorts ports, const mem::GaMemory* memory = nullptr,
                       bool keep_populations = true)
         : Module("generation_monitor"), p_(ports), memory_(memory),
-          keep_populations_(keep_populations) {}
+          keep_populations_(keep_populations) {
+        sense();  // no eval(): purely a sampling tap on its clock edges
+    }
 
     void tick() override {
         if (!p_.gen_pulse.read()) return;

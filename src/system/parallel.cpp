@@ -1,6 +1,10 @@
 #include "system/parallel.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <stdexcept>
+#include <thread>
 
 #include "fitness/fem.hpp"
 #include "fitness/fem_mux.hpp"
@@ -15,7 +19,14 @@
 namespace gaip::system {
 
 /// One complete GA instance (the Fig. 4 system) inside the parallel array.
+/// Owns its private kernel and clock tree: engines share no simulation
+/// state, which is what lets the pool run them on independent threads while
+/// staying bit-identical to a sequential simulation.
 struct ParallelGaSystem::Engine {
+    rtl::Kernel kernel;
+    rtl::Clock* ga_clk = nullptr;
+    rtl::Clock* app_clk = nullptr;
+
     CoreWireBundle wires;
     rtl::Wire<bool> init_done;
     rtl::Wire<bool> app_done;
@@ -28,8 +39,15 @@ struct ParallelGaSystem::Engine {
     std::unique_ptr<AppModule> app;
     std::unique_ptr<GenerationMonitor> monitor;
 
-    Engine(std::size_t idx, const ParallelGaConfig& cfg, rtl::Kernel& kernel, rtl::Clock& ga_clk,
-           rtl::Clock& app_clk) {
+    // run() results (filled on the worker thread, read after join).
+    core::RunResult result;
+    std::uint64_t done_edge = 0;
+
+    Engine(std::size_t idx, const ParallelGaConfig& cfg) {
+        const ClockTree clocks = make_clock_tree(kernel);
+        ga_clk = &clocks.ga_clk;
+        app_clk = &clocks.app_clk;
+
         const std::string tag = "_e" + std::to_string(idx);
         core = std::make_unique<core::GaCore>("ga_core" + tag, wires.core_ports(),
                                               core::GaCoreConfig{.external_slot_mask = 0xF0});
@@ -55,70 +73,114 @@ struct ParallelGaSystem::Engine {
                          wires.mon_pop_size},
             memory.get(), /*keep_populations=*/false);
 
-        kernel.bind(*core, ga_clk);
-        kernel.bind(*rng, ga_clk);
-        kernel.bind(*memory, ga_clk);
-        kernel.bind(*monitor, ga_clk);
-        kernel.bind(*init, app_clk);
-        kernel.bind(*app, app_clk);
-        kernel.bind(*fem, app_clk);
+        kernel.bind(*core, *ga_clk);
+        kernel.bind(*rng, *ga_clk);
+        kernel.bind(*memory, *ga_clk);
+        kernel.bind(*monitor, *ga_clk);
+        kernel.bind(*init, *app_clk);
+        kernel.bind(*app, *app_clk);
+        kernel.bind(*fem, *app_clk);
         kernel.add_combinational(*mux);
+    }
+
+    /// Simulate this engine's full flow (init handshake, start pulse, GA,
+    /// GA_done) to completion. Must be called by exactly one thread at a
+    /// time; every touched object is owned by this engine.
+    void run(std::uint64_t max_edges) {
+        kernel.reset();
+
+        bool done_seen = false;
+        const bool finished = kernel.run_until(
+            *app_clk,
+            [&] {
+                if (!done_seen && wires.ga_done.read()) {
+                    done_seen = true;
+                    done_edge = ga_clk->edges();
+                }
+                return app_done.read();
+            },
+            max_edges);
+        if (!finished)
+            throw std::runtime_error("ParallelGaSystem::run: engine did not complete "
+                                     "within cycle bound");
+
+        result = core::RunResult{};
+        result.best_candidate = core->best_candidate();
+        result.best_fitness = core->best_fitness();
+        result.evaluations = fem->evaluations();
+        result.history = monitor->history();
     }
 };
 
 ParallelGaSystem::ParallelGaSystem(ParallelGaConfig cfg) : cfg_(std::move(cfg)) {
     if (cfg_.seeds.empty()) throw std::invalid_argument("ParallelGaSystem: no seeds");
-    const ClockTree clocks = make_clock_tree(kernel_);
-    ga_clk_ = &clocks.ga_clk;
-    app_clk_ = &clocks.app_clk;
-
+    // Engines are built on the calling thread; this also warms the shared
+    // fitness-ROM cache before any worker starts.
     for (std::size_t i = 0; i < cfg_.seeds.size(); ++i)
-        engines_.push_back(std::make_unique<Engine>(i, cfg_, kernel_, *ga_clk_, *app_clk_));
+        engines_.push_back(std::make_unique<Engine>(i, cfg_));
+}
 
-    std::vector<BestOfCombiner::EnginePorts> taps;
-    taps.reserve(engines_.size());
-    for (const auto& e : engines_)
-        taps.push_back(BestOfCombiner::EnginePorts{&e->wires.ga_done, &e->wires.candidate,
-                                                   &e->wires.mon_best_fit});
-    combiner_ = std::make_unique<BestOfCombiner>(std::move(taps));
-    kernel_.bind(*combiner_, *ga_clk_);
+unsigned ParallelGaSystem::resolved_threads() const noexcept {
+    const auto k = static_cast<unsigned>(engines_.size());
+    unsigned t = cfg_.threads;
+    if (t == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        t = hw == 0 ? 1u : hw;
+    }
+    return std::min(t, k);
+}
+
+rtl::Kernel& ParallelGaSystem::engine_kernel(std::size_t i) {
+    return engines_.at(i)->kernel;
 }
 
 ParallelRunResult ParallelGaSystem::run() {
-    kernel_.reset();
-
     const core::GaParameters eff = core::resolve_parameters(0, cfg_.params);
     const std::uint64_t evals =
         static_cast<std::uint64_t>(eff.pop_size) * (static_cast<std::uint64_t>(eff.n_gens) + 1);
     const std::uint64_t max_edges = (evals * (64ull + 8ull * eff.pop_size) + 100'000) * 4;
 
-    std::vector<std::uint64_t> done_edge(engines_.size(), 0);
-    const bool finished = kernel_.run_until(
-        *app_clk_,
-        [&] {
-            for (std::size_t i = 0; i < engines_.size(); ++i) {
-                if (done_edge[i] == 0 && engines_[i]->wires.ga_done.read())
-                    done_edge[i] = ga_clk_->edges();
-            }
-            return combiner_->all_done();
-        },
-        max_edges);
-    if (!finished)
-        throw std::runtime_error("ParallelGaSystem::run: did not complete within cycle bound");
-
-    ParallelRunResult result;
-    result.best_candidate = combiner_->best_candidate();
-    result.best_fitness = combiner_->best_fitness();
-    result.best_engine = combiner_->best_engine();
-    for (std::size_t i = 0; i < engines_.size(); ++i) {
-        core::RunResult r;
-        r.best_candidate = engines_[i]->core->best_candidate();
-        r.best_fitness = engines_[i]->core->best_fitness();
-        r.evaluations = engines_[i]->fem->evaluations();
-        r.history = engines_[i]->monitor->history();
-        result.ga_cycles = std::max(result.ga_cycles, done_edge[i]);
-        result.per_engine.push_back(std::move(r));
+    const unsigned nthreads = resolved_threads();
+    if (nthreads <= 1) {
+        for (auto& e : engines_) e->run(max_edges);
+    } else {
+        // Small pool pulling engine indices off a shared counter. Each
+        // engine is simulated entirely by one worker; the first exception
+        // (by engine index) is rethrown after the join.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(engines_.size());
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (unsigned w = 0; w < nthreads; ++w) {
+            pool.emplace_back([&] {
+                for (std::size_t i = next.fetch_add(1); i < engines_.size();
+                     i = next.fetch_add(1)) {
+                    try {
+                        engines_[i]->run(max_edges);
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                }
+            });
+        }
+        for (std::thread& t : pool) t.join();
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
     }
+
+    // Join-time best-of reduction over the engines' exported results.
+    BestOfCombiner combiner;
+    ParallelRunResult result;
+    for (std::size_t i = 0; i < engines_.size(); ++i) {
+        combiner.offer(i, engines_[i]->result.best_fitness,
+                       engines_[i]->result.best_candidate);
+        result.ga_cycles = std::max(result.ga_cycles, engines_[i]->done_edge);
+        result.per_engine.push_back(engines_[i]->result);
+    }
+    result.best_candidate = combiner.best_candidate();
+    result.best_fitness = combiner.best_fitness();
+    result.best_engine = combiner.best_engine();
     return result;
 }
 

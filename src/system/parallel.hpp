@@ -4,13 +4,16 @@
 //
 // Two levels are provided:
 //
-//  * ParallelGaSystem — an RTL system instantiating K complete GA engines
-//    (core + RNG + memory + FEM) side by side on one simulated FPGA, each
-//    programmed with a different RNG seed, plus a best-of combiner module
-//    that tracks the fittest candidate across engines. This is the
-//    "independent parallel runs" configuration: zero inter-core wiring, K x
-//    the throughput per unit wall-clock, and it directly exploits the
-//    core's headline programmable-seed feature. Everything is cycle-level.
+//  * ParallelGaSystem — K complete GA engines (core + RNG + memory + FEM)
+//    side by side on one simulated FPGA, each programmed with a different
+//    RNG seed, plus a best-of reduction that reports the fittest candidate
+//    across engines. This is the "independent parallel runs" configuration:
+//    zero inter-core wiring, K x the throughput per unit wall-clock, and it
+//    directly exploits the core's headline programmable-seed feature.
+//    Everything is cycle-level. Each engine owns its own simulation kernel,
+//    so the engines simulate concurrently on a small worker-thread pool —
+//    exactly like the K independent fabrics they model — and the result is
+//    bit-identical regardless of the thread count.
 //
 //  * run_island_ga — a behavioral island model with ring migration (each
 //    island pushes its best-ever member over its neighbor's worst slot
@@ -20,6 +23,7 @@
 //    single-population configurations in bench_ablation_parallel.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -34,6 +38,12 @@ struct ParallelGaConfig {
     std::vector<std::uint16_t> seeds;          ///< one engine per seed
     fitness::FitnessId fitness = fitness::FitnessId::kMBf6_2;
     prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton;
+
+    /// Worker threads simulating the engines. 0 = one thread per engine,
+    /// capped at the host's hardware concurrency; 1 = run sequentially on
+    /// the calling thread. Engines share no wires or kernels, so the
+    /// ParallelRunResult is bit-identical for every thread count.
+    unsigned threads = 0;
 };
 
 struct ParallelRunResult {
@@ -44,47 +54,28 @@ struct ParallelRunResult {
     std::uint64_t ga_cycles = 0;  ///< slowest engine (they run concurrently)
 };
 
-/// Best-of combiner: watches every engine's GA_done/candidate pair and
-/// registers the fittest result (it re-evaluates nothing — it compares the
-/// engines' exported best fitness taps).
-class BestOfCombiner final : public rtl::Module {
+/// Best-of reduction applied when the engine workers join: the fittest
+/// result wins; ties go to the lowest engine index (the same policy the
+/// former clocked combiner module implemented by scanning engines in order
+/// with a strict > compare).
+class BestOfCombiner {
 public:
-    struct EnginePorts {
-        rtl::Wire<bool>* done;
-        rtl::Wire<std::uint16_t>* candidate;
-        rtl::Wire<std::uint16_t>* best_fit;
-    };
-
-    explicit BestOfCombiner(std::vector<EnginePorts> engines)
-        : Module("best_of_combiner"), engines_(std::move(engines)) {
-        attach_all(best_fit_, best_cand_, best_idx_, all_done_);
-    }
-
-    void tick() override {
-        bool done = !engines_.empty();
-        for (std::size_t i = 0; i < engines_.size(); ++i) {
-            const EnginePorts& e = engines_[i];
-            done = done && e.done->read();
-            if (e.done->read() && e.best_fit->read() > best_fit_.read()) {
-                best_fit_.load(e.best_fit->read());
-                best_cand_.load(e.candidate->read());
-                best_idx_.load(static_cast<std::uint8_t>(i));
-            }
+    void offer(std::size_t engine, std::uint16_t fitness, std::uint16_t candidate) noexcept {
+        if (fitness > best_fit_) {
+            best_fit_ = fitness;
+            best_cand_ = candidate;
+            best_idx_ = engine;
         }
-        all_done_.load(done);
     }
 
-    bool all_done() const noexcept { return all_done_.read(); }
-    std::uint16_t best_fitness() const noexcept { return best_fit_.read(); }
-    std::uint16_t best_candidate() const noexcept { return best_cand_.read(); }
-    std::uint8_t best_engine() const noexcept { return best_idx_.read(); }
+    std::uint16_t best_fitness() const noexcept { return best_fit_; }
+    std::uint16_t best_candidate() const noexcept { return best_cand_; }
+    std::size_t best_engine() const noexcept { return best_idx_; }
 
 private:
-    std::vector<EnginePorts> engines_;
-    rtl::Reg<std::uint16_t> best_fit_{"comb_best_fit", 0};
-    rtl::Reg<std::uint16_t> best_cand_{"comb_best_cand", 0};
-    rtl::Reg<std::uint8_t> best_idx_{"comb_best_idx", 0};
-    rtl::Reg<bool> all_done_{"comb_all_done", false, 1};
+    std::uint16_t best_fit_ = 0;
+    std::uint16_t best_cand_ = 0;
+    std::size_t best_idx_ = 0;
 };
 
 class ParallelGaSystem {
@@ -92,21 +83,25 @@ public:
     explicit ParallelGaSystem(ParallelGaConfig cfg);
     ~ParallelGaSystem();  // out-of-line: Engine is an incomplete type here
 
+    /// Simulate every engine to completion (concurrently when configured)
+    /// and reduce the per-engine results. Deterministic: the result is
+    /// independent of the thread count and identical across repeat calls.
     ParallelRunResult run();
 
     std::size_t engine_count() const noexcept { return engines_.size(); }
-    rtl::Kernel& kernel() noexcept { return kernel_; }
-    const BestOfCombiner& combiner() const noexcept { return *combiner_; }
+
+    /// Number of worker threads the last/next run() uses after resolving
+    /// threads == 0 against the engine count and host concurrency.
+    unsigned resolved_threads() const noexcept;
+
+    /// Per-engine kernel access (tests, scheduler statistics).
+    rtl::Kernel& engine_kernel(std::size_t i);
 
 private:
-    struct Engine;  // full wire bundle + modules for one GA instance
+    struct Engine;  // full wire bundle + kernel + modules for one GA instance
 
     ParallelGaConfig cfg_;
-    rtl::Kernel kernel_;
-    rtl::Clock* ga_clk_ = nullptr;
-    rtl::Clock* app_clk_ = nullptr;
     std::vector<std::unique_ptr<Engine>> engines_;
-    std::unique_ptr<BestOfCombiner> combiner_;
 };
 
 struct IslandGaConfig {

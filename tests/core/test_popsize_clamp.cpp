@@ -1,0 +1,84 @@
+// Regression for the kPopSize init-handshake truncation bug: the 16-bit
+// value bus must be clamped to Table IV's [2, 128] range BEFORE narrowing
+// into the 8-bit population register. Programming 256 used to wrap to 0 and
+// come out as the minimum of 2 instead of the maximum of 128.
+#include <gtest/gtest.h>
+
+#include "core/ga_core.hpp"
+#include "core/params.hpp"
+#include "rtl/kernel.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::core {
+namespace {
+
+struct HandshakeRig {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 50'000'000);
+    system::CoreWireBundle w;
+    GaCore core{"ga_core", w.core_ports()};
+
+    HandshakeRig() {
+        kernel.bind(core, clk);
+        kernel.reset();
+    }
+
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+
+    /// One full two-way data_valid/data_ack handshake write.
+    void write(ParamIndex index, std::uint16_t value) {
+        w.ga_load.drive(true);
+        w.index.drive(static_cast<std::uint8_t>(index));
+        w.value.drive(value);
+        w.data_valid.drive(true);
+        for (int i = 0; i < 10 && !w.data_ack.read(); ++i) cycle();
+        ASSERT_TRUE(w.data_ack.read()) << "handshake did not ack";
+        w.data_valid.drive(false);
+        cycle(2);
+        w.ga_load.drive(false);
+        cycle(1);
+        ASSERT_EQ(core.state(), GaCore::State::kIdle);
+    }
+};
+
+TEST(PopSizeClamp, HandshakeClampsFull16BitValueBeforeNarrowing) {
+    const struct {
+        std::uint16_t programmed;
+        std::uint8_t effective;
+    } cases[] = {
+        {0, 2},      // below minimum
+        {1, 2},      // below minimum
+        {2, 2},      // minimum passes through
+        {128, 128},  // maximum passes through
+        {129, 128},  // above maximum
+        {255, 128},  // above maximum, still in 8 bits
+        {256, 128},  // the regression: must clamp, not wrap to 0 -> 2
+    };
+    for (const auto& c : cases) {
+        SCOPED_TRACE("pop_size " + std::to_string(c.programmed));
+        HandshakeRig rig;
+        rig.write(ParamIndex::kPopSize, c.programmed);
+        EXPECT_EQ(rig.core.programmed_parameters().pop_size, c.effective)
+            << "clamp must happen at the handshake latch";
+
+        // Start the optimizer and confirm the latched effective parameters.
+        rig.w.start_ga.drive(true);
+        rig.cycle(1);
+        rig.w.start_ga.drive(false);
+        rig.cycle(2);  // kIdle -> kStart -> effective registers latched
+        EXPECT_EQ(rig.core.effective_parameters().pop_size, c.effective);
+    }
+}
+
+TEST(PopSizeClamp, ClampHelperCoversTheFullBus) {
+    EXPECT_EQ(clamp_pop_size(0), kMinPopSize);
+    EXPECT_EQ(clamp_pop_size(1), kMinPopSize);
+    EXPECT_EQ(clamp_pop_size(2), 2);
+    EXPECT_EQ(clamp_pop_size(127), 127);
+    EXPECT_EQ(clamp_pop_size(128), kMaxPopSize);
+    EXPECT_EQ(clamp_pop_size(129), kMaxPopSize);
+    EXPECT_EQ(clamp_pop_size(0xFFFF), kMaxPopSize);
+}
+
+}  // namespace
+}  // namespace gaip::core

@@ -76,6 +76,18 @@ INSTANTIATE_TEST_SUITE_P(
         EquivCase{FitnessId::kRoyalRoad,
                   {.pop_size = 13, .n_gens = 5, .xover_threshold = 8, .mut_threshold = 4,
                    .seed = 1567}},  // odd population exercises the Mu2 skip
+        // More odd populations: both models must drop the surplus second
+        // offspring without consuming its mutation draw, or the RNG streams
+        // shear apart and every later generation diverges.
+        EquivCase{FitnessId::kOneMax,
+                  {.pop_size = 3, .n_gens = 6, .xover_threshold = 10, .mut_threshold = 2,
+                   .seed = 0x3A3A}},
+        EquivCase{FitnessId::kMBf6_2,
+                  {.pop_size = 5, .n_gens = 6, .xover_threshold = 12, .mut_threshold = 1,
+                   .seed = 0x55AA}},
+        EquivCase{FitnessId::kBf6,
+                  {.pop_size = 127, .n_gens = 2, .xover_threshold = 10, .mut_threshold = 1,
+                   .seed = 0x7F01}},
         EquivCase{FitnessId::kBf6,
                   {.pop_size = 64, .n_gens = 4, .xover_threshold = 12, .mut_threshold = 2,
                    .seed = 10593}},

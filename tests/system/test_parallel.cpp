@@ -67,6 +67,72 @@ TEST(ParallelGaSystem, SeedDiversityBeatsOrEqualsAnySingleEngine) {
     EXPECT_GT(r.ga_cycles, 0u);
 }
 
+TEST(ParallelGaSystem, ThreadCountDoesNotChangeResults) {
+    // Engines own disjoint kernels, so the worker-pool schedule must be
+    // invisible: sequential (threads=1) and pooled (threads=4) runs are
+    // bit-identical down to the per-generation statistics.
+    auto run_with = [](unsigned threads) {
+        ParallelGaConfig cfg;
+        cfg.params = kSmall;
+        cfg.seeds = {0x2961, 0x061F, 0xB342, 0xAAAA};
+        cfg.fitness = FitnessId::kMBf6_2;
+        cfg.threads = threads;
+        ParallelGaSystem par(cfg);
+        EXPECT_EQ(par.engine_count(), 4u);
+        EXPECT_GE(par.resolved_threads(), 1u);
+        EXPECT_LE(par.resolved_threads(), 4u);
+        return par.run();
+    };
+    const ParallelRunResult seq = run_with(1);
+    const ParallelRunResult par = run_with(4);
+
+    EXPECT_EQ(par.best_candidate, seq.best_candidate);
+    EXPECT_EQ(par.best_fitness, seq.best_fitness);
+    EXPECT_EQ(par.best_engine, seq.best_engine);
+    EXPECT_EQ(par.ga_cycles, seq.ga_cycles);
+    ASSERT_EQ(par.per_engine.size(), seq.per_engine.size());
+    for (std::size_t i = 0; i < par.per_engine.size(); ++i) {
+        SCOPED_TRACE("engine " + std::to_string(i));
+        EXPECT_EQ(par.per_engine[i].best_candidate, seq.per_engine[i].best_candidate);
+        EXPECT_EQ(par.per_engine[i].best_fitness, seq.per_engine[i].best_fitness);
+        EXPECT_EQ(par.per_engine[i].evaluations, seq.per_engine[i].evaluations);
+        ASSERT_EQ(par.per_engine[i].history.size(), seq.per_engine[i].history.size());
+        for (std::size_t g = 0; g < par.per_engine[i].history.size(); ++g) {
+            EXPECT_EQ(par.per_engine[i].history[g].best_fit,
+                      seq.per_engine[i].history[g].best_fit);
+            EXPECT_EQ(par.per_engine[i].history[g].fit_sum,
+                      seq.per_engine[i].history[g].fit_sum);
+        }
+    }
+}
+
+TEST(ParallelGaSystem, RepeatedRunsAreDeterministic) {
+    ParallelGaConfig cfg;
+    cfg.params = kSmall;
+    cfg.seeds = {0x2961, 0x061F};
+    cfg.fitness = FitnessId::kOneMax;
+    ParallelGaSystem par(cfg);
+    const ParallelRunResult a = par.run();
+    const ParallelRunResult b = par.run();
+    EXPECT_EQ(a.best_candidate, b.best_candidate);
+    EXPECT_EQ(a.best_fitness, b.best_fitness);
+    EXPECT_EQ(a.ga_cycles, b.ga_cycles);
+}
+
+TEST(ParallelGaSystem, PerEngineKernelsExposeSchedulerStats) {
+    ParallelGaConfig cfg;
+    cfg.params = kSmall;
+    cfg.seeds = {0x2961, 0x061F};
+    cfg.fitness = FitnessId::kOneMax;
+    ParallelGaSystem par(cfg);
+    par.run();
+    for (std::size_t i = 0; i < par.engine_count(); ++i) {
+        const rtl::KernelStats s = par.engine_kernel(i).stats();
+        EXPECT_GT(s.time_points, 0u) << "engine " << i;
+        EXPECT_GT(s.module_evals, 0u) << "engine " << i;
+    }
+}
+
 TEST(ParallelGaSystem, NoSeedsRejected) {
     ParallelGaConfig cfg;
     cfg.seeds = {};
