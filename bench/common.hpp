@@ -6,9 +6,12 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/behavioral.hpp"
@@ -22,9 +25,11 @@ namespace gaip::bench {
 inline constexpr std::array<std::uint16_t, 6> kPaperSeeds = {0x2961, 0x061F, 0xB342,
                                                              0xAAAA, 0xA0A0, 0xFFFF};
 
-/// Directory the benches drop their CSV series into.
+/// Directory the benches drop their CSV/JSON series into. Defaults to
+/// `bench_out/` under the working directory; override with GAIP_BENCH_OUT.
 inline std::string out_dir() {
-    const std::filesystem::path dir = "bench_out";
+    const char* env = std::getenv("GAIP_BENCH_OUT");
+    const std::filesystem::path dir = (env && *env) ? env : "bench_out";
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
     return dir.string();
@@ -36,6 +41,51 @@ inline void banner(const std::string& title, const std::string& paper_ref) {
     std::cout << "\n=== " << title << " ===\n";
     std::cout << "    reproduces: " << paper_ref << "\n\n";
 }
+
+/// Minimal machine-readable bench output: an ordered flat JSON object of
+/// string / number fields, written atomically enough for CI artifact
+/// collection. Keeps the perf trajectory of a bench comparable across PRs
+/// (e.g. bench_out/BENCH_gates.json).
+class JsonReport {
+public:
+    JsonReport& set(const std::string& key, double v) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        fields_.emplace_back(key, buf);
+        return *this;
+    }
+    JsonReport& set(const std::string& key, std::uint64_t v) {
+        fields_.emplace_back(key, std::to_string(v));
+        return *this;
+    }
+    JsonReport& set(const std::string& key, const std::string& v) {
+        std::string quoted = "\"";
+        for (const char c : v) {
+            if (c == '"' || c == '\\') quoted += '\\';
+            quoted += c;
+        }
+        quoted += '"';
+        fields_.emplace_back(key, std::move(quoted));
+        return *this;
+    }
+    std::string str() const {
+        std::string s = "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            s += "  \"" + fields_[i].first + "\": " + fields_[i].second;
+            if (i + 1 < fields_.size()) s += ",";
+            s += "\n";
+        }
+        s += "}\n";
+        return s;
+    }
+    void write(const std::string& path) const {
+        std::ofstream(path) << str();
+        std::printf("JSON: %s\n", path.c_str());
+    }
+
+private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Percentage deviation from a paper value, rendered as e.g. "-0.6%".
 inline std::string vs_paper(double measured, double paper) {

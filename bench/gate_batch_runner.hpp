@@ -1,0 +1,328 @@
+// BatchGateRunner: batched multi-seed / multi-setting GA runs on the
+// COMPLETE gate-level GA module (GaCoreNetlist + RngNetlist), one run per
+// lane of a single CompiledNetlist 64-lane simulation.
+//
+// Each lane gets its own GaParameters (seed, population size, thresholds,
+// generations) and runs the full system flow the RT-level GaSystem runs:
+//   * the Sec. III-B.6 init handshake (six index/value writes over
+//     ga_load/data_valid/data_ack, snooped by the RNG module for the seed),
+//   * the start_GA pulse,
+//   * the fitness-evaluation handshake against a software FEM model
+//     (fitness_u16 lookup — the same values the block-ROM FEM holds),
+//   * a per-lane 256x32 write-first synchronous GA memory model,
+// and delivers the per-lane best fitness/candidate when GA_done rises.
+//
+// The per-lane peripherals are software models driven at GA-clock
+// granularity; the handshakes are latency-insensitive by design (the core
+// consumes random numbers only in the *Rn states, never while waiting), so
+// lane results are identical to the RT-level GaSystem results for the same
+// seed/settings — asserted by tests/gates/test_gate_batch_runner.cpp.
+//
+// This is what makes the Table VII-IX grids usable at gate level: the full
+// 24-setting grid is ONE batched simulation instead of 24 scalar ones
+// (bench_table7_gates.cpp).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/params.hpp"
+#include "fitness/functions.hpp"
+#include "gates/compiled.hpp"
+#include "gates/ga_core_gates.hpp"
+#include "gates/rng_gates.hpp"
+#include "mem/ga_memory.hpp"
+
+namespace gaip::bench {
+
+struct BatchLaneResult {
+    bool finished = false;
+    std::uint16_t best_fitness = 0;
+    std::uint16_t best_candidate = 0;
+    std::uint32_t generations = 0;
+    std::uint64_t evaluations = 0;
+    std::uint64_t ga_cycles = 0;  ///< GA-clock cycles from start_GA to GA_done
+};
+
+class BatchGateRunner {
+public:
+    static constexpr unsigned kLanes = gates::CompiledNetlist::kLanes;
+
+    /// One lane per entry of `lane_params` (at most 64). Every lane runs
+    /// `fn` as its (internal, slot-0) fitness function.
+    BatchGateRunner(fitness::FitnessId fn, std::vector<core::GaParameters> lane_params)
+        : fn_(fn),
+          params_(std::move(lane_params)),
+          core_src_(gates::build_ga_core_netlist()),
+          rng_src_(gates::build_rng_netlist()),
+          core_(core_src_->nl),
+          rng_(rng_src_->nl) {
+        if (params_.empty() || params_.size() > kLanes)
+            throw std::invalid_argument("BatchGateRunner: need 1..64 lane configs");
+        lanes_.resize(params_.size());
+        for (std::size_t k = 0; k < params_.size(); ++k) {
+            Lane& l = lanes_[k];
+            const core::GaParameters& p = params_[k];
+            l.program = {
+                {0, static_cast<std::uint16_t>(p.n_gens & 0xFFFF)},
+                {1, static_cast<std::uint16_t>(p.n_gens >> 16)},
+                {2, p.pop_size},
+                {3, p.xover_threshold},
+                {4, p.mut_threshold},
+                {5, p.seed},
+            };
+        }
+    }
+
+    std::size_t lane_count() const noexcept { return lanes_.size(); }
+    std::uint64_t cycles() const noexcept { return cycle_; }
+    const gates::CompiledNetlist& core_sim() const noexcept { return core_; }
+
+    /// Reset everything and run until every lane reaches GA_done (or the
+    /// cycle bound trips). Returns one result per configured lane.
+    std::vector<BatchLaneResult> run(std::uint64_t max_cycles = 0) {
+        if (max_cycles == 0) max_cycles = default_cycle_bound();
+        reset();
+        std::size_t unfinished = lanes_.size();
+        while (unfinished > 0 && cycle_ < max_cycles) unfinished = step();
+        if (unfinished > 0)
+            throw std::runtime_error("BatchGateRunner: lanes did not finish within bound");
+        std::vector<BatchLaneResult> out;
+        out.reserve(lanes_.size());
+        for (const Lane& l : lanes_) out.push_back(l.result);
+        return out;
+    }
+
+private:
+    struct Lane {
+        // init-handshake FSM (mirrors system::InitModule at GA granularity)
+        std::vector<std::pair<std::uint8_t, std::uint16_t>> program;
+        std::size_t init_item = 0;
+        bool init_asserting = true;
+        bool init_done = false;
+        // start pulse
+        int start_hold = -1;  ///< -1 = not yet scheduled; >0 = cycles left high
+        bool started = false;
+        std::uint64_t start_cycle = 0;
+        // software FEM (slot 0, zero-latency block-ROM model)
+        bool fem_valid = false;
+        std::uint16_t fem_value = 0;
+        // per-lane GA memory (256 x 32, synchronous read, write-first)
+        std::array<std::uint32_t, mem::kGaMemoryDepth> mem{};
+        std::uint32_t mem_dout = 0;
+        BatchLaneResult result;
+    };
+
+    std::uint64_t default_cycle_bound() const {
+        std::uint64_t bound = 0;
+        for (const core::GaParameters& p : params_) {
+            const core::GaParameters eff = core::resolve_parameters(0, p);
+            const std::uint64_t evals = static_cast<std::uint64_t>(eff.pop_size) *
+                                        (static_cast<std::uint64_t>(eff.n_gens) + 1);
+            bound = std::max<std::uint64_t>(
+                bound, evals * (64ull + 8ull * eff.pop_size) + 100'000ull);
+        }
+        return bound;
+    }
+
+    void reset() {
+        cycle_ = 0;
+        for (std::size_t k = 0; k < lanes_.size(); ++k) {
+            Lane fresh;
+            fresh.program = std::move(lanes_[k].program);
+            lanes_[k] = std::move(fresh);
+        }
+        // Static pins, all lanes: user preset mode, fitness slot 0.
+        core_.set_input_all(core_src_->reset, false);
+        for (const gates::Net n : core_src_->preset) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fitfunc_select) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value_ext) core_.set_input_all(n, false);
+        core_.set_input_all(core_src_->fit_valid_ext, false);
+        core_.set_input_all(core_src_->sel_force_found, false);
+        for (const gates::Net n : core_src_->mem_data_in) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value) core_.set_input_all(n, false);
+        core_.set_input_all(core_src_->fit_valid, false);
+        core_.set_input_all(core_src_->start_ga, false);
+        core_.set_input_all(core_src_->ga_load, false);
+        core_.set_input_all(core_src_->data_valid, false);
+        for (const gates::Net n : core_src_->index) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->value) core_.set_input_all(n, false);
+        rng_.set_input_all(rng_src_->reset, false);
+        for (const gates::Net n : rng_src_->preset) rng_.set_input_all(n, false);
+        rng_.set_input_all(rng_src_->start, false);
+        rng_.set_input_all(rng_src_->rn_next, false);
+        rng_.set_input_all(rng_src_->ga_load, false);
+        rng_.set_input_all(rng_src_->data_valid, false);
+        for (const gates::Net n : rng_src_->index) rng_.set_input_all(n, false);
+        for (const gates::Net n : rng_src_->value) rng_.set_input_all(n, false);
+
+        // Synchronous reset pulse in every lane.
+        core_.set_input_all(core_src_->reset, true);
+        rng_.set_input_all(rng_src_->reset, true);
+        core_.eval();
+        rng_.eval();
+        core_.clock();
+        rng_.clock();
+        core_.set_input_all(core_src_->reset, false);
+        rng_.set_input_all(rng_src_->reset, false);
+    }
+
+    /// One GA-clock cycle across all lanes; returns unfinished lane count.
+    std::size_t step() {
+        const std::size_t n = lanes_.size();
+
+        // ---- assemble per-lane input words --------------------------------
+        std::uint64_t ga_load_w = 0, data_valid_w = 0, start_w = 0, fit_valid_w = 0;
+        std::array<std::uint64_t, 3> index_w{};
+        std::array<std::uint64_t, 16> value_w{};
+        std::array<std::uint64_t, 16> fitv_w{};
+        std::array<std::uint64_t, 32> mdi_w{};
+        for (std::size_t k = 0; k < n; ++k) {
+            const Lane& l = lanes_[k];
+            const std::uint64_t bit = std::uint64_t{1} << k;
+            if (!l.init_done) {
+                ga_load_w |= bit;
+                if (l.init_asserting) {
+                    data_valid_w |= bit;
+                    const auto& [idx, val] = l.program[l.init_item];
+                    for (unsigned j = 0; j < 3; ++j)
+                        if ((idx >> j) & 1u) index_w[j] |= bit;
+                    for (unsigned j = 0; j < 16; ++j)
+                        if ((val >> j) & 1u) value_w[j] |= bit;
+                }
+            }
+            if (l.start_hold > 0) start_w |= bit;
+            if (l.fem_valid) {
+                fit_valid_w |= bit;
+                for (unsigned j = 0; j < 16; ++j)
+                    if ((l.fem_value >> j) & 1u) fitv_w[j] |= bit;
+            }
+            for (unsigned j = 0; j < 32; ++j)
+                if ((l.mem_dout >> j) & 1u) mdi_w[j] |= bit;
+        }
+
+        // ---- drive the core and settle its combinational cone -------------
+        core_.set_input_lanes(core_src_->ga_load, ga_load_w);
+        core_.set_input_lanes(core_src_->data_valid, data_valid_w);
+        core_.set_input_lanes(core_src_->start_ga, start_w);
+        core_.set_input_lanes(core_src_->fit_valid, fit_valid_w);
+        for (unsigned j = 0; j < 3; ++j)
+            core_.set_input_lanes(core_src_->index[j], index_w[j]);
+        for (unsigned j = 0; j < 16; ++j) {
+            core_.set_input_lanes(core_src_->value[j], value_w[j]);
+            core_.set_input_lanes(core_src_->fit_value[j], fitv_w[j]);
+            // rn comes straight from the RNG's CA state registers.
+            core_.set_input_lanes(core_src_->rn[j], rng_.lanes(rng_src_->rn[j]));
+        }
+        for (unsigned j = 0; j < 32; ++j)
+            core_.set_input_lanes(core_src_->mem_data_in[j], mdi_w[j]);
+        core_.eval();
+
+        // ---- sample the core's outputs (pre-edge values) ------------------
+        const std::uint64_t data_ack_w = core_.lanes(core_src_->data_ack);
+        const std::uint64_t fit_req_w = core_.lanes(core_src_->fit_request);
+        const std::uint64_t ga_done_w = core_.lanes(core_src_->ga_done);
+        const std::uint64_t mem_wr_w = core_.lanes(core_src_->mem_wr);
+        const std::uint64_t rn_next_w = core_.lanes(core_src_->rn_next);
+
+        // ---- drive the RNG module (shares the init bus + start pulse) -----
+        rng_.set_input_lanes(rng_src_->ga_load, ga_load_w);
+        rng_.set_input_lanes(rng_src_->data_valid, data_valid_w);
+        rng_.set_input_lanes(rng_src_->start, start_w);
+        rng_.set_input_lanes(rng_src_->rn_next, rn_next_w);
+        for (unsigned j = 0; j < 3; ++j)
+            rng_.set_input_lanes(rng_src_->index[j], index_w[j]);
+        for (unsigned j = 0; j < 16; ++j)
+            rng_.set_input_lanes(rng_src_->value[j], value_w[j]);
+        rng_.eval();
+
+        // ---- clock edge ---------------------------------------------------
+        core_.clock();
+        rng_.clock();
+        ++cycle_;
+
+        // ---- advance the per-lane peripheral models -----------------------
+        std::size_t unfinished = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            Lane& l = lanes_[k];
+            const std::uint64_t bit = std::uint64_t{1} << k;
+
+            // GA memory (write-first synchronous RAM).
+            const std::uint8_t addr = static_cast<std::uint8_t>(
+                core_.word_value(core_src_->mem_address, static_cast<unsigned>(k)));
+            if (mem_wr_w & bit) {
+                const std::uint32_t wdata = static_cast<std::uint32_t>(
+                    core_.word_value(core_src_->mem_data_out, static_cast<unsigned>(k)));
+                l.mem[addr] = wdata;
+                l.mem_dout = wdata;
+            } else {
+                l.mem_dout = l.mem[addr];
+            }
+
+            // FEM: one-cycle lookup, valid until the request drops.
+            if (l.fem_valid && !(fit_req_w & bit)) {
+                l.fem_valid = false;
+            } else if ((fit_req_w & bit) && !l.fem_valid) {
+                const std::uint16_t cand = static_cast<std::uint16_t>(
+                    core_.word_value(core_src_->candidate, static_cast<unsigned>(k)));
+                l.fem_value = fitness::fitness_u16(fn_, cand);
+                l.fem_valid = true;
+                ++l.result.evaluations;
+            }
+
+            // Init handshake FSM.
+            if (!l.init_done) {
+                if (l.init_asserting) {
+                    if (data_ack_w & bit) l.init_asserting = false;
+                } else if (!(data_ack_w & bit)) {
+                    if (++l.init_item >= l.program.size()) {
+                        l.init_done = true;
+                        l.start_hold = 2;  // schedule the start_GA pulse
+                    } else {
+                        l.init_asserting = true;
+                    }
+                }
+            } else if (l.start_hold > 0) {
+                if (!l.started) {
+                    l.started = true;
+                    l.start_cycle = cycle_;
+                }
+                --l.start_hold;
+            }
+
+            // Completion: first GA_done after the start pulse.
+            if (!l.result.finished) {
+                if (l.started && (ga_done_w & bit)) {
+                    const unsigned lane = static_cast<unsigned>(k);
+                    l.result.finished = true;
+                    l.result.best_fitness = static_cast<std::uint16_t>(
+                        core_.word_value(core_src_->best_fit, lane));
+                    l.result.best_candidate = static_cast<std::uint16_t>(
+                        core_.word_value(core_src_->best_ind, lane));
+                    l.result.generations = static_cast<std::uint32_t>(
+                        core_.word_value(core_src_->gen_id, lane));
+                    l.result.ga_cycles = cycle_ - l.start_cycle;
+                } else {
+                    ++unfinished;
+                }
+            }
+        }
+        return unfinished;
+    }
+
+    fitness::FitnessId fn_;
+    std::vector<core::GaParameters> params_;
+    std::unique_ptr<gates::GaCoreNetlist> core_src_;
+    std::unique_ptr<gates::RngNetlist> rng_src_;
+    gates::CompiledNetlist core_;
+    gates::CompiledNetlist rng_;
+    std::vector<Lane> lanes_;
+    std::uint64_t cycle_ = 0;
+};
+
+}  // namespace gaip::bench

@@ -1,0 +1,258 @@
+#include "gates/compiled.hpp"
+
+#include <stdexcept>
+
+namespace gaip::gates {
+
+namespace {
+
+constexpr std::uint64_t kAll = ~std::uint64_t{0};
+
+/// Symbolic value of a net during compilation: a constant, or a (possibly
+/// inverted) reference to a dynamic net.
+struct Sym {
+    bool is_const = false;
+    bool const_val = false;
+    Net ref = kNoNet;
+    bool inverted = false;
+};
+
+}  // namespace
+
+CompiledNetlist::CompiledNetlist(const GateNetlist& src) {
+    const std::size_t n = src.net_count();
+    values_.assign(n, 0);
+    root_.assign(n, kNoNet);
+    ops_.resize(n);
+    code_.reserve(n);
+
+    // Per-net symbolic summary driving folding/chasing decisions.
+    std::vector<Sym> sym(n);
+
+    auto resolve = [&](Net x) -> Sym {
+        const Sym& s = sym[x];
+        return s;
+    };
+
+    for (Net i = 0; i < n; ++i) {
+        const GateOp op = src.op_of(i);
+        ops_[i] = op;
+        switch (op) {
+            case GateOp::kConst0:
+            case GateOp::kConst1: {
+                const bool v = (op == GateOp::kConst1);
+                sym[i] = Sym{.is_const = true, .const_val = v};
+                values_[i] = v ? kAll : 0;
+                root_[i] = i;
+                ++folded_;
+                continue;
+            }
+            case GateOp::kInput:
+            case GateOp::kState:
+                sym[i] = Sym{.ref = i};
+                root_[i] = i;
+                continue;
+            default: break;
+        }
+
+        // Normalize the gate to kernel-mask form over the raw fanins.
+        bool ka = false, kx = false, kinv = false;  // ma, mx, inv as booleans
+        Net fa = src.fanin_a(i);
+        Net fb = src.fanin_b(i);
+        switch (op) {
+            case GateOp::kBuf: fb = fa; kx = false; ka = false; break;  // handled below
+            case GateOp::kNot: fb = fa; ka = true; kinv = true; break;  // (a&a)&~0 ^ ~0
+            case GateOp::kAnd: ka = true; break;
+            case GateOp::kOr: ka = true; kx = true; break;
+            case GateOp::kXor: kx = true; break;
+            case GateOp::kNand: ka = true; kinv = true; break;
+            case GateOp::kNor: ka = true; kx = true; kinv = true; break;
+            default: throw std::logic_error("CompiledNetlist: unexpected op");
+        }
+
+        if (op == GateOp::kBuf) {
+            const Sym s = resolve(fa);
+            sym[i] = s;
+            root_[i] = s.is_const ? i : s.ref;
+            if (s.is_const) values_[i] = s.const_val ? kAll : 0;
+            if (s.is_const || !s.inverted) {
+                ++aliased_;
+                continue;
+            }
+            // Inverted alias: fall through and emit a NOT of the referent.
+            fa = fb = s.ref;
+            ka = true;
+            kx = false;
+            kinv = !s.const_val;  // plain NOT (const case handled above)
+        }
+
+        Sym sa = resolve(fa);
+        Sym sb = resolve(fb);
+
+        // Evaluate symbolically over {0, 1, v, ~v} to fold constants and
+        // single-operand identities (AND with 1, XOR with 0, ...). Only
+        // meaningful when at least one operand is constant or both refer to
+        // the same dynamic net.
+        auto known = [&](const Sym& s, bool when_var, bool var_inv) {
+            // value of the operand under assumption "referenced var = when_var"
+            if (s.is_const) return s.const_val;
+            return (when_var != s.inverted) != var_inv;
+        };
+        const bool foldable =
+            (sa.is_const && sb.is_const) || (sa.is_const && !sb.is_const) ||
+            (!sa.is_const && sb.is_const) ||
+            (!sa.is_const && !sb.is_const && sa.ref == sb.ref);
+        if (foldable) {
+            // Truth table of the output as a function of the single free
+            // variable (or of nothing if both operands are constant).
+            auto out_for = [&](bool var) {
+                const bool va = known(sa, var, false);
+                const bool vb = known(sb, var, false);
+                bool r = false;
+                if (ka) r ^= (va && vb);
+                if (kx) r ^= (va != vb);
+                return r != kinv;
+            };
+            const bool o0 = out_for(false);
+            const bool o1 = out_for(true);
+            if (o0 == o1) {  // constant output
+                sym[i] = Sym{.is_const = true, .const_val = o0};
+                values_[i] = o0 ? kAll : 0;
+                root_[i] = i;
+                ++folded_;
+                continue;
+            }
+            const Net ref = sa.is_const ? sb.ref : sa.ref;
+            if (o1) {  // out == var: plain alias
+                sym[i] = Sym{.ref = ref};
+                root_[i] = ref;
+                ++aliased_;
+                continue;
+            }
+            // out == ~var: emit a NOT instruction on the referent.
+            sym[i] = Sym{.ref = i};
+            root_[i] = i;
+            code_.push_back(Instr{i, ref, ref, kAll, 0, kAll});
+            continue;
+        }
+
+        // General dynamic two-operand gate. Operand-side inversions are
+        // absorbed: a' op b == ((a^1) op b); rewrite via kernel algebra.
+        //   (a^ia)&(b^ib) and (a^ia)^(b^ib) expand to expressions in
+        //   {a&b, a^b, a, b, 1}; rather than grow the ISA, materialize the
+        //   inversion only when the source net carries one (never happens
+        //   with the current builder, which has no inverted aliases except
+        //   via kNot — and kNot emits a real instruction). Guarded anyway:
+        if (sa.inverted || sb.inverted)
+            throw std::logic_error("CompiledNetlist: unexpected inverted alias operand");
+        sym[i] = Sym{.ref = i};
+        root_[i] = i;
+        code_.push_back(Instr{i, sa.ref, sb.ref, ka ? kAll : 0, kx ? kAll : 0,
+                              kinv ? kAll : 0});
+    }
+
+    // Registers in declaration (= scan-chain) order, D nets root-resolved.
+    regs_q_ = src.register_q_nets();
+    const std::vector<Net> d = src.register_d_nets();
+    regs_d_.reserve(d.size());
+    for (const Net dn : d) {
+        if (dn == kNoNet)
+            throw std::logic_error("CompiledNetlist: register has no D connection");
+        regs_d_.push_back(sym[dn].is_const ? dn : root_[dn]);
+    }
+    latch_tmp_.resize(regs_q_.size());
+}
+
+void CompiledNetlist::set_input_lanes(Net n, std::uint64_t lanes) {
+    if (n >= ops_.size() || ops_[n] != GateOp::kInput)
+        throw std::invalid_argument("set_input_lanes: not an input net");
+    values_[n] = lanes;
+}
+
+void CompiledNetlist::set_input(Net n, unsigned lane, bool v) {
+    if (n >= ops_.size() || ops_[n] != GateOp::kInput)
+        throw std::invalid_argument("set_input: not an input net");
+    if (lane >= kLanes) throw std::invalid_argument("set_input: lane out of range");
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    values_[n] = v ? (values_[n] | bit) : (values_[n] & ~bit);
+}
+
+void CompiledNetlist::set_input_all(Net n, bool v) {
+    if (n >= ops_.size() || ops_[n] != GateOp::kInput)
+        throw std::invalid_argument("set_input_all: not an input net");
+    values_[n] = v ? kAll : 0;
+}
+
+void CompiledNetlist::set_word_input(const std::vector<Net>& w, unsigned lane,
+                                     std::uint64_t value) {
+    for (std::size_t i = 0; i < w.size(); ++i)
+        set_input(w[i], lane, (value >> i) & 1u);
+}
+
+void CompiledNetlist::set_register(Net q, unsigned lane, bool v) {
+    if (q >= ops_.size() || ops_[q] != GateOp::kState)
+        throw std::invalid_argument("set_register: not a register net");
+    if (lane >= kLanes) throw std::invalid_argument("set_register: lane out of range");
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    values_[q] = v ? (values_[q] | bit) : (values_[q] & ~bit);
+}
+
+void CompiledNetlist::set_register_lanes(Net q, std::uint64_t lanes) {
+    if (q >= ops_.size() || ops_[q] != GateOp::kState)
+        throw std::invalid_argument("set_register_lanes: not a register net");
+    values_[q] = lanes;
+}
+
+void CompiledNetlist::eval() {
+    std::uint64_t* const v = values_.data();
+    const Instr* const code = code_.data();
+    const std::size_t count = code_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Instr& c = code[i];
+        const std::uint64_t a = v[c.a];
+        const std::uint64_t b = v[c.b];
+        v[c.dst] = ((a & b) & c.ma) ^ ((a ^ b) & c.mx) ^ c.inv;
+    }
+}
+
+std::uint64_t CompiledNetlist::clock(bool test_mode, std::uint64_t scan_in) {
+    if (regs_q_.empty()) return 0;
+    const std::uint64_t out = values_[regs_q_.back()];
+    if (test_mode) {
+        std::uint64_t carry = scan_in;
+        for (const Net q : regs_q_) {
+            const std::uint64_t old = values_[q];
+            values_[q] = carry;
+            carry = old;
+        }
+    } else {
+        for (std::size_t i = 0; i < regs_q_.size(); ++i) latch_tmp_[i] = values_[regs_d_[i]];
+        for (std::size_t i = 0; i < regs_q_.size(); ++i) values_[regs_q_[i]] = latch_tmp_[i];
+    }
+    return out;
+}
+
+std::uint64_t CompiledNetlist::lanes(Net n) const {
+    if (n >= root_.size()) throw std::invalid_argument("lanes: net not defined");
+    return values_[root_[n]];
+}
+
+bool CompiledNetlist::value(Net n, unsigned lane) const {
+    if (lane >= kLanes) throw std::invalid_argument("value: lane out of range");
+    return (lanes(n) >> lane) & 1u;
+}
+
+std::uint64_t CompiledNetlist::word_value(const std::vector<Net>& nets, unsigned lane) const {
+    if (nets.size() > 64)
+        throw std::invalid_argument("word_value: more than 64 nets cannot pack into u64");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < nets.size(); ++i)
+        if (value(nets[i], lane)) v |= std::uint64_t{1} << i;
+    return v;
+}
+
+std::uint64_t CompiledNetlist::scan_tail() const noexcept {
+    return regs_q_.empty() ? 0 : values_[regs_q_.back()];
+}
+
+}  // namespace gaip::gates

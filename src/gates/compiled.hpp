@@ -1,0 +1,113 @@
+// Compiled bit-parallel (SWAR) gate-level simulation.
+//
+// GateNetlist::eval() walks every net through a branchy switch and computes
+// ONE run per pass — fine for equivalence checking, hopeless for the
+// Table VII-IX sweep grids. CompiledNetlist is the classic compiled-code
+// simulator answer: the netlist is compiled ONCE into a flat, branch-free
+// instruction stream (dense operand arrays, constants folded, buffers and
+// one-constant-operand gates chased into aliases), and evaluation carries a
+// full 64-bit machine word per net, so one pass simulates 64 INDEPENDENT
+// lanes (bit k of every word belongs to run k).
+//
+// Every Boolean two-input gate is normalized to the single branch-free form
+//
+//     out = ((a & b) & ma) ^ ((a ^ b) & mx) ^ inv
+//
+// (ma/mx/inv in {0, ~0}): AND = {~0,0,0}, OR = {~0,~0,0} (a|b == (a&b)^(a^b)),
+// XOR = {0,~0,0}, NAND/NOR add inv = ~0, NOT a = {a,a,~0,0,~0}. The inner
+// loop therefore has no per-opcode dispatch at all.
+//
+// Lane semantics:
+//   * inputs, register state, and scan_in/scan_out are 64-lane words
+//     (bit k = lane k); helpers broadcast one value to all lanes or poke a
+//     single lane;
+//   * clock() latches every register lane-wise (normal mode) or shifts the
+//     whole scan chain by one in every lane (test mode), exactly mirroring
+//     GateNetlist::clock per lane;
+//   * net numbering is shared with the source GateNetlist, so port Net ids
+//     from GaCoreNetlist/RngNetlist address the compiled state directly.
+//
+// CompiledNetlist is bit- and cycle-identical to the scalar reference in
+// every lane (tests/gates/test_compiled.cpp runs the full GA core + RNG
+// netlist differentially). Prefer it whenever more than a handful of cycles
+// are simulated; keep GateNetlist::eval as the oracle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gates/netlist.hpp"
+
+namespace gaip::gates {
+
+class CompiledNetlist {
+public:
+    static constexpr unsigned kLanes = 64;
+
+    /// Compile `src` (constant folding + buffer/alias chasing). The source
+    /// netlist is only read during construction; current scalar input and
+    /// register values are NOT carried over — all lanes start at zero.
+    explicit CompiledNetlist(const GateNetlist& src);
+
+    // --- per-lane / broadcast input and state access ---
+    /// Set a primary input across all 64 lanes at once (bit k = lane k).
+    void set_input_lanes(Net n, std::uint64_t lanes);
+    /// Set a primary input in one lane.
+    void set_input(Net n, unsigned lane, bool v);
+    /// Broadcast one value to every lane of an input.
+    void set_input_all(Net n, bool v);
+    /// Drive a word input (LSB-first net vector) with `value` in one lane.
+    void set_word_input(const std::vector<Net>& w, unsigned lane, std::uint64_t value);
+    /// Backdoor register state access (mirrors GateNetlist::set_register).
+    void set_register(Net q, unsigned lane, bool v);
+    void set_register_lanes(Net q, std::uint64_t lanes);
+
+    // --- simulation ---
+    /// Combinational propagation of all 64 lanes in one pass.
+    void eval();
+    /// Clock edge in every lane. Normal mode latches D into every register;
+    /// test mode shifts the scan chain by one (scan_in bit k enters lane k's
+    /// first-declared register). Returns the 64-lane scan-out word (each
+    /// lane's last register's pre-shift Q).
+    std::uint64_t clock(bool test_mode = false, std::uint64_t scan_in = 0);
+
+    // --- value reads ---
+    /// All 64 lanes of one net (aliases and folded constants resolve).
+    std::uint64_t lanes(Net n) const;
+    bool value(Net n, unsigned lane) const;
+    /// LSB-first word read in one lane (same contract as
+    /// GateNetlist::word_value; at most 64 nets).
+    std::uint64_t word_value(const std::vector<Net>& nets, unsigned lane) const;
+    /// 64-lane word of the scan-chain tail bit.
+    std::uint64_t scan_tail() const noexcept;
+
+    // --- compile statistics ---
+    std::size_t net_count() const noexcept { return root_.size(); }
+    /// Instructions actually executed per eval() (after folding/chasing).
+    std::size_t instruction_count() const noexcept { return code_.size(); }
+    std::size_t folded_constants() const noexcept { return folded_; }
+    std::size_t chased_aliases() const noexcept { return aliased_; }
+    std::size_t register_count() const noexcept { return regs_q_.size(); }
+
+private:
+    struct Instr {
+        std::uint32_t dst;
+        std::uint32_t a;
+        std::uint32_t b;
+        std::uint64_t ma;   // AND-kernel mask
+        std::uint64_t mx;   // XOR-kernel mask
+        std::uint64_t inv;  // output inversion mask
+    };
+
+    std::vector<Instr> code_;
+    std::vector<std::uint64_t> values_;     // one 64-lane word per net slot
+    std::vector<Net> root_;                 // alias resolution (fully chased)
+    std::vector<GateOp> ops_;               // source ops (input/state checks)
+    std::vector<Net> regs_q_;               // scan-chain order
+    std::vector<Net> regs_d_;               // root-resolved D nets
+    std::vector<std::uint64_t> latch_tmp_;  // clock() scratch
+    std::size_t folded_ = 0;
+    std::size_t aliased_ = 0;
+};
+
+}  // namespace gaip::gates

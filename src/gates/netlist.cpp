@@ -111,6 +111,8 @@ bool GateNetlist::value(Net n) const {
 }
 
 std::uint64_t GateNetlist::word_value(const std::vector<Net>& nets) const {
+    if (nets.size() > 64)
+        throw std::invalid_argument("word_value: more than 64 nets cannot pack into u64");
     std::uint64_t v = 0;
     for (std::size_t i = 0; i < nets.size(); ++i)
         if (value(nets[i])) v |= std::uint64_t{1} << i;

@@ -84,7 +84,9 @@ public:
     /// Combinational propagation from current inputs + register state.
     void eval();
     bool value(Net n) const;
-    std::uint64_t word_value(const std::vector<Net>& nets) const;  // LSB first
+    /// Pack the nets' values LSB-first; throws if more than 64 nets are
+    /// given (they cannot pack into one word).
+    std::uint64_t word_value(const std::vector<Net>& nets) const;
     /// Clock edge: normal mode latches D into every register; test mode
     /// shifts the scan chain by one (scan_in enters the first-declared
     /// register). Returns the scan-out bit (last register's pre-shift Q).

@@ -207,6 +207,17 @@ TEST(WordBuilder, Reductions) {
     }
 }
 
+TEST(GateNetlist, WordValueRejectsOver64Nets) {
+    GateNetlist nl;
+    std::vector<Net> wide;
+    for (int i = 0; i < 65; ++i) wide.push_back(nl.input("i" + std::to_string(i)));
+    nl.eval();
+    EXPECT_THROW(nl.word_value(wide), std::invalid_argument)
+        << "65 nets cannot pack into a u64; bit 64 must not shift out silently";
+    wide.pop_back();
+    EXPECT_NO_THROW(nl.word_value(wide));
+}
+
 TEST(GateNetlist, VerilogExportContainsStructure) {
     GateNetlist nl;
     const Net a = nl.input("a");
