@@ -129,6 +129,10 @@ public:
     std::uint32_t generation() const noexcept { return gen_id_.read(); }
     bool current_bank() const noexcept { return bank_.read(); }
     const rtl::ScanChain& scan_chain() const noexcept { return scan_; }
+    /// Mutable chain access: the fault injector's register-poke backdoor
+    /// (pair any ScanChain edit with input_changed() so the event-driven
+    /// scheduler re-evaluates the Moore outputs before the next edge).
+    rtl::ScanChain& scan_chain() noexcept { return scan_; }
 
 private:
     // Effective fitness-response pair after internal/external selection.

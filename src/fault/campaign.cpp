@@ -1,0 +1,431 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "gates/compiled.hpp"
+#include "gates/ga_core_gates.hpp"
+#include "gates/rng_gates.hpp"
+#include "mem/ga_memory.hpp"
+
+namespace gaip::fault {
+
+namespace {
+
+using core::GaCore;
+
+constexpr unsigned kLanes = gates::CompiledNetlist::kLanes;
+
+/// The gate-level 64-lane batch engine behind FaultCampaign::run_gate. The
+/// per-lane peripheral models (init-handshake FSM, zero-latency FEM,
+/// write-first 256x32 memory, start pulse) mirror bench/gate_batch_runner's
+/// — re-stated here because src/ libraries cannot depend on bench/ headers
+/// — except that every lane runs the SAME configuration and each non-golden
+/// lane carries one scheduled SEU.
+class GateLaneRunner {
+public:
+    GateLaneRunner(const CampaignConfig& cfg, const GoldenRun& golden)
+        : cfg_(cfg),
+          golden_(golden),
+          core_src_(gates::build_ga_core_netlist()),
+          rng_src_(gates::build_rng_netlist()),
+          core_(core_src_->nl),
+          rng_(rng_src_->nl) {
+        const core::GaParameters& p = cfg_.params;
+        program_ = {
+            {0, static_cast<std::uint16_t>(p.n_gens & 0xFFFF)},
+            {1, static_cast<std::uint16_t>(p.n_gens >> 16)},
+            {2, p.pop_size},
+            {3, p.xover_threshold},
+            {4, p.mut_threshold},
+            {5, p.seed},
+        };
+        // Fault-site addressing: register bit nets are named "<reg><bit>".
+        for (const gates::Net q : core_src_->nl.register_q_nets())
+            reg_net_by_name_.emplace(core_src_->nl.name_of(q), q);
+    }
+
+    std::uint64_t cycles() const noexcept { return cycle_; }
+
+    /// Run one batch: `sites` (at most 63) map to lanes 1..63; lane 0 stays
+    /// fault-free and must reproduce `golden_` exactly. Returns one record
+    /// per site, in order.
+    std::vector<FaultRecord> run_batch(const std::vector<FaultSite>& sites) {
+        if (sites.empty() || sites.size() > kLanes - 1)
+            throw std::invalid_argument("GateLaneRunner: need 1..63 sites per batch");
+        reset();
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            Lane& l = lanes_[i + 1];
+            l.has_site = true;
+            l.site = sites[i];
+            l.site_net = net_for(sites[i]);
+        }
+
+        const std::uint64_t watchdog =
+            golden_.ga_cycles * cfg_.watchdog_factor + 64;
+        // Bound on edges before the optimizer starts (init handshake).
+        std::uint64_t prestart_guard = 4096;
+        while (true) {
+            step();
+            if (opt_cycle_ < 0) {
+                if (--prestart_guard == 0)
+                    throw std::runtime_error("GateLaneRunner: optimizer never started");
+                continue;
+            }
+            bool open = false;
+            for (const Lane& l : lanes_)
+                open |= (l.tracked() && !l.finished);
+            if (!open || static_cast<std::uint64_t>(opt_cycle_) >= watchdog) break;
+        }
+
+        // Golden-lane determinism check: the batched gate simulation must
+        // reproduce the RT-level golden run bit- and cycle-exactly.
+        const Lane& g = lanes_[0];
+        if (!g.finished || g.best_fitness != golden_.best_fitness ||
+            g.best_candidate != golden_.best_candidate || g.ga_cycles != golden_.ga_cycles)
+            throw std::runtime_error(
+                "GateLaneRunner: golden lane diverged from the RT-level reference (finished=" +
+                std::to_string(g.finished) + " fit=" + std::to_string(g.best_fitness) + "/" +
+                std::to_string(golden_.best_fitness) + " cand=" +
+                std::to_string(g.best_candidate) + "/" + std::to_string(golden_.best_candidate) +
+                " cycles=" + std::to_string(g.ga_cycles) + "/" +
+                std::to_string(golden_.ga_cycles) + ")");
+
+        std::vector<FaultRecord> out;
+        out.reserve(sites.size());
+        for (std::size_t i = 0; i < sites.size(); ++i) {
+            const Lane& l = lanes_[i + 1];
+            if (!l.injected)
+                throw std::logic_error("GateLaneRunner: site was never injected (grid too late)");
+            FaultRecord rec;
+            rec.site = l.site;
+            rec.inject_cycle = l.inject_cycle;
+            rec.finished = l.finished;
+            rec.final_state = l.final_state;
+            if (l.finished) {
+                rec.best_fitness = l.best_fitness;
+                rec.best_candidate = l.best_candidate;
+                rec.ga_cycles = l.ga_cycles;
+            }
+            rec.outcome = classify(rec.finished, rec.best_fitness, rec.best_candidate,
+                                   rec.final_state, golden_);
+            out.push_back(rec);
+        }
+        return out;
+    }
+
+private:
+    struct Lane {
+        std::size_t init_item = 0;
+        bool init_asserting = true;
+        bool init_done = false;
+        int start_hold = -1;
+        std::array<std::uint32_t, mem::kGaMemoryDepth> mem{};
+        std::uint32_t mem_dout = 0;
+
+        bool has_site = false;
+        FaultSite site;
+        gates::Net site_net = gates::kNoNet;
+        bool injected = false;
+        std::uint64_t inject_cycle = 0;
+
+        bool finished = false;
+        std::uint16_t best_fitness = 0;
+        std::uint16_t best_candidate = 0;
+        std::uint64_t ga_cycles = 0;
+        std::uint8_t final_state = 0;
+
+        /// Lanes whose completion gates the batch: golden lane 0 (index
+        /// checked by position) and every site lane.
+        bool tracked() const noexcept { return has_site || golden_lane; }
+        bool golden_lane = false;
+    };
+
+    gates::Net net_for(const FaultSite& site) const {
+        const auto it = reg_net_by_name_.find(site.reg + std::to_string(site.bit));
+        if (it == reg_net_by_name_.end())
+            throw std::invalid_argument("GateLaneRunner: unknown fault site " + site.reg + "[" +
+                                        std::to_string(site.bit) + "]");
+        return it->second;
+    }
+
+    std::uint8_t lane_state(unsigned lane) const {
+        std::uint8_t s = 0;
+        for (unsigned j = 0; j < 6; ++j)
+            if ((state_w_[j] >> lane) & 1u) s |= static_cast<std::uint8_t>(1u << j);
+        return s;
+    }
+
+    void reset() {
+        lanes_.assign(kLanes, Lane{});
+        lanes_[0].golden_lane = true;
+        opt_cycle_ = -1;
+
+        core_.set_input_all(core_src_->reset, false);
+        for (const gates::Net n : core_src_->preset) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fitfunc_select) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value_ext) core_.set_input_all(n, false);
+        core_.set_input_all(core_src_->fit_valid_ext, false);
+        core_.set_input_all(core_src_->sel_force_found, false);
+        for (const gates::Net n : core_src_->mem_data_in) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value) core_.set_input_all(n, false);
+        core_.set_input_all(core_src_->fit_valid, false);
+        core_.set_input_all(core_src_->start_ga, false);
+        core_.set_input_all(core_src_->ga_load, false);
+        core_.set_input_all(core_src_->data_valid, false);
+        for (const gates::Net n : core_src_->index) core_.set_input_all(n, false);
+        for (const gates::Net n : core_src_->value) core_.set_input_all(n, false);
+        rng_.set_input_all(rng_src_->reset, false);
+        for (const gates::Net n : rng_src_->preset) rng_.set_input_all(n, false);
+        rng_.set_input_all(rng_src_->start, false);
+        rng_.set_input_all(rng_src_->rn_next, false);
+        rng_.set_input_all(rng_src_->ga_load, false);
+        rng_.set_input_all(rng_src_->data_valid, false);
+        for (const gates::Net n : rng_src_->index) rng_.set_input_all(n, false);
+        for (const gates::Net n : rng_src_->value) rng_.set_input_all(n, false);
+
+        core_.set_input_all(core_src_->reset, true);
+        rng_.set_input_all(rng_src_->reset, true);
+        core_.eval();
+        rng_.eval();
+        core_.clock();
+        rng_.clock();
+        core_.set_input_all(core_src_->reset, false);
+        rng_.set_input_all(rng_src_->reset, false);
+    }
+
+    /// One GA-clock cycle across all 64 lanes (per-lane peripherals, clock
+    /// edge, then fault injection and completion tracking post-edge).
+    void step() {
+        std::uint64_t ga_load_w = 0, data_valid_w = 0, start_w = 0;
+        std::array<std::uint64_t, 3> index_w{};
+        std::array<std::uint64_t, 16> value_w{};
+        std::array<std::uint64_t, 32> mdi_w{};
+        for (unsigned k = 0; k < kLanes; ++k) {
+            const Lane& l = lanes_[k];
+            const std::uint64_t bit = std::uint64_t{1} << k;
+            if (!l.init_done) {
+                ga_load_w |= bit;
+                if (l.init_asserting) {
+                    data_valid_w |= bit;
+                    const auto& [idx, val] = program_[l.init_item];
+                    for (unsigned j = 0; j < 3; ++j)
+                        if ((idx >> j) & 1u) index_w[j] |= bit;
+                    for (unsigned j = 0; j < 16; ++j)
+                        if ((val >> j) & 1u) value_w[j] |= bit;
+                }
+            }
+            if (l.start_hold > 0) start_w |= bit;
+            for (unsigned j = 0; j < 32; ++j)
+                if ((l.mem_dout >> j) & 1u) mdi_w[j] |= bit;
+        }
+
+        core_.set_input_lanes(core_src_->ga_load, ga_load_w);
+        core_.set_input_lanes(core_src_->data_valid, data_valid_w);
+        core_.set_input_lanes(core_src_->start_ga, start_w);
+        core_.set_input_lanes(core_src_->fit_valid, 0);
+        for (unsigned j = 0; j < 3; ++j)
+            core_.set_input_lanes(core_src_->index[j], index_w[j]);
+        for (unsigned j = 0; j < 16; ++j) {
+            core_.set_input_lanes(core_src_->value[j], value_w[j]);
+            core_.set_input_lanes(core_src_->fit_value[j], 0);
+            core_.set_input_lanes(core_src_->rn[j], rng_.lanes(rng_src_->rn[j]));
+        }
+        for (unsigned j = 0; j < 32; ++j)
+            core_.set_input_lanes(core_src_->mem_data_in[j], mdi_w[j]);
+        core_.eval();
+
+        // Same-cycle fitness response, matching the RT-level system where
+        // the 200 MHz FEM answers inside one 50 MHz core cycle: fit_valid
+        // combinationally tracks fit_request. fit_request and candidate are
+        // Moore outputs, so sampling them before driving fit_valid back is
+        // loop-free; the second eval() only recomputes next-state logic.
+        const std::uint64_t fit_req_w = core_.lanes(core_src_->fit_request);
+        if (fit_req_w != 0) {
+            std::array<std::uint64_t, 16> fitv_w{};
+            for (unsigned k = 0; k < kLanes; ++k) {
+                if (!((fit_req_w >> k) & 1u)) continue;
+                const std::uint16_t cand =
+                    static_cast<std::uint16_t>(core_.word_value(core_src_->candidate, k));
+                const std::uint16_t fv = fitness::fitness_u16(cfg_.fn, cand);
+                for (unsigned j = 0; j < 16; ++j)
+                    if ((fv >> j) & 1u) fitv_w[j] |= std::uint64_t{1} << k;
+            }
+            core_.set_input_lanes(core_src_->fit_valid, fit_req_w);
+            for (unsigned j = 0; j < 16; ++j)
+                core_.set_input_lanes(core_src_->fit_value[j], fitv_w[j]);
+            core_.eval();
+        }
+
+        const std::uint64_t data_ack_w = core_.lanes(core_src_->data_ack);
+        const std::uint64_t mem_wr_w = core_.lanes(core_src_->mem_wr);
+        const std::uint64_t rn_next_w = core_.lanes(core_src_->rn_next);
+
+        rng_.set_input_lanes(rng_src_->ga_load, ga_load_w);
+        rng_.set_input_lanes(rng_src_->data_valid, data_valid_w);
+        rng_.set_input_lanes(rng_src_->start, start_w);
+        rng_.set_input_lanes(rng_src_->rn_next, rn_next_w);
+        for (unsigned j = 0; j < 3; ++j)
+            rng_.set_input_lanes(rng_src_->index[j], index_w[j]);
+        for (unsigned j = 0; j < 16; ++j)
+            rng_.set_input_lanes(rng_src_->value[j], value_w[j]);
+        rng_.eval();
+
+        core_.clock();
+        rng_.clock();
+        ++cycle_;
+
+        // Post-edge register state: the cycle counter and injection points
+        // are defined on it (cycle 0 = the edge that loaded kStart).
+        for (unsigned j = 0; j < 6; ++j) state_w_[j] = core_.lanes(core_src_->state[j]);
+        if (opt_cycle_ >= 0) {
+            ++opt_cycle_;
+        } else if (lane_state(0) == static_cast<std::uint8_t>(GaCore::State::kStart)) {
+            opt_cycle_ = 0;
+        }
+
+        // Fault injection: a lane is injected at the first scan-safe cycle
+        // >= its site's grid cycle. Pre-injection every lane is bit-exact
+        // with golden lane 0, so lane 0's state decides safety for all.
+        if (opt_cycle_ >= 0) {
+            const std::uint8_t gstate = lane_state(0);
+            if (scan_safe_state(gstate)) {
+                for (unsigned k = 1; k < kLanes; ++k) {
+                    Lane& l = lanes_[k];
+                    if (l.has_site && !l.injected &&
+                        l.site.cycle <= static_cast<std::uint64_t>(opt_cycle_)) {
+                        core_.xor_register_lanes(l.site_net, std::uint64_t{1} << k);
+                        l.injected = true;
+                        l.inject_cycle = static_cast<std::uint64_t>(opt_cycle_);
+                    }
+                }
+            } else if (gstate == static_cast<std::uint8_t>(GaCore::State::kDone)) {
+                for (unsigned k = 1; k < kLanes; ++k)
+                    if (lanes_[k].has_site && !lanes_[k].injected)
+                        throw std::logic_error(
+                            "GateLaneRunner: golden run ended before injection (grid too late)");
+            }
+        }
+
+        // Per-lane peripheral models (identical to the batch runner).
+        for (unsigned k = 0; k < kLanes; ++k) {
+            Lane& l = lanes_[k];
+            const std::uint64_t bit = std::uint64_t{1} << k;
+
+            const std::uint8_t addr =
+                static_cast<std::uint8_t>(core_.word_value(core_src_->mem_address, k));
+            if (mem_wr_w & bit) {
+                const std::uint32_t wdata =
+                    static_cast<std::uint32_t>(core_.word_value(core_src_->mem_data_out, k));
+                l.mem[addr] = wdata;
+                l.mem_dout = wdata;
+            } else {
+                l.mem_dout = l.mem[addr];
+            }
+
+            if (!l.init_done) {
+                if (l.init_asserting) {
+                    if (data_ack_w & bit) l.init_asserting = false;
+                } else if (!(data_ack_w & bit)) {
+                    if (++l.init_item >= program_.size()) {
+                        l.init_done = true;
+                        l.start_hold = 2;
+                    } else {
+                        l.init_asserting = true;
+                    }
+                }
+            } else if (l.start_hold > 0) {
+                --l.start_hold;
+            }
+
+            // Completion / watchdog bookkeeping on the post-edge state.
+            if (!l.finished && opt_cycle_ >= 0) {
+                const std::uint8_t s = lane_state(k);
+                l.final_state = s;
+                if (s == static_cast<std::uint8_t>(GaCore::State::kDone)) {
+                    l.finished = true;
+                    l.best_fitness =
+                        static_cast<std::uint16_t>(core_.word_value(core_src_->best_fit, k));
+                    l.best_candidate =
+                        static_cast<std::uint16_t>(core_.word_value(core_src_->best_ind, k));
+                    l.ga_cycles = static_cast<std::uint64_t>(opt_cycle_);
+                }
+            }
+        }
+    }
+
+    CampaignConfig cfg_;
+    GoldenRun golden_;
+    std::unique_ptr<gates::GaCoreNetlist> core_src_;
+    std::unique_ptr<gates::RngNetlist> rng_src_;
+    gates::CompiledNetlist core_;
+    gates::CompiledNetlist rng_;
+    std::vector<std::pair<std::uint8_t, std::uint16_t>> program_;
+    std::unordered_map<std::string, gates::Net> reg_net_by_name_;
+    std::vector<Lane> lanes_;
+    std::array<std::uint64_t, 6> state_w_{};
+    std::int64_t opt_cycle_ = -1;
+    std::uint64_t cycle_ = 0;
+};
+
+}  // namespace
+
+FaultCampaign::FaultCampaign(CampaignConfig cfg)
+    : cfg_(cfg),
+      injector_(InjectorConfig{.fn = cfg.fn, .params = cfg.params,
+                               .watchdog_factor = cfg.watchdog_factor,
+                               .fallback_preset = cfg.fallback_preset}) {
+    if (cfg_.cycle_points == 0)
+        throw std::invalid_argument("FaultCampaign: cycle_points must be > 0");
+    if (!(cfg_.cycle_span > 0.0) || cfg_.cycle_span >= 1.0)
+        throw std::invalid_argument("FaultCampaign: cycle_span must be in (0, 1)");
+    if (cfg_.stride == 0) throw std::invalid_argument("FaultCampaign: stride must be > 0");
+}
+
+std::vector<FaultSite> FaultCampaign::enumerate_sites() const {
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(cfg_.cycle_span * static_cast<double>(golden().ga_cycles));
+    std::vector<FaultSite> sites;
+    std::uint64_t idx = 0;
+    for (const auto& [reg, width] : injector_.layout()) {
+        for (unsigned bit = 0; bit < width; ++bit) {
+            for (unsigned g = 0; g < cfg_.cycle_points; ++g) {
+                if (idx++ % cfg_.stride == 0)
+                    sites.push_back(FaultSite{reg, bit, span * g / cfg_.cycle_points});
+                if (cfg_.max_sites != 0 && sites.size() >= cfg_.max_sites) return sites;
+            }
+        }
+    }
+    return sites;
+}
+
+CampaignResult FaultCampaign::run_gate(
+    const std::vector<FaultSite>& sites,
+    const std::function<void(std::size_t, std::size_t)>& progress) {
+    CampaignResult res;
+    res.golden = injector_.golden();
+    res.preset_baseline = injector_.preset_baseline();
+    res.records.reserve(sites.size());
+
+    GateLaneRunner runner(cfg_, res.golden);
+    for (std::size_t base = 0; base < sites.size(); base += kLanes - 1) {
+        const std::size_t n = std::min<std::size_t>(kLanes - 1, sites.size() - base);
+        const std::vector<FaultSite> batch(sites.begin() + static_cast<std::ptrdiff_t>(base),
+                                           sites.begin() + static_cast<std::ptrdiff_t>(base + n));
+        for (FaultRecord& rec : runner.run_batch(batch)) {
+            res.count(rec);
+            res.records.push_back(std::move(rec));
+        }
+        ++res.batches;
+        if (progress) progress(base + n, sites.size());
+    }
+    res.gate_cycles = runner.cycles();
+    return res;
+}
+
+}  // namespace gaip::fault

@@ -1,0 +1,29 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+
+namespace gaip::fault {
+
+std::vector<RegisterVulnerability> aggregate_by_register(
+    const std::vector<FaultRecord>& records) {
+    std::vector<RegisterVulnerability> out;
+    for (const FaultRecord& r : records) {
+        auto it = std::find_if(out.begin(), out.end(),
+                               [&](const RegisterVulnerability& v) { return v.reg == r.site.reg; });
+        if (it == out.end()) {
+            out.push_back(RegisterVulnerability{.reg = r.site.reg});
+            it = out.end() - 1;
+        }
+        it->width = std::max(it->width, r.site.bit + 1);
+        ++it->injections;
+        switch (r.outcome) {
+            case FaultOutcome::kMasked: ++it->masked; break;
+            case FaultOutcome::kWrongAnswer: ++it->wrong; break;
+            case FaultOutcome::kHang: ++it->hang; break;
+            case FaultOutcome::kRecovered: ++it->recovered; break;
+        }
+    }
+    return out;
+}
+
+}  // namespace gaip::fault

@@ -203,6 +203,12 @@ void CompiledNetlist::set_register_lanes(Net q, std::uint64_t lanes) {
     values_[q] = lanes;
 }
 
+void CompiledNetlist::xor_register_lanes(Net q, std::uint64_t mask) {
+    if (q >= ops_.size() || ops_[q] != GateOp::kState)
+        throw std::invalid_argument("xor_register_lanes: not a register net");
+    values_[q] ^= mask;
+}
+
 void CompiledNetlist::eval() {
     std::uint64_t* const v = values_.data();
     const Instr* const code = code_.data();

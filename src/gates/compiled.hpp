@@ -61,6 +61,10 @@ public:
     /// Backdoor register state access (mirrors GateNetlist::set_register).
     void set_register(Net q, unsigned lane, bool v);
     void set_register_lanes(Net q, std::uint64_t lanes);
+    /// Invert a register bit in each lane selected by `mask` — the SEU
+    /// injection hook: one XOR plants an independent single-event upset per
+    /// lane of the same baseline simulation (src/fault/).
+    void xor_register_lanes(Net q, std::uint64_t mask);
 
     // --- simulation ---
     /// Combinational propagation of all 64 lanes in one pass.

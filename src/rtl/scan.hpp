@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "rtl/signal.hpp"
@@ -17,6 +19,14 @@ namespace gaip::rtl {
 class ScanChain {
 public:
     ScanChain() = default;
+
+    /// One flip-flop of the chain, addressed both ways: by snapshot position
+    /// (head-first, MSB-first within a register — the order snapshot()
+    /// returns) and by (register, LSB-relative bit index).
+    struct BitRef {
+        RegBase* reg = nullptr;
+        unsigned bit = 0;  ///< LSB-relative index into reg (0 = LSB)
+    };
 
     void add(RegBase& r) { regs_.push_back(&r); }
 
@@ -62,6 +72,54 @@ public:
                 bits.push_back(((r->bits() >> i) & 1u) != 0);
         }
         return bits;
+    }
+
+    /// Load a full chain state (the inverse of snapshot(): head first,
+    /// MSB-first per register). Sizes must match exactly.
+    void load(const std::vector<bool>& bits) {
+        if (bits.size() != length())
+            throw std::invalid_argument("ScanChain::load: bit count != chain length");
+        std::size_t pos = 0;
+        for (RegBase* r : regs_) {
+            std::uint64_t v = 0;
+            for (unsigned i = 0; i < r->width(); ++i) v = (v << 1) | (bits[pos++] ? 1u : 0u);
+            r->set_bits(v);
+        }
+    }
+
+    /// The stitched registers, head first (fault-site enumeration).
+    std::span<RegBase* const> registers() const noexcept { return regs_; }
+
+    /// Resolve a snapshot position to the flip-flop it addresses.
+    BitRef locate(unsigned snapshot_pos) const {
+        unsigned off = snapshot_pos;
+        for (RegBase* r : regs_) {
+            if (off < r->width()) return {r, r->width() - 1 - off};
+            off -= r->width();
+        }
+        throw std::out_of_range("ScanChain::locate: position beyond chain length");
+    }
+
+    /// Snapshot position of `bit` (LSB-relative) of the register named
+    /// `reg`; throws if no such flip-flop is stitched into the chain.
+    unsigned position_of(const std::string& reg, unsigned bit) const {
+        unsigned off = 0;
+        for (const RegBase* r : regs_) {
+            if (r->name() == reg) {
+                if (bit >= r->width())
+                    throw std::out_of_range("ScanChain::position_of: bit beyond register");
+                return off + (r->width() - 1 - bit);
+            }
+            off += r->width();
+        }
+        throw std::out_of_range("ScanChain::position_of: unknown register " + reg);
+    }
+
+    /// Invert one flip-flop in place (simulator backdoor; the scan-shift
+    /// read-modify-write sequence reaches the same state through the pins).
+    void flip(unsigned snapshot_pos) {
+        const BitRef b = locate(snapshot_pos);
+        b.reg->set_bits(b.reg->bits() ^ (std::uint64_t{1} << b.bit));
     }
 
 private:

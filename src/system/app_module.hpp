@@ -52,6 +52,14 @@ public:
                 if (p_.ga_done.read()) {
                     result_.load(p_.candidate.read());
                     state_.load(State::kDone);
+                } else if (restart_pending_) {
+                    // Supervisor watchdog path: GA_done never came (e.g. an
+                    // SEU corrupted the run) and the application re-issues
+                    // the start pulse — typically after selecting a PRESET
+                    // mode so the rerun cannot depend on corrupted state.
+                    restart_pending_ = false;
+                    hold_.load(kStartHoldCycles);
+                    state_.load(State::kStart);
                 }
                 break;
             case State::kDone:
@@ -70,6 +78,8 @@ public:
     std::uint16_t result() const noexcept { return result_.read(); }
 
     /// Software request (from the scenario driver) to run the GA again.
+    /// Honored from kDone (adaptive re-invocation) and from kWaitDone (the
+    /// supervisor's hung-run recovery: re-pulse start_GA without a reset).
     void request_restart() noexcept { restart_pending_ = true; }
 
 private:

@@ -1,0 +1,219 @@
+// Fuzz/property test of the two-way initialization handshake (Sec. III-B.6,
+// Table III): randomized malformed init sequences — dropped data_valid
+// before the ack, repeated words, out-of-range parameter indices, ga_load
+// yanked mid-transfer — must always leave the core in a recoverable state:
+//
+//   (1) bounded drain: once the testbench releases the pins the FSM must be
+//       back in kIdle within a fixed number of cycles (clean error, never a
+//       hang — this is the cycle-watchdog property);
+//   (2) full recovery: a subsequent CLEAN program + start must run to
+//       GA_done with a self-consistent result, regardless of the garbage
+//       the fuzz wrote into the parameter registers;
+//   (3) PRESET fallback: alternatively the supervisor can ignore the
+//       programmed state entirely — preset pins + start must reproduce the
+//       preset mode's exact behavioral-model result.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/behavioral.hpp"
+#include "core/ga_core.hpp"
+#include "fitness/fem.hpp"
+#include "fitness/fem_mux.hpp"
+#include "fitness/functions.hpp"
+#include "fitness/rom_builder.hpp"
+#include "mem/ga_memory.hpp"
+#include "prng/rng_module.hpp"
+#include "rtl/kernel.hpp"
+#include "system/wires.hpp"
+
+namespace gaip::core {
+namespace {
+
+using fitness::FitnessId;
+
+/// Deterministic fuzz source (never libc rand: results must reproduce).
+struct Lcg {
+    std::uint32_t s;
+    explicit Lcg(std::uint32_t seed) : s(seed) {}
+    std::uint32_t next() { return s = s * 1664525u + 1013904223u; }
+    std::uint32_t below(std::uint32_t n) { return (next() >> 8) % n; }
+    bool chance(unsigned pct) { return below(100) < pct; }
+};
+
+/// Core + RNG + memory + one FEM on a single clock, with the init/start/
+/// preset pins driven directly by the test (no Init/App modules, so
+/// external pokes are authoritative).
+struct FuzzRig {
+    rtl::Kernel kernel;
+    rtl::Clock& clk = kernel.add_clock("clk", 50'000'000);
+    system::CoreWireBundle w;
+    GaCore core{"ga_core", w.core_ports()};
+    prng::RngModule rng{w.rng_ports()};
+    mem::GaMemory memory{w.memory_ports()};
+    fitness::FemMux mux{w.mux_ports()};
+    fitness::RomFitnessModule fem;
+
+    FuzzRig()
+        : fem("fem_onemax", w.slot_fem_ports(0), fitness::fitness_rom(FitnessId::kOneMax)) {
+        mux.set_slot(0, fitness::FemMuxSlot{&w.slots[0].request, &w.slots[0].value,
+                                            &w.slots[0].valid});
+        kernel.bind(core, clk);
+        kernel.bind(rng, clk);
+        kernel.bind(memory, clk);
+        kernel.bind(fem, clk);
+        kernel.add_combinational(mux);
+        kernel.reset();
+        w.preset.drive(0);
+        w.fitfunc_select.drive(0);
+    }
+
+    void cycle(unsigned n = 1) { kernel.run_cycles(clk, n); }
+
+    /// One clean Table III write through the full two-way handshake.
+    void write_param(std::uint8_t idx, std::uint16_t val) {
+        w.ga_load.drive(true);
+        w.index.drive(idx);
+        w.value.drive(val);
+        w.data_valid.drive(true);
+        for (int i = 0; i < 20 && !w.data_ack.read(); ++i) cycle();
+        ASSERT_TRUE(w.data_ack.read()) << "ack never rose for index " << int(idx);
+        w.data_valid.drive(false);
+        for (int i = 0; i < 20 && w.data_ack.read(); ++i) cycle();
+        ASSERT_FALSE(w.data_ack.read()) << "ack never dropped for index " << int(idx);
+    }
+
+    void program_clean(const GaParameters& p) {
+        write_param(0, static_cast<std::uint16_t>(p.n_gens & 0xFFFF));
+        write_param(1, static_cast<std::uint16_t>(p.n_gens >> 16));
+        write_param(2, p.pop_size);
+        write_param(3, p.xover_threshold);
+        write_param(4, p.mut_threshold);
+        write_param(5, p.seed);
+        w.ga_load.drive(false);
+        cycle(2);
+    }
+
+    /// Pulse start_GA and run to GA_done under a watchdog; returns success.
+    bool run_to_done(std::uint64_t watchdog_cycles) {
+        w.start_ga.drive(true);
+        cycle(2);
+        w.start_ga.drive(false);
+        return kernel.run_until(
+            clk, [&] { return core.state() == GaCore::State::kDone; }, watchdog_cycles);
+    }
+};
+
+/// Throw randomized malformed traffic at the init pins. Never touches
+/// start_ga: spurious-start robustness is covered separately and a random
+/// start would make the (legal) run length unbounded via random n_gens.
+void fuzz_init_traffic(FuzzRig& rig, Lcg& rnd) {
+    const unsigned steps = 2 + rnd.below(40);
+    for (unsigned i = 0; i < steps; ++i) {
+        switch (rnd.below(6)) {
+            case 0:  // (possibly repeated) parameter word, any index 0..7
+                rig.w.ga_load.drive(true);
+                rig.w.index.drive(static_cast<std::uint8_t>(rnd.below(8)));
+                rig.w.value.drive(static_cast<std::uint16_t>(rnd.next()));
+                rig.w.data_valid.drive(true);
+                break;
+            case 1:  // drop data_valid early (maybe before the ack)
+                rig.w.data_valid.drive(false);
+                break;
+            case 2:  // yank ga_load mid-transfer
+                rig.w.ga_load.drive(false);
+                break;
+            case 3:  // repeat the same word back-to-back
+                rig.w.data_valid.drive(true);
+                break;
+            case 4:  // change the payload while data_valid is high
+                rig.w.value.drive(static_cast<std::uint16_t>(rnd.next()));
+                rig.w.index.drive(static_cast<std::uint8_t>(rnd.below(8)));
+                break;
+            case 5:  // idle a moment with whatever is on the pins
+                break;
+        }
+        rig.cycle(1 + rnd.below(4));
+    }
+    // Release the interface.
+    rig.w.data_valid.drive(false);
+    rig.w.ga_load.drive(false);
+}
+
+TEST(InitHandshakeFuzz, MalformedSequencesDrainToIdleWithinWatchdog) {
+    for (std::uint32_t trial = 0; trial < 64; ++trial) {
+        FuzzRig rig;
+        Lcg rnd(0xC0FFEE ^ (trial * 2654435761u));
+        fuzz_init_traffic(rig, rnd);
+        // Bounded drain: kInitAck waits only on data_valid (now low) and
+        // kInitWait only on ga_load (now low) — a handful of cycles.
+        bool idle = false;
+        for (int i = 0; i < 16 && !idle; ++i) {
+            idle = rig.core.state() == GaCore::State::kIdle;
+            rig.cycle();
+        }
+        EXPECT_TRUE(idle) << "trial " << trial << " hung in state "
+                          << int(static_cast<std::uint8_t>(rig.core.state()));
+        EXPECT_FALSE(rig.w.data_ack.read()) << "trial " << trial << ": ack stuck high";
+    }
+}
+
+TEST(InitHandshakeFuzz, CleanReprogramAfterFuzzRunsToDone) {
+    const GaParameters clean{.pop_size = 8, .n_gens = 2, .xover_threshold = 12,
+                             .mut_threshold = 1, .seed = 0x2961};
+    for (std::uint32_t trial = 0; trial < 12; ++trial) {
+        FuzzRig rig;
+        Lcg rnd(0xFEED ^ (trial * 2654435761u));
+        fuzz_init_traffic(rig, rnd);
+        rig.cycle(8);
+        ASSERT_EQ(rig.core.state(), GaCore::State::kIdle) << "trial " << trial;
+
+        // Whatever garbage the fuzz left in the parameter registers, a
+        // clean program must fully overwrite it and run to completion.
+        rig.program_clean(clean);
+        const GaParameters readback = rig.core.programmed_parameters();
+        EXPECT_EQ(readback.pop_size, clean.pop_size) << "trial " << trial;
+        EXPECT_EQ(readback.n_gens, clean.n_gens);
+        // Index 5 is captured by the RNG module, not the core.
+        EXPECT_EQ(rig.rng.seed_register(), clean.seed);
+
+        ASSERT_TRUE(rig.run_to_done(200'000)) << "trial " << trial << ": watchdog tripped";
+        // Self-consistent result: the reported best fitness is the FEM's
+        // value for the reported best candidate.
+        EXPECT_EQ(rig.core.best_fitness(),
+                  fitness::fitness_u16(FitnessId::kOneMax, rig.core.best_candidate()))
+            << "trial " << trial;
+    }
+}
+
+TEST(InitHandshakeFuzz, PresetFallbackAfterFuzzMatchesBehavioralModel) {
+    // The supervisor's last-resort recovery: ignore the (possibly garbage)
+    // programmed parameters entirely — preset pins + start. Preset modes
+    // resolve every parameter AND the seed from constants, so the result
+    // is the behavioral model's, bit for bit. Mode 1 is the lightest
+    // (pop 32 x 512 generations); modes 2/3 run minutes in -O0 builds.
+    const std::uint8_t mode = 1;
+    GaParameters pp = preset_parameters(mode);
+    pp.seed = prng::RngModule::effective_seed(mode, 0);
+    const RunResult expect = run_behavioral_ga(
+        pp, [](std::uint16_t x) { return fitness::fitness_u16(FitnessId::kOneMax, x); },
+        prng::RngKind::kCellularAutomaton, /*keep_populations=*/false);
+
+    FuzzRig rig;
+    Lcg rnd(0xDEADBEEF);
+    fuzz_init_traffic(rig, rnd);
+    rig.cycle(8);
+    ASSERT_EQ(rig.core.state(), GaCore::State::kIdle);
+
+    rig.w.preset.drive(mode);
+    const std::uint64_t evals =
+        static_cast<std::uint64_t>(pp.pop_size) * (static_cast<std::uint64_t>(pp.n_gens) + 1);
+    ASSERT_TRUE(rig.run_to_done(evals * (64 + 8ull * pp.pop_size) + 100'000))
+        << "preset fallback watchdog tripped";
+    EXPECT_EQ(rig.core.best_fitness(), expect.best_fitness);
+    EXPECT_EQ(rig.core.best_candidate(), expect.best_candidate);
+}
+
+}  // namespace
+}  // namespace gaip::core

@@ -1,0 +1,126 @@
+// FaultCampaign tests: fault-space enumeration, the batched 64-lane gate
+// backend (with its built-in golden-lane determinism check), and agreement
+// between the gate lane-mask backend and both RT-level backends on a
+// strided sample of the real fault space.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ga_core.hpp"
+#include "fault/campaign.hpp"
+
+namespace gaip::fault {
+namespace {
+
+CampaignConfig small_config() {
+    CampaignConfig cfg;
+    cfg.params = {.pop_size = 8, .n_gens = 4, .xover_threshold = 12, .mut_threshold = 1,
+                  .seed = 0x2961};
+    cfg.cycle_points = 5;
+    return cfg;
+}
+
+TEST(FaultCampaign, EnumerationCoversChainTimesGrid) {
+    CampaignConfig cfg = small_config();
+    FaultCampaign campaign(cfg);
+    const std::vector<FaultSite> sites = campaign.enumerate_sites();
+    EXPECT_EQ(sites.size(), 405u * cfg.cycle_points);
+
+    std::set<std::pair<std::string, unsigned>> seen;
+    for (const FaultSite& s : sites) {
+        seen.insert({s.reg, s.bit});
+        EXPECT_LT(s.cycle, campaign.golden().ga_cycles);
+    }
+    EXPECT_EQ(seen.size(), 405u) << "every flip-flop must appear";
+}
+
+TEST(FaultCampaign, StrideAndCapSubsample) {
+    CampaignConfig cfg = small_config();
+    cfg.stride = 7;
+    FaultCampaign strided(cfg);
+    const auto sites = strided.enumerate_sites();
+    EXPECT_EQ(sites.size(), (405u * cfg.cycle_points + 6) / 7);
+
+    cfg.max_sites = 11;
+    FaultCampaign capped(cfg);
+    EXPECT_EQ(capped.enumerate_sites().size(), 11u);
+}
+
+TEST(FaultCampaign, RejectsBadConfig) {
+    CampaignConfig cfg = small_config();
+    cfg.cycle_points = 0;
+    EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.cycle_span = 1.0;
+    EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.stride = 0;
+    EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
+}
+
+TEST(FaultCampaign, GateBackendAgreesWithBothRtlBackends) {
+    // A strided slice of the real fault space through the gate backend,
+    // then every record replayed on the RT-level scan and poke backends.
+    // The batch's internal golden-lane check already guarantees lane 0
+    // reproduced the RT-level golden run bit- and cycle-exactly.
+    CampaignConfig cfg = small_config();
+    cfg.stride = 97;  // ~21 sites across all registers / grid points
+    FaultCampaign campaign(cfg);
+    const std::vector<FaultSite> sites = campaign.enumerate_sites();
+    ASSERT_GE(sites.size(), 15u);
+
+    const CampaignResult res = campaign.run_gate(sites);
+    ASSERT_EQ(res.records.size(), sites.size());
+    EXPECT_EQ(res.masked + res.wrong + res.hang + res.recovered, res.records.size());
+    EXPECT_GT(res.batches, 0u);
+    EXPECT_GT(res.gate_cycles, 0u);
+
+    for (const FaultRecord& gate : res.records) {
+        const FaultRecord scan = campaign.run_rtl(gate.site, InjectBackend::kScan);
+        const FaultRecord poke = campaign.run_rtl(gate.site, InjectBackend::kPoke);
+        const std::string where =
+            gate.site.reg + "[" + std::to_string(gate.site.bit) + "]@" +
+            std::to_string(gate.site.cycle);
+        EXPECT_EQ(gate.outcome, scan.outcome) << where;
+        EXPECT_EQ(gate.outcome, poke.outcome) << where;
+        EXPECT_EQ(gate.inject_cycle, poke.inject_cycle) << where;
+        EXPECT_EQ(gate.best_fitness, poke.best_fitness) << where;
+        EXPECT_EQ(gate.best_candidate, poke.best_candidate) << where;
+        EXPECT_EQ(gate.ga_cycles, poke.ga_cycles) << where;
+    }
+}
+
+TEST(FaultCampaign, MaskedFaultsExistAndMatchGolden) {
+    // Low-order bits of dead registers late in the run are reliably masked:
+    // the record must then carry the golden result exactly.
+    CampaignConfig cfg = small_config();
+    FaultCampaign campaign(cfg);
+    const FaultSite site{"scan_reads", 8, 0};
+    const CampaignResult res = campaign.run_gate({site});
+    ASSERT_EQ(res.records.size(), 1u);
+    const FaultRecord& rec = res.records[0];
+    if (rec.outcome == FaultOutcome::kMasked) {
+        EXPECT_EQ(rec.best_fitness, campaign.golden().best_fitness);
+        EXPECT_EQ(rec.best_candidate, campaign.golden().best_candidate);
+    }
+}
+
+TEST(FaultCampaign, ProgressCallbackReportsMonotonically) {
+    CampaignConfig cfg = small_config();
+    cfg.max_sites = 70;  // forces two batches (63 + 7)
+    FaultCampaign campaign(cfg);
+    const auto sites = campaign.enumerate_sites();
+    ASSERT_EQ(sites.size(), 70u);
+
+    std::vector<std::size_t> done;
+    campaign.run_gate(sites, [&](std::size_t d, std::size_t total) {
+        EXPECT_EQ(total, 70u);
+        done.push_back(d);
+    });
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0], 63u);
+    EXPECT_EQ(done[1], 70u);
+}
+
+}  // namespace
+}  // namespace gaip::fault

@@ -128,6 +128,54 @@ TEST(RngModule, EffectiveSeedResolution) {
     EXPECT_EQ(RngModule::effective_seed(3, 0x1234), kPresetSeeds[2]);
 }
 
+// The canonical output streams: first word on the rn bus after start is the
+// resolved seed itself, each rn_next pulse then appends one CA step. These
+// are the documented sequences for the three built-in preset modes — any
+// change to the CA rule mask, the hybrid 90/150 layout, or the seed
+// resolution rewrites them and must be deliberate.
+TEST(RngModule, PresetSeedsProduceDocumentedSequences) {
+    struct Doc {
+        std::uint8_t mode;
+        std::uint16_t words[8];
+    };
+    const Doc docs[] = {
+        {1, {0x2961, 0x4652, 0xAF9D, 0x08E8, 0x158C, 0x21D2, 0x535D, 0x8F08}},
+        {2, {0x061F, 0x0F2D, 0x19E0, 0x3F10, 0x61B8, 0xF394, 0x9EF6, 0x72A3}},
+        {3, {0xB342, 0x3F25, 0x61FC, 0xF33A, 0x9FD1, 0x705A, 0xD881, 0xDD42}},
+    };
+    for (const Doc& d : docs) {
+        RngBench b;
+        b.load_seed(0x5555);  // preset modes must override the user seed
+        b.preset.drive(d.mode);
+        b.pulse_start();
+        EXPECT_EQ(b.rn.read(), d.words[0]) << "mode " << int(d.mode) << " word 0";
+        for (int i = 1; i < 8; ++i) {
+            b.rn_next.drive(true);
+            b.cycle();
+            b.rn_next.drive(false);
+            EXPECT_EQ(b.rn.read(), d.words[i]) << "mode " << int(d.mode) << " word " << i;
+            b.cycle();
+        }
+    }
+}
+
+TEST(RngModule, ProgrammableSeedPathProducesDocumentedSequence) {
+    const std::uint16_t doc[8] = {0x1234, 0x2D46, 0x4C2B, 0xBE6B,
+                                  0x23CB, 0x567B, 0x87F3, 0x4C2F};
+    RngBench b;
+    b.load_seed(0x1234);
+    b.preset.drive(0);
+    b.pulse_start();
+    EXPECT_EQ(b.rn.read(), doc[0]);
+    for (int i = 1; i < 8; ++i) {
+        b.rn_next.drive(true);
+        b.cycle();
+        b.rn_next.drive(false);
+        EXPECT_EQ(b.rn.read(), doc[i]) << "word " << i;
+        b.cycle();
+    }
+}
+
 TEST(RngModule, StateRegistersAreScannable) {
     RngBench b;
     unsigned bits = 0;

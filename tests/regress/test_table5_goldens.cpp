@@ -1,0 +1,70 @@
+// Golden-value regression suite for the Table V reproduction: the ten
+// RT-level parameter settings (BF6 / F2 / F3, paper seeds, 32 generations)
+// must keep producing the exact headline numbers — best fitness found and
+// the settling ("convergence") generation — recorded from the verified
+// build. Any change to the RNG, operators, FSM sequencing, or the monitor
+// statistics that shifts GA semantics trips a row immediately.
+//
+// Regenerate deliberately (after an intentional semantic change) with:
+//   ./build/bench/bench_table5_rtl_simulations   (bench_out/table5.csv)
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "bench/common.hpp"
+#include "fitness/functions.hpp"
+#include "util/stats.hpp"
+
+namespace gaip {
+namespace {
+
+using fitness::FitnessId;
+
+struct Table5Golden {
+    int run;
+    FitnessId fn;
+    std::uint16_t seed;
+    std::uint8_t pop;
+    std::uint8_t xr;
+    std::uint16_t expect_best;
+    std::size_t expect_conv;
+};
+
+// Values from bench_out/table5.csv of the verified build (RTL == gates ==
+// behavioral). The paper's own numbers differ row-by-row (different CA
+// taps); these pin OUR reproduction so regressions are detectable.
+const Table5Golden kGoldens[] = {
+    {1, FitnessId::kBf6, 45890, 32, 10, 4216, 29},
+    {2, FitnessId::kBf6, 45890, 64, 10, 4238, 29},
+    {3, FitnessId::kBf6, 10593, 32, 10, 4114, 30},
+    {4, FitnessId::kBf6, 1567, 32, 10, 4273, 27},
+    {5, FitnessId::kBf6, 1567, 32, 12, 4273, 32},
+    {6, FitnessId::kF2, 45890, 32, 10, 3044, 22},
+    {7, FitnessId::kF2, 45890, 64, 10, 3060, 16},
+    {8, FitnessId::kF2, 10593, 64, 10, 3060, 22},
+    {9, FitnessId::kF2, 10593, 32, 12, 3044, 19},
+    {10, FitnessId::kF3, 1567, 32, 10, 2920, 12},
+};
+
+class Table5Golds : public ::testing::TestWithParam<Table5Golden> {};
+
+TEST_P(Table5Golds, BestFitnessAndConvergenceGeneration) {
+    const Table5Golden& g = GetParam();
+    const core::GaParameters p{.pop_size = g.pop, .n_gens = 32, .xover_threshold = g.xr,
+                               .mut_threshold = 1, .seed = g.seed};
+    const core::RunResult r = bench::run_hw(g.fn, p);
+
+    EXPECT_EQ(r.best_fitness, g.expect_best)
+        << "run " << g.run << " (" << fitness::fitness_name(g.fn) << ", seed " << g.seed << ")";
+
+    std::vector<double> mean;
+    for (const auto& s : r.history) mean.push_back(s.mean_fitness());
+    const std::size_t conv =
+        util::settling_generation(std::span<const double>(mean.data(), mean.size()));
+    EXPECT_EQ(conv, g.expect_conv) << "run " << g.run << " settling generation moved";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRows, Table5Golds, ::testing::ValuesIn(kGoldens));
+
+}  // namespace
+}  // namespace gaip

@@ -86,5 +86,102 @@ TEST(ScanChain, EmptyChainIsBenign) {
     EXPECT_TRUE(chain.shift(true));  // scanin falls straight through
 }
 
+TEST(ScanChain, LoadIsInverseOfSnapshot) {
+    Reg<std::uint16_t> a("a", 0x1234);
+    Reg<std::uint8_t> b("b", 0x0B, 4);
+    Reg<bool> c("c", true, 1);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+    chain.add(c);
+
+    const std::vector<bool> saved = chain.snapshot();
+    a.set_bits(0xFFFF);
+    b.set_bits(0x0);
+    c.set_bits(0);
+    chain.load(saved);
+    EXPECT_EQ(a.read(), 0x1234u);
+    EXPECT_EQ(b.read(), 0x0Bu);
+    EXPECT_TRUE(c.read());
+    EXPECT_EQ(chain.snapshot(), saved);
+
+    EXPECT_THROW(chain.load(std::vector<bool>(chain.length() + 1)), std::invalid_argument);
+}
+
+TEST(ScanChain, ShiftRoundTripsArbitrarySnapshot) {
+    // Load an arbitrary N-bit pattern through scanin (N shifts), then shift
+    // N more times observing the tail: the drained bits must equal the
+    // loaded pattern and the chain must pass snapshot() through unchanged.
+    Reg<std::uint16_t> a("a", 0);
+    Reg<std::uint8_t> b("b", 0, 5);
+    Reg<std::uint8_t> c("c", 0, 3);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+    chain.add(c);
+    const unsigned n = chain.length();
+    ASSERT_EQ(n, 24u);
+
+    std::vector<bool> pattern(n);
+    std::uint32_t lcg = 0xC0FFEE;
+    for (unsigned i = 0; i < n; ++i) {
+        lcg = lcg * 1664525u + 1013904223u;
+        pattern[i] = (lcg >> 16) & 1u;
+    }
+
+    // snapshot() is head-first; the bit entering scanin first ends up at
+    // the tail, so feed the pattern back-to-front.
+    for (unsigned i = 0; i < n; ++i) chain.shift(pattern[n - 1 - i]);
+    EXPECT_EQ(chain.snapshot(), pattern);
+
+    std::vector<bool> drained(n);
+    for (unsigned i = 0; i < n; ++i) drained[n - 1 - i] = chain.shift(false);
+    EXPECT_EQ(drained, pattern);
+}
+
+TEST(ScanChain, LocateAndPositionOfAreInverse) {
+    Reg<std::uint16_t> a("a", 0);
+    Reg<std::uint8_t> b("b", 0, 4);
+    Reg<bool> c("c", false, 1);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+    chain.add(c);
+
+    for (unsigned pos = 0; pos < chain.length(); ++pos) {
+        const ScanChain::BitRef ref = chain.locate(pos);
+        ASSERT_NE(ref.reg, nullptr);
+        EXPECT_LT(ref.bit, ref.reg->width());
+        EXPECT_EQ(chain.position_of(ref.reg->name(), ref.bit), pos);
+    }
+    // Spot-check the convention: position 0 is the head register's MSB.
+    EXPECT_EQ(chain.locate(0).reg, &a);
+    EXPECT_EQ(chain.locate(0).bit, 15u);
+    EXPECT_EQ(chain.position_of("c", 0), 20u);
+
+    EXPECT_THROW(chain.locate(chain.length()), std::out_of_range);
+    EXPECT_THROW(chain.position_of("a", 16), std::out_of_range);
+    EXPECT_THROW(chain.position_of("nope", 0), std::out_of_range);
+}
+
+TEST(ScanChain, FlipInvertsExactlyOneBit) {
+    Reg<std::uint16_t> a("a", 0xBEEF);
+    Reg<std::uint8_t> b("b", 0x5, 4);
+    ScanChain chain;
+    chain.add(a);
+    chain.add(b);
+
+    const unsigned pos = chain.position_of("a", 3);
+    std::vector<bool> expect = chain.snapshot();
+    expect[pos] = !expect[pos];
+    chain.flip(pos);
+    EXPECT_EQ(chain.snapshot(), expect);
+    EXPECT_EQ(a.read(), 0xBEEFu ^ (1u << 3));
+    EXPECT_EQ(b.read(), 0x5u);
+
+    chain.flip(pos);
+    EXPECT_EQ(a.read(), 0xBEEFu);
+}
+
 }  // namespace
 }  // namespace gaip::rtl

@@ -157,6 +157,37 @@ TEST(GaSystem, GaCyclesAccountingIsSane) {
     EXPECT_DOUBLE_EQ(sys.ga_seconds(), sys.ga_cycles() / 50e6);
 }
 
+TEST(GaSystem, PopSize256ClampsTo128AndIsNotTruncatedToZero) {
+    // Regression for the pop-size truncation bug fixed in PR 1: Table IV
+    // says the user field is "< 256", and a raw 256 programmed over the
+    // 16-bit init bus used to truncate to 0 in the core's uint8_t
+    // pop_size register (and in the monitor's uint8_t tap), silently
+    // collapsing the population. The clamp must act on the full bus value
+    // BEFORE narrowing: 256 -> 128 (the double-banked memory's capacity).
+    GaSystemConfig cfg;
+    cfg.params = {.pop_size = 16, .n_gens = 2, .xover_threshold = 12, .mut_threshold = 1,
+                  .seed = 0x2961};
+    GaSystem sys(cfg);
+    sys.init_module().set_program({{0, 2}, {1, 0}, {2, 256}, {3, 12}, {4, 1}, {5, 0x2961}});
+    const RunResult r = sys.run();
+
+    EXPECT_EQ(sys.core().programmed_parameters().pop_size, 128);
+    EXPECT_EQ(sys.wires().mon_pop_size.read(), 128) << "monitor tap must see the clamped value";
+    ASSERT_FALSE(r.history.empty());
+    for (const auto& gen : r.history)
+        EXPECT_EQ(gen.population.size(), 128u) << "generation " << gen.gen;
+
+    // Semantics check: the clamped run is exactly the pop=128 run.
+    const GaParameters p128{.pop_size = 128, .n_gens = 2, .xover_threshold = 12,
+                            .mut_threshold = 1, .seed = 0x2961};
+    const RunResult expect = core::run_behavioral_ga(
+        p128,
+        [](std::uint16_t x) { return fitness::fitness_u16(FitnessId::kMBf6_2, x); },
+        prng::RngKind::kCellularAutomaton, /*keep_populations=*/false);
+    EXPECT_EQ(r.best_fitness, expect.best_fitness);
+    EXPECT_EQ(r.best_candidate, expect.best_candidate);
+}
+
 TEST(GaSystem, TooManyInternalFemsRejected) {
     GaSystemConfig cfg;
     cfg.internal_fems.assign(9, FitnessId::kOneMax);
