@@ -11,6 +11,7 @@
 
 #include "bench/common.hpp"
 #include "fitness/functions.hpp"
+#include "trace/event.hpp"
 
 namespace {
 
@@ -42,10 +43,27 @@ int main() {
     for (const Fig& fig : kFigs) {
         const GaParameters p{.pop_size = 64, .n_gens = 64, .xover_threshold = fig.xr,
                              .mut_threshold = 1, .seed = fig.seed};
-        const core::RunResult r = bench::run_hw(fig.fn, p);
+
+        // The series comes from the run-telemetry layer (one `generation`
+        // event per monitor pulse), not from a bespoke history tap; the full
+        // event stream lands next to the CSV as <fig>.jsonl.
+        trace::MemorySink telemetry;
+        system::GaSystemConfig cfg;
+        cfg.params = p;
+        cfg.internal_fems = {fig.fn};
+        cfg.trace_sink = &telemetry;
+        cfg.trace_path = bench::out_path(std::string(fig.name) + ".jsonl");
+        const core::RunResult r = system::run_ga_system(cfg);
 
         std::vector<double> best, avg;
-        bench::history_series(r.history, best, avg);
+        for (const trace::TraceEvent& e : telemetry.events()) {
+            if (e.kind != trace::kind::kGeneration) continue;
+            best.push_back(static_cast<double>(e.u64("best_fit")));
+            const std::uint64_t pop = e.u64("pop");
+            avg.push_back(pop == 0 ? static_cast<double>(e.u64("fit_sum"))
+                                   : static_cast<double>(e.u64("fit_sum")) /
+                                         static_cast<double>(pop));
+        }
 
         std::ofstream f(bench::out_path(std::string(fig.name) + ".csv"));
         f << "generation,best_fitness,avg_fitness\n";

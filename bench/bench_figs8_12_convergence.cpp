@@ -11,6 +11,7 @@
 
 #include "bench/common.hpp"
 #include "fitness/functions.hpp"
+#include "trace/event.hpp"
 
 namespace {
 
@@ -42,7 +43,15 @@ int main() {
     for (const Fig& fig : kFigs) {
         const GaParameters p{.pop_size = 32, .n_gens = 32, .xover_threshold = fig.xr,
                              .mut_threshold = 1, .seed = fig.seed};
-        const core::RunResult r = bench::run_hw(fig.fn, p);
+
+        // Populations (for the scatter) still come from the monitor history;
+        // the best/avg chart series comes from the run-telemetry layer.
+        trace::MemorySink telemetry;
+        system::GaSystemConfig cfg;
+        cfg.params = p;
+        cfg.internal_fems = {fig.fn};
+        cfg.trace_sink = &telemetry;
+        const core::RunResult r = system::run_ga_system(cfg);
 
         // Scatter CSV: one row per distinct (generation, fitness) point —
         // the paper also deduplicates members with equal fitness.
@@ -55,7 +64,14 @@ int main() {
         }
 
         std::vector<double> best, avg;
-        bench::history_series(r.history, best, avg);
+        for (const trace::TraceEvent& e : telemetry.events()) {
+            if (e.kind != trace::kind::kGeneration) continue;
+            best.push_back(static_cast<double>(e.u64("best_fit")));
+            const std::uint64_t pop = e.u64("pop");
+            avg.push_back(pop == 0 ? static_cast<double>(e.u64("fit_sum"))
+                                   : static_cast<double>(e.u64("fit_sum")) /
+                                         static_cast<double>(pop));
+        }
         std::printf("%s: %s seed=%u XR=%u  best=%u (optimum %u)\n", fig.name,
                     fitness::fitness_name(fig.fn).c_str(), fig.seed, fig.xr, r.best_fitness,
                     fitness::grid_optimum(fig.fn).best_value);

@@ -37,6 +37,8 @@
 #include "gates/ga_core_gates.hpp"
 #include "gates/rng_gates.hpp"
 #include "mem/ga_memory.hpp"
+#include "trace/event.hpp"
+#include "trace/vcd.hpp"
 
 namespace gaip::bench {
 
@@ -83,6 +85,51 @@ public:
     std::uint64_t cycles() const noexcept { return cycle_; }
     const gates::CompiledNetlist& core_sim() const noexcept { return core_; }
 
+    /// Attach a telemetry sink to one lane (borrowed; nullptr detaches).
+    /// The lane then emits the same protocol/generation event stream the
+    /// RT-level SystemTap produces (minus the RT-only op counters), with
+    /// `cycle` counted from the runner's reset and `t` = cycle x 20 ns.
+    void set_lane_sink(unsigned lane, trace::TraceSink* sink) {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        lane_sinks_[lane] = sink;
+        tracing_ = false;
+        for (const trace::TraceSink* s : lane_sinks_) tracing_ |= (s != nullptr);
+    }
+
+    /// Register per-lane waveform probes of the compiled core on `vcd`
+    /// (borrowed; must outlive run()). One scope per requested lane
+    /// ("gates.lane<k>"), sampled once per GA cycle with the 50 MHz period
+    /// (20'000 ps) as the tick — a per-lane slice of the 64-lane simulation
+    /// in GTKWave. One run() per writer (VCD time is monotonic).
+    void add_vcd(trace::VcdWriter* vcd, const std::vector<unsigned>& lanes_to_trace) {
+        for (const unsigned lane : lanes_to_trace) {
+            if (lane >= lanes_.size())
+                throw std::invalid_argument("BatchGateRunner: lane out of range");
+            const std::string scope = "gates.lane" + std::to_string(lane);
+            auto word = [this, lane](const gates::Word& w) {
+                const gates::Word* pw = &w;  // stable: lives in *core_src_
+                return [this, lane, pw] { return core_.word_value(*pw, lane); };
+            };
+            auto bit = [this, lane](gates::Net n) {
+                return [this, lane, n] {
+                    return (core_.lanes(n) >> lane) & 1u;
+                };
+            };
+            vcd->add_probe(scope, "state", 6, word(core_src_->state));
+            vcd->add_probe(scope, "gen_id", 32, word(core_src_->gen_id));
+            vcd->add_probe(scope, "best_fit", 16, word(core_src_->best_fit));
+            vcd->add_probe(scope, "best_ind", 16, word(core_src_->best_ind));
+            vcd->add_probe(scope, "candidate", 16, word(core_src_->candidate));
+            vcd->add_probe(scope, "bank", 1, bit(core_src_->bank));
+            vcd->add_probe(scope, "data_ack", 1, bit(core_src_->data_ack));
+            vcd->add_probe(scope, "fitness_request", 1, bit(core_src_->fit_request));
+            vcd->add_probe(scope, "GA_done", 1, bit(core_src_->ga_done));
+            vcd->add_probe(scope, "mon_gen_pulse", 1, bit(core_src_->mon_gen_pulse));
+        }
+        vcd_ = vcd;
+    }
+
     /// Reset everything and run until every lane reaches GA_done (or the
     /// cycle bound trips). Returns one result per configured lane.
     std::vector<BatchLaneResult> run(std::uint64_t max_cycles = 0) {
@@ -115,6 +162,12 @@ private:
         // per-lane GA memory (256 x 32, synchronous read, write-first)
         std::array<std::uint32_t, mem::kGaMemoryDepth> mem{};
         std::uint32_t mem_dout = 0;
+        // telemetry edge detectors (touched only when a sink is attached)
+        bool prev_ack = false;
+        bool prev_pulse = false;
+        bool prev_bank = false;
+        bool init_done_traced = false;
+        bool start_traced = false;
         BatchLaneResult result;
     };
 
@@ -229,6 +282,11 @@ private:
         const std::uint64_t ga_done_w = core_.lanes(core_src_->ga_done);
         const std::uint64_t mem_wr_w = core_.lanes(core_src_->mem_wr);
         const std::uint64_t rn_next_w = core_.lanes(core_src_->rn_next);
+        // Pre-edge monitor samples: the same observation point the RT-level
+        // SystemTap uses, so traced event streams line up across substrates.
+        const std::uint64_t mon_pulse_w =
+            tracing_ ? core_.lanes(core_src_->mon_gen_pulse) : 0;
+        const std::uint64_t mon_bank_w = tracing_ ? core_.lanes(core_src_->mon_bank) : 0;
 
         // ---- drive the RNG module (shares the init bus + start pulse) -----
         rng_.set_input_lanes(rng_src_->ga_load, ga_load_w);
@@ -251,6 +309,16 @@ private:
         for (std::size_t k = 0; k < n; ++k) {
             Lane& l = lanes_[k];
             const std::uint64_t bit = std::uint64_t{1} << k;
+            trace::TraceSink* sink = tracing_ ? lane_sinks_[k] : nullptr;
+            const unsigned lk = static_cast<unsigned>(k);
+
+            if (sink != nullptr && (data_ack_w & bit) && !l.prev_ack) {
+                const auto& [idx, val] = l.program[l.init_item];
+                sink->on_event(lane_event(trace::kind::kInitWrite)
+                                   .add("index", static_cast<std::uint64_t>(idx))
+                                   .add("value", static_cast<std::uint64_t>(val)));
+            }
+            l.prev_ack = (data_ack_w & bit) != 0;
 
             // GA memory (write-first synchronous RAM).
             const std::uint8_t addr = static_cast<std::uint8_t>(
@@ -273,6 +341,17 @@ private:
                 l.fem_value = fitness::fitness_u16(fn_, cand);
                 l.fem_valid = true;
                 ++l.result.evaluations;
+                if (sink != nullptr) {
+                    // The software FEM answers in the same cycle, so the
+                    // request/value pair collapses here; the stream order
+                    // (request then value, one pair per evaluation) matches
+                    // the RT-level tap.
+                    sink->on_event(lane_event(trace::kind::kFemRequest)
+                                       .add("candidate", static_cast<std::uint64_t>(cand)));
+                    sink->on_event(lane_event(trace::kind::kFemValue)
+                                       .add("candidate", static_cast<std::uint64_t>(cand))
+                                       .add("value", static_cast<std::uint64_t>(l.fem_value)));
+                }
             }
 
             // Init handshake FSM.
@@ -294,6 +373,32 @@ private:
                 }
                 --l.start_hold;
             }
+            if (sink != nullptr) {
+                if (l.init_done && !l.init_done_traced) {
+                    l.init_done_traced = true;
+                    sink->on_event(lane_event(trace::kind::kInitDone));
+                }
+                if (l.started && !l.start_traced) {
+                    l.start_traced = true;
+                    sink->on_event(lane_event(trace::kind::kStart));
+                }
+                if ((mon_pulse_w & bit) && !l.prev_pulse) {
+                    sink->on_event(
+                        lane_event(trace::kind::kGeneration)
+                            .add("gen", core_.word_value(core_src_->mon_gen_id, lk))
+                            .add("best_fit", core_.word_value(core_src_->mon_best_fit, lk))
+                            .add("best_ind", core_.word_value(core_src_->mon_best_ind, lk))
+                            .add("fit_sum", core_.word_value(core_src_->mon_fit_sum, lk))
+                            .add("pop", core_.word_value(core_src_->mon_pop_size, lk))
+                            .add("bank", (mon_bank_w >> lk) & 1u));
+                }
+                if (((mon_bank_w >> lk) & 1u) != (l.prev_bank ? 1u : 0u)) {
+                    sink->on_event(lane_event(trace::kind::kBankSwap)
+                                       .add("bank", (mon_bank_w >> lk) & 1u));
+                }
+            }
+            l.prev_pulse = (mon_pulse_w & bit) != 0;
+            l.prev_bank = (mon_bank_w & bit) != 0;
 
             // Completion: first GA_done after the start pulse.
             if (!l.result.finished) {
@@ -307,12 +412,28 @@ private:
                     l.result.generations = static_cast<std::uint32_t>(
                         core_.word_value(core_src_->gen_id, lane));
                     l.result.ga_cycles = cycle_ - l.start_cycle;
+                    if (sink != nullptr) {
+                        sink->on_event(
+                            lane_event(trace::kind::kDone)
+                                .add("best_fit",
+                                     static_cast<std::uint64_t>(l.result.best_fitness))
+                                .add("best_ind",
+                                     static_cast<std::uint64_t>(l.result.best_candidate))
+                                .add("gen",
+                                     static_cast<std::uint64_t>(l.result.generations)));
+                    }
                 } else {
                     ++unfinished;
                 }
             }
         }
+        if (vcd_ != nullptr) vcd_->sample(cycle_ * 20'000);
         return unfinished;
+    }
+
+    /// Event envelope for lane telemetry: 50 MHz GA clock -> 20 ns/cycle.
+    trace::TraceEvent lane_event(const char* kind) const {
+        return trace::TraceEvent(kind, cycle_ * 20'000, cycle_);
     }
 
     fitness::FitnessId fn_;
@@ -323,6 +444,9 @@ private:
     gates::CompiledNetlist rng_;
     std::vector<Lane> lanes_;
     std::uint64_t cycle_ = 0;
+    std::array<trace::TraceSink*, kLanes> lane_sinks_{};
+    bool tracing_ = false;
+    trace::VcdWriter* vcd_ = nullptr;
 };
 
 }  // namespace gaip::bench

@@ -77,7 +77,7 @@ int main() {
         }
     }
 
-    std::printf("\nVCD waveform : ga_module.vcd (open with GTKWave; scopes ga_core,"
-                " rng_module, ga_memory)\n");
+    std::printf("\nVCD waveform : ga_module.vcd (open with GTKWave; scopes"
+                " ga_system.ga_core, .rng_module, .ga_memory, .ports)\n");
     return 0;
 }

@@ -24,6 +24,8 @@ GaCore::GaCore(std::string name, GaCorePorts ports, GaCoreConfig cfg)
     sense(p_.test, p_.mem_data_in);
 }
 
+void GaCore::reset_state() { rng_draws_ = crossovers_ = mutations_ = 0; }
+
 GaParameters GaCore::programmed_parameters() const {
     GaParameters p;
     p.pop_size = pop_size_.read();
@@ -222,6 +224,7 @@ void GaCore::tick_optimizer() {
 
     switch (state_.read()) {
         case State::kStart: {
+            rng_draws_ = crossovers_ = mutations_ = 0;
             const GaParameters eff =
                 resolve_parameters(p_.preset.read(), programmed_parameters());
             eff_pop_.load(eff.pop_size);
@@ -239,6 +242,7 @@ void GaCore::tick_optimizer() {
         }
 
         case State::kIpRn:
+            ++rng_draws_;
             state_.load(State::kIpGen);
             break;
 
@@ -290,6 +294,7 @@ void GaCore::tick_optimizer() {
             break;
 
         case State::kSelRn:
+            ++rng_draws_;
             state_.load(State::kSelThresh);
             break;
 
@@ -331,6 +336,7 @@ void GaCore::tick_optimizer() {
         }
 
         case State::kXoRn:
+            ++rng_draws_;
             state_.load(State::kXoDecide);
             break;
 
@@ -342,6 +348,7 @@ void GaCore::tick_optimizer() {
 
         case State::kXoApply: {
             if (xo_do_.read()) {
+                ++crossovers_;
                 const std::uint16_t mask = util::crossover_mask(xo_cut_.read());
                 const std::uint16_t p1 = parent1_.read();
                 const std::uint16_t p2 = parent2_.read();
@@ -356,12 +363,16 @@ void GaCore::tick_optimizer() {
         }
 
         case State::kMu1Rn:
+            ++rng_draws_;
             state_.load(State::kMu1Apply);
             break;
 
         case State::kMu1Apply: {
             std::uint16_t o = off1_.read();
-            if ((rn & 0xF) < eff_mt_.read()) o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            if ((rn & 0xF) < eff_mt_.read()) {
+                ++mutations_;
+                o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            }
             off1_.load(o);
             eval_cand_.load(o);
             ret_state_.load(State::kStore1);
@@ -387,12 +398,16 @@ void GaCore::tick_optimizer() {
         }
 
         case State::kMu2Rn:
+            ++rng_draws_;
             state_.load(State::kMu2Apply);
             break;
 
         case State::kMu2Apply: {
             std::uint16_t o = off2_.read();
-            if ((rn & 0xF) < eff_mt_.read()) o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            if ((rn & 0xF) < eff_mt_.read()) {
+                ++mutations_;
+                o ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
+            }
             off2_.load(o);
             eval_cand_.load(o);
             ret_state_.load(State::kStore2);

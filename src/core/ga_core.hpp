@@ -119,6 +119,7 @@ public:
 
     void eval() override;
     void tick() override;
+    void reset_state() override;
 
     // --- introspection for tests / monitors (simulator visibility only) ---
     State state() const noexcept { return state_.read(); }
@@ -128,6 +129,15 @@ public:
     std::uint16_t best_candidate() const noexcept { return best_ind_.read(); }
     std::uint32_t generation() const noexcept { return gen_id_.read(); }
     bool current_bank() const noexcept { return bank_.read(); }
+    /// Operation counters since the last kStart: RNG advances (one per *Rn
+    /// state), crossovers applied (kXoApply with the decide bit set), and
+    /// mutation bit flips (kMu1Apply/kMu2Apply below threshold). Simulator
+    /// visibility for the telemetry tap — deliberately NOT rtl::Reg members,
+    /// so the scan-chain layout and flip-flop census stay untouched.
+    std::uint64_t rng_draws() const noexcept { return rng_draws_; }
+    std::uint64_t crossovers() const noexcept { return crossovers_; }
+    std::uint64_t mutations() const noexcept { return mutations_; }
+
     const rtl::ScanChain& scan_chain() const noexcept { return scan_; }
     /// Mutable chain access: the fault injector's register-poke backdoor
     /// (pair any ScanChain edit with input_changed() so the event-driven
@@ -191,6 +201,11 @@ private:
     rtl::Reg<std::uint8_t> xo_cut_{"xo_cut", 0, 4};
     rtl::Reg<bool> xo_do_{"xo_do", false, 1};
     rtl::Reg<bool> start_d_{"start_d", false, 1};  // start_GA edge detector
+
+    // -- telemetry op counters (simulator state, not flip-flops; see above)
+    std::uint64_t rng_draws_ = 0;
+    std::uint64_t crossovers_ = 0;
+    std::uint64_t mutations_ = 0;
 
     rtl::ScanChain scan_;
 };

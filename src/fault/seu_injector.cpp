@@ -23,6 +23,13 @@ system::GaSystemConfig system_config(const InjectorConfig& cfg) {
 /// One 50 MHz cycle (the 200 MHz domain advances 4 edges inside).
 void ga_cycle(system::GaSystem& sys) { sys.kernel().run_cycles(sys.ga_clock(), 1); }
 
+/// Golden-trajectory entry: the per-cycle observation the divergence
+/// detector compares (controller state + best fitness so far).
+std::uint32_t traj_entry(const GaCore& core) {
+    return static_cast<std::uint32_t>(core.state()) |
+           (static_cast<std::uint32_t>(core.best_fitness()) << 8);
+}
+
 }  // namespace
 
 SeuInjector::SeuInjector(InjectorConfig cfg) : cfg_(cfg) {
@@ -47,6 +54,7 @@ SeuInjector::SeuInjector(InjectorConfig cfg) : cfg_(cfg) {
     while (sys.core().state() != GaCore::State::kDone) {
         if (++c > bound) throw std::runtime_error("SeuInjector: golden run exceeded bound");
         ga_cycle(sys);
+        golden_traj_.push_back(traj_entry(sys.core()));
     }
     golden_.best_fitness = sys.best_fitness();
     golden_.best_candidate = sys.best_candidate();
@@ -83,7 +91,9 @@ FaultRecord SeuInjector::run_rtl(const FaultSite& site, InjectBackend backend) c
     if (backend == InjectBackend::kLaneMask)
         throw std::invalid_argument("SeuInjector::run_rtl: kLaneMask runs via FaultCampaign");
 
-    system::GaSystem sys(system_config(cfg_));
+    system::GaSystemConfig scfg = system_config(cfg_);
+    scfg.trace_sink = sink_;  // faulted runs stream full telemetry when set
+    system::GaSystem sys(scfg);
     if (!run_to_start(sys)) throw std::runtime_error("SeuInjector: optimizer never started");
     GaCore& core = sys.core();
     rtl::ScanChain& chain = core.scan_chain();
@@ -122,11 +132,42 @@ FaultRecord SeuInjector::run_rtl(const FaultSite& site, InjectBackend backend) c
         sys.wires().scanin.drive(false);
     }
 
-    // Run to GA_done under the watchdog.
+    if (sink_ != nullptr) {
+        trace::TraceEvent e(trace::kind::kFaultInject, sys.kernel().now(), c);
+        e.add("reg", site.reg)
+            .add("bit", static_cast<std::uint64_t>(site.bit))
+            .add("site_cycle", static_cast<std::uint64_t>(site.cycle))
+            .add("inject_cycle", static_cast<std::uint64_t>(rec.inject_cycle))
+            .add("chain_pos", static_cast<std::uint64_t>(pos))
+            .add("backend", std::string(backend_name(backend)));
+        sink_->on_event(e);
+    }
+
+    // Run to GA_done under the watchdog; when tracing, compare each cycle
+    // against the golden trajectory and flag the first departure.
     const std::uint64_t watchdog = watchdog_cycles();
+    bool diverged = false;
     while (core.state() != GaCore::State::kDone && c < watchdog) {
         ga_cycle(sys);
         ++c;
+        if (sink_ != nullptr && !diverged) {
+            const std::uint32_t got = traj_entry(core);
+            const bool in_golden = c - 1 < golden_traj_.size();
+            const std::uint32_t want = in_golden ? golden_traj_[c - 1] : ~std::uint32_t{0};
+            if (got != want) {
+                diverged = true;
+                trace::TraceEvent e(trace::kind::kDivergence, sys.kernel().now(), c);
+                e.add("state", static_cast<std::uint64_t>(got & 0xFF))
+                    .add("best_fit", static_cast<std::uint64_t>(got >> 8));
+                if (in_golden) {
+                    e.add("golden_state", static_cast<std::uint64_t>(want & 0xFF))
+                        .add("golden_best_fit", static_cast<std::uint64_t>(want >> 8));
+                } else {
+                    e.add("past_golden_end", std::uint64_t{1});
+                }
+                sink_->on_event(e);
+            }
+        }
     }
     rec.finished = core.state() == GaCore::State::kDone;
     rec.final_state = static_cast<std::uint8_t>(core.state());
@@ -141,7 +182,9 @@ FaultRecord SeuInjector::run_rtl(const FaultSite& site, InjectBackend backend) c
 }
 
 bool SeuInjector::validate_preset_fallback(const FaultSite& site, FaultRecord* observed) const {
-    system::GaSystem sys(system_config(cfg_));
+    system::GaSystemConfig scfg = system_config(cfg_);
+    scfg.trace_sink = sink_;  // the tap's `preset` event marks the fallback
+    system::GaSystem sys(scfg);
     if (!run_to_start(sys)) throw std::runtime_error("SeuInjector: optimizer never started");
     GaCore& core = sys.core();
 

@@ -28,6 +28,7 @@
 #include "core/params.hpp"
 #include "fault/fault_model.hpp"
 #include "fitness/functions.hpp"
+#include "trace/event.hpp"
 
 namespace gaip::system {
 class GaSystem;
@@ -76,6 +77,19 @@ public:
     }
     unsigned chain_length() const noexcept { return chain_length_; }
 
+    /// Attach a telemetry sink (nullptr = off). Faulted runs then stream the
+    /// full system telemetry plus two fault-layer events: `fault_inject`
+    /// (the planted flip) and `divergence` (the first cycle whose
+    /// state/best-fitness differs from the golden trajectory). Borrowed,
+    /// must outlive the injector's runs.
+    void set_sink(trace::TraceSink* sink) noexcept { sink_ = sink; }
+
+    /// Per-cycle golden trajectory entry `c` = packed observation after
+    /// c+1 cycles from kStart: state (low 8 bits) | best_fitness << 8.
+    const std::vector<std::uint32_t>& golden_trajectory() const noexcept {
+        return golden_traj_;
+    }
+
     /// Run one faulted RT-level simulation (kScan or kPoke; kLaneMask runs
     /// batched inside FaultCampaign).
     FaultRecord run_rtl(const FaultSite& site, InjectBackend backend) const;
@@ -101,7 +115,9 @@ private:
     GoldenRun golden_;
     GoldenRun preset_baseline_;
     std::vector<std::pair<std::string, unsigned>> layout_;
+    std::vector<std::uint32_t> golden_traj_;
     unsigned chain_length_ = 0;
+    trace::TraceSink* sink_ = nullptr;
 };
 
 }  // namespace gaip::fault

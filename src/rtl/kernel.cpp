@@ -6,8 +6,6 @@
 #include <limits>
 #include <stdexcept>
 
-#include "rtl/vcd.hpp"
-
 namespace gaip::rtl {
 
 namespace {
@@ -187,10 +185,7 @@ void Kernel::step() {
 
     settle();
 
-    if (vcd_ != nullptr) {
-        if (!vcd_->header_written()) vcd_->write_header();
-        vcd_->sample(now_);
-    }
+    for (KernelObserver* o : observers_) o->on_time_point(now_);
 }
 
 void Kernel::run_cycles(Clock& c, std::uint64_t n) {

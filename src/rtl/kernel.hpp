@@ -33,7 +33,15 @@
 
 namespace gaip::rtl {
 
-class VcdWriter;
+/// Attach point for tracing/instrumentation: observers are invoked once per
+/// processed time point, after the post-tick settle, when every wire and
+/// register holds its final value for that instant. The VCD tracer
+/// (trace::VcdWriter) attaches through this.
+class KernelObserver {
+public:
+    virtual ~KernelObserver() = default;
+    virtual void on_time_point(SimTime t) = 0;
+};
 
 /// Scheduler cost counters, cleared by Kernel::reset(). The model's own
 /// simulation cost metric (host work), not modeled hardware time.
@@ -83,8 +91,15 @@ public:
 
     SimTime now() const noexcept { return now_; }
 
-    /// Attach a VCD tracer (optional). The kernel does not own it.
-    void set_vcd(VcdWriter* vcd) noexcept { vcd_ = vcd; }
+    /// Attach a per-time-point observer (optional, e.g. a VCD tracer). The
+    /// kernel does not own it; observers run in attachment order.
+    void add_observer(KernelObserver* o) {
+        if (o != nullptr) observers_.push_back(o);
+    }
+    /// Detach a previously attached observer (no-op if absent).
+    void remove_observer(const KernelObserver* o) noexcept {
+        std::erase(observers_, o);
+    }
 
     std::span<Module* const> modules() const noexcept { return all_modules_; }
 
@@ -122,7 +137,7 @@ private:
     SimTime now_ = 0;
     KernelStats stats_;
     bool full_settle_ = false;
-    VcdWriter* vcd_ = nullptr;
+    std::vector<KernelObserver*> observers_;
 };
 
 }  // namespace gaip::rtl

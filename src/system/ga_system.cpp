@@ -3,7 +3,6 @@
 #include <stdexcept>
 
 #include "fitness/rom_builder.hpp"
-#include "rtl/vcd.hpp"
 
 namespace gaip::system {
 
@@ -95,11 +94,49 @@ GaSystem::GaSystem(GaSystemConfig cfg) : cfg_(std::move(cfg)) {
     kernel_.add_combinational(*mux_);
 
     if (!cfg_.vcd_path.empty()) {
-        vcd_ = std::make_unique<rtl::VcdWriter>(cfg_.vcd_path);
-        if (core_) vcd_->add_module(*core_);
-        if (rng_) vcd_->add_module(*rng_);
-        vcd_->add_module(*memory_);
-        kernel_.set_vcd(vcd_.get());
+        vcd_ = std::make_unique<trace::VcdWriter>(cfg_.vcd_path);
+        if (core_) vcd_->add_module(*core_, "ga_system." + core_->name());
+        if (rng_) vcd_->add_module(*rng_, "ga_system." + rng_->name());
+        vcd_->add_module(*memory_, "ga_system." + memory_->name());
+        // Top-level protocol nets — the waveform view of Figs. 8-12 (init
+        // handshake, start pulse, fitness handshake, monitor taps).
+        const std::string ports = "ga_system.ports";
+        vcd_->add_wire(ports, "ga_load", wires_.ga_load, 1);
+        vcd_->add_wire(ports, "index", wires_.index, 3);
+        vcd_->add_wire(ports, "value", wires_.value);
+        vcd_->add_wire(ports, "data_valid", wires_.data_valid, 1);
+        vcd_->add_wire(ports, "data_ack", wires_.data_ack, 1);
+        vcd_->add_wire(ports, "start_GA", wires_.start_ga, 1);
+        vcd_->add_wire(ports, "GA_done", wires_.ga_done, 1);
+        vcd_->add_wire(ports, "fitness_request", wires_.fit_request, 1);
+        vcd_->add_wire(ports, "fitness_valid", wires_.fit_valid, 1);
+        vcd_->add_wire(ports, "fitness_value", wires_.fit_value);
+        vcd_->add_wire(ports, "candidate", wires_.candidate);
+        vcd_->add_wire(ports, "rn", wires_.rn);
+        vcd_->add_wire(ports, "preset", wires_.preset, 2);
+        vcd_->add_wire(ports, "mon_gen_pulse", wires_.mon_gen_pulse, 1);
+        vcd_->add_wire(ports, "mon_bank", wires_.mon_bank, 1);
+        kernel_.add_observer(vcd_.get());
+    }
+
+    if (cfg_.trace_sink != nullptr || !cfg_.trace_path.empty()) {
+        if (!cfg_.trace_path.empty()) {
+            trace_file_ = std::make_unique<trace::JsonlSink>(cfg_.trace_path);
+            trace_tee_.add(trace_file_.get());
+        }
+        trace_tee_.add(cfg_.trace_sink);
+        tap_ = std::make_unique<trace::SystemTap>(
+            trace::SystemTapPorts{wires_.ga_load, wires_.index, wires_.value,
+                                  wires_.data_valid, wires_.data_ack, init_done_,
+                                  wires_.start_ga, wires_.ga_done, wires_.preset,
+                                  wires_.fit_request, wires_.fit_valid, wires_.fit_value,
+                                  wires_.candidate, wires_.mon_gen_pulse, wires_.mon_gen_id,
+                                  wires_.mon_best_fit, wires_.mon_fit_sum, wires_.mon_best_ind,
+                                  wires_.mon_bank, wires_.mon_pop_size},
+            &trace_tee_, &kernel_, ga_clk_, core_.get());
+        // Bound to the fast peripheral clock: every GA edge coincides with
+        // an app edge, so the tap sees every protocol transition.
+        kernel_.bind(*tap_, *app_clk_);
     }
 }
 
@@ -156,6 +193,8 @@ core::RunResult GaSystem::run() {
     if (!finished) throw std::runtime_error("GaSystem::run: did not complete within cycle bound");
 
     ga_cycles_ = done_seen ? (done_edge - start_edge) : 0;
+
+    trace_tee_.flush();
 
     core::RunResult result;
     result.best_candidate = best_candidate();

@@ -22,7 +22,10 @@
 #include "mem/ga_memory.hpp"
 #include "prng/rng_module.hpp"
 #include "rtl/kernel.hpp"
-#include "rtl/vcd.hpp"
+#include "trace/event.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/tap.hpp"
+#include "trace/vcd.hpp"
 #include "system/app_module.hpp"
 #include "system/dcm.hpp"
 #include "system/init_module.hpp"
@@ -67,10 +70,19 @@ struct GaSystemConfig {
     /// convergence-scatter benches; costs memory for long runs).
     bool keep_populations = true;
 
-    /// When non-empty, dump a VCD waveform of the GA-module registers
-    /// (core, RNG, memory output register) to this path — the model's
-    /// NC-Verilog/ModelSim waveform visibility.
+    /// When non-empty, dump a VCD waveform to this path — the GA-module
+    /// registers (core, RNG, memory output register) plus the top-level
+    /// protocol nets, under a `ga_system` hierarchy — the model's
+    /// NC-Verilog/ModelSim waveform visibility (loads in GTKWave).
     std::string vcd_path;
+
+    /// Structured run telemetry (trace/event.hpp). When either field is set
+    /// a SystemTap is instantiated and protocol/generation events flow to
+    /// the sink(s); when both are unset tracing costs nothing. `trace_sink`
+    /// is borrowed (not owned) and must outlive the system; `trace_path`
+    /// opens a JSONL file sink owned by the system. Both may be active.
+    trace::TraceSink* trace_sink = nullptr;
+    std::string trace_path;
 
     /// Instantiate the fully gate-level GA module (gates::GateLevelGaCore
     /// + gates::GateLevelRngModule) instead of the RT-level models — the
@@ -118,6 +130,8 @@ public:
     InitModule& init_module() noexcept { return *init_; }
     AppModule& app_module() noexcept { return *app_; }
     const GenerationMonitor& monitor() const noexcept { return *monitor_; }
+    /// Telemetry tap, or nullptr when tracing is off.
+    const trace::SystemTap* tap() const noexcept { return tap_.get(); }
     const GaSystemConfig& config() const noexcept { return cfg_; }
 
     /// All FEMs (internal slots then the external one, if any).
@@ -144,7 +158,10 @@ private:
     std::unique_ptr<InitModule> init_;
     std::unique_ptr<AppModule> app_;
     std::unique_ptr<GenerationMonitor> monitor_;
-    std::unique_ptr<rtl::VcdWriter> vcd_;
+    std::unique_ptr<trace::VcdWriter> vcd_;
+    std::unique_ptr<trace::JsonlSink> trace_file_;
+    trace::TeeSink trace_tee_;
+    std::unique_ptr<trace::SystemTap> tap_;
 
     std::uint64_t ga_cycles_ = 0;
 };

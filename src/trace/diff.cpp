@@ -1,0 +1,68 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+
+namespace gaip::trace {
+
+namespace {
+
+bool contains(std::span<const std::string> xs, const std::string& x) {
+    return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+}  // namespace
+
+std::vector<TraceEvent> filter_events(std::span<const TraceEvent> events,
+                                      std::span<const std::string> kinds) {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : events)
+        if (kinds.empty() || contains(kinds, e.kind)) out.push_back(e);
+    return out;
+}
+
+bool events_equal(const TraceEvent& a, const TraceEvent& b, const DiffOptions& opt) {
+    if (a.kind != b.kind) return false;
+    if (opt.compare_time && a.t != b.t) return false;
+    if (opt.compare_cycle && a.cycle != b.cycle) return false;
+    auto keep = [&](const Field& f) { return !contains(opt.ignore_keys, f.key); };
+    // Field order is part of the contract (producers emit deterministically),
+    // so compare the ignored-key-stripped sequences positionally.
+    std::vector<const Field*> fa, fb;
+    for (const Field& f : a.fields)
+        if (keep(f)) fa.push_back(&f);
+    for (const Field& f : b.fields)
+        if (keep(f)) fb.push_back(&f);
+    if (fa.size() != fb.size()) return false;
+    for (std::size_t i = 0; i < fa.size(); ++i)
+        if (!(*fa[i] == *fb[i])) return false;
+    return true;
+}
+
+std::optional<Divergence> first_divergence(std::span<const TraceEvent> a,
+                                           std::span<const TraceEvent> b,
+                                           const DiffOptions& opt) {
+    const std::vector<TraceEvent> fa = filter_events(a, opt.kinds);
+    const std::vector<TraceEvent> fb = filter_events(b, opt.kinds);
+    const std::size_t n = std::min(fa.size(), fb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!events_equal(fa[i], fb[i], opt)) {
+            Divergence d;
+            d.index = i;
+            d.a = fa[i];
+            d.b = fb[i];
+            return d;
+        }
+    }
+    if (fa.size() != fb.size()) {
+        Divergence d;
+        d.index = n;
+        d.missing_a = fa.size() < fb.size();
+        d.missing_b = fb.size() < fa.size();
+        if (!d.missing_a) d.a = fa[n];
+        if (!d.missing_b) d.b = fb[n];
+        return d;
+    }
+    return std::nullopt;
+}
+
+}  // namespace gaip::trace

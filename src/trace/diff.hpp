@@ -1,0 +1,51 @@
+// Trace comparison: find the first point where two telemetry streams
+// diverge. The workhorse behind `gaip-trace diff` — e.g. locating the
+// first generation where an SEU run departs from the golden run, or the
+// exact protocol step where an RT-level and a gate-lane run disagree.
+//
+// Comparison is structural: events match when their kind and fields agree.
+// Timestamps and cycle counts are ignored by default (different producers
+// legitimately number cycles differently); `ignore_keys` drops fields that
+// only one producer emits (e.g. the RT-level op counters).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace gaip::trace {
+
+struct DiffOptions {
+    bool compare_time = false;   ///< include the `t` timestamp in equality
+    bool compare_cycle = false;  ///< include the GA-cycle count in equality
+    std::vector<std::string> kinds;        ///< restrict to these kinds (empty = all)
+    std::vector<std::string> ignore_keys;  ///< field keys excluded from equality
+};
+
+struct Divergence {
+    std::size_t index = 0;  ///< position in the (filtered) sequences
+    /// The mismatched pair; `missing_a`/`missing_b` flag a length mismatch
+    /// (one stream ended first), in which case the present side is filled.
+    TraceEvent a, b;
+    bool missing_a = false;
+    bool missing_b = false;
+};
+
+/// Keep only events whose kind is in `kinds` (empty keeps everything).
+std::vector<TraceEvent> filter_events(std::span<const TraceEvent> events,
+                                      std::span<const std::string> kinds);
+
+/// True when the two events match under `opt`.
+bool events_equal(const TraceEvent& a, const TraceEvent& b, const DiffOptions& opt);
+
+/// First index where the two (filtered) streams disagree; nullopt when they
+/// match completely.
+std::optional<Divergence> first_divergence(std::span<const TraceEvent> a,
+                                           std::span<const TraceEvent> b,
+                                           const DiffOptions& opt = {});
+
+}  // namespace gaip::trace

@@ -1,0 +1,124 @@
+#include "trace/vcd.hpp"
+
+#include <stdexcept>
+
+namespace gaip::trace {
+
+namespace {
+
+/// Split a '.'-separated scope path into segments ("a.b" -> {"a","b"}).
+std::vector<std::string> split_path(const std::string& path) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= path.size()) {
+        const std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            out.push_back(path.substr(start));
+            break;
+        }
+        out.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+    return out;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(const std::string& path, std::string timescale)
+    : out_(path), timescale_(std::move(timescale)) {
+    if (!out_) throw std::runtime_error("VcdWriter: cannot open " + path);
+}
+
+std::string VcdWriter::make_id(std::size_t n) {
+    // Printable identifier alphabet per the VCD spec (chars '!'..'~').
+    std::string id;
+    do {
+        id.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+void VcdWriter::add_module(const rtl::Module& m) { add_module(m, m.name()); }
+
+void VcdWriter::add_module(const rtl::Module& m, const std::string& scope_path) {
+    for (const rtl::RegBase* r : m.registers())
+        add_probe(scope_path, r->name(), r->width(), [r] { return r->bits(); });
+}
+
+void VcdWriter::add_probe(const std::string& scope_path, const std::string& name, unsigned width,
+                          std::function<std::uint64_t()> read) {
+    if (header_written_) throw std::logic_error("VcdWriter: add_probe after header");
+    if (width == 0 || width > 64) throw std::invalid_argument("VcdWriter: width must be 1..64");
+    Entry e;
+    e.read = std::move(read);
+    e.id = make_id(entries_.size());
+    e.scope = scope_path;
+    e.name = name;
+    e.width = width;
+    entries_.push_back(std::move(e));
+}
+
+void VcdWriter::write_header() {
+    out_ << "$timescale " << timescale_ << " $end\n";
+    // Entries are grouped by scope in first-appearance order; nested scopes
+    // are opened/closed by diffing each path against the open scope stack.
+    std::vector<std::string> open;  // currently open scope segments
+    auto switch_scope = [&](const std::vector<std::string>& target) {
+        std::size_t common = 0;
+        while (common < open.size() && common < target.size() && open[common] == target[common])
+            ++common;
+        for (std::size_t i = open.size(); i > common; --i) out_ << "$upscope $end\n";
+        for (std::size_t i = common; i < target.size(); ++i)
+            out_ << "$scope module " << target[i] << " $end\n";
+        open = target;
+    };
+
+    std::vector<std::string> scopes_in_order;
+    for (const Entry& e : entries_) {
+        bool seen = false;
+        for (const std::string& s : scopes_in_order) seen |= (s == e.scope);
+        if (!seen) scopes_in_order.push_back(e.scope);
+    }
+    for (const std::string& scope : scopes_in_order) {
+        switch_scope(split_path(scope));
+        for (const Entry& e : entries_) {
+            if (e.scope != scope) continue;
+            out_ << "$var reg " << e.width << ' ' << e.id << ' ' << e.name << " $end\n";
+        }
+    }
+    switch_scope({});
+    out_ << "$enddefinitions $end\n";
+    header_written_ = true;
+}
+
+void VcdWriter::emit(const Entry& e, std::uint64_t value) {
+    if (e.width == 1) {
+        out_ << (value & 1u) << e.id << '\n';
+        return;
+    }
+    out_ << 'b';
+    for (int i = static_cast<int>(e.width) - 1; i >= 0; --i) out_ << ((value >> i) & 1u);
+    out_ << ' ' << e.id << '\n';
+}
+
+void VcdWriter::sample(rtl::SimTime t) {
+    if (!header_written_) write_header();
+    bool time_emitted = false;
+    for (Entry& e : entries_) {
+        const std::uint64_t v = e.read() & (e.width >= 64 ? ~std::uint64_t{0}
+                                                          : ((std::uint64_t{1} << e.width) - 1));
+        if (e.first || v != e.last) {
+            if (!time_emitted && t != last_time_) {
+                out_ << '#' << t << '\n';
+                last_time_ = t;
+                time_emitted = true;
+            }
+            emit(e, v);
+            e.last = v;
+            e.first = false;
+        }
+    }
+}
+
+}  // namespace gaip::trace

@@ -1,0 +1,86 @@
+// VCD (value change dump) writer — the model's waveform visibility, in
+// place of the NC-Verilog / ModelSim / ChipScope views the authors had.
+// Dumps load in GTKWave.
+//
+// Probes come in two flavors:
+//   * add_module()     — every attached register of an rtl::Module, under a
+//     hierarchical scope ('.'-separated path, e.g. "ga_system.ga_core");
+//   * add_probe()/add_wire() — any value a callback can produce, which is
+//     how top-level wires (handshakes, monitor taps) and non-Module sources
+//     (per-lane nets of the compiled gate simulator) get traced.
+//
+// The writer implements rtl::KernelObserver, so attaching it to a Kernel
+// samples every processed time point automatically; producers outside the
+// kernel (BatchGateRunner) call sample() themselves.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rtl/kernel.hpp"
+#include "rtl/module.hpp"
+
+namespace gaip::trace {
+
+class VcdWriter final : public rtl::KernelObserver {
+public:
+    /// Opens `path` for writing; throws std::runtime_error on failure.
+    /// `timescale` is the VCD unit of sample() timestamps.
+    explicit VcdWriter(const std::string& path, std::string timescale = "1ps");
+
+    /// Trace all registers of `m` under a scope named after the module.
+    void add_module(const rtl::Module& m);
+    /// Same, under an explicit hierarchical scope path ("top.sub.leaf").
+    void add_module(const rtl::Module& m, const std::string& scope_path);
+
+    /// Trace an arbitrary `width`-bit value produced by `read` (only the low
+    /// `width` bits are dumped).
+    void add_probe(const std::string& scope_path, const std::string& name, unsigned width,
+                   std::function<std::uint64_t()> read);
+
+    /// Trace a combinational wire under `scope_path`.
+    template <typename T>
+    void add_wire(const std::string& scope_path, const std::string& name, const rtl::Wire<T>& w,
+                  unsigned width = 8 * sizeof(T)) {
+        add_probe(scope_path, name, width,
+                  [&w]() -> std::uint64_t { return rtl::detail::to_bits(w.read()); });
+    }
+
+    /// Emit the header; called once, after all probes are added and before
+    /// the first sample (sample() triggers it on demand).
+    void write_header();
+
+    /// Sample all probes at time `t`; emits only changed values.
+    void sample(rtl::SimTime t);
+
+    bool header_written() const noexcept { return header_written_; }
+    std::size_t probe_count() const noexcept { return entries_.size(); }
+
+    // rtl::KernelObserver: one sample per processed kernel time point.
+    void on_time_point(rtl::SimTime t) override { sample(t); }
+
+private:
+    struct Entry {
+        std::function<std::uint64_t()> read;
+        std::string id;     ///< VCD short identifier
+        std::string scope;  ///< '.'-separated hierarchy path
+        std::string name;
+        unsigned width = 1;
+        std::uint64_t last = ~std::uint64_t{0};
+        bool first = true;
+    };
+
+    static std::string make_id(std::size_t n);
+    void emit(const Entry& e, std::uint64_t value);
+
+    std::ofstream out_;
+    std::string timescale_;
+    std::vector<Entry> entries_;
+    bool header_written_ = false;
+    rtl::SimTime last_time_ = ~rtl::SimTime{0};
+};
+
+}  // namespace gaip::trace

@@ -4,7 +4,7 @@
 #include <filesystem>
 
 #include "rtl/kernel.hpp"
-#include "rtl/vcd.hpp"
+#include "trace/vcd.hpp"
 
 namespace gaip::rtl {
 namespace {
@@ -172,11 +172,12 @@ TEST(VcdWriter, ProducesParsableDump) {
         Wire<std::uint32_t> out;
         Counter c("counter", out);
         k.bind(c, clk);
-        VcdWriter vcd(path);
+        trace::VcdWriter vcd(path);
         vcd.add_module(c);
-        k.set_vcd(&vcd);
+        k.add_observer(&vcd);
         k.reset();
         k.run_cycles(clk, 4);
+        k.remove_observer(&vcd);
     }
     std::ifstream f(path);
     ASSERT_TRUE(f.good());

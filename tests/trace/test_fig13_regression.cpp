@@ -1,0 +1,75 @@
+// Fig. 13 regression: the telemetry stream must reproduce the monitor-tap
+// convergence series bit-exactly — same values, same formatting — so the
+// bench CSVs pin the same numbers whichever layer produces them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fitness/functions.hpp"
+#include "system/ga_system.hpp"
+#include "trace/event.hpp"
+
+namespace gaip::trace {
+namespace {
+
+/// The exact CSV-row formatter bench/bench_figs13_16_convergence.cpp uses.
+std::string csv_text(const std::vector<double>& best, const std::vector<double>& avg) {
+    std::ostringstream f;
+    f << "generation,best_fitness,avg_fitness\n";
+    for (std::size_t g = 0; g < best.size(); ++g)
+        f << g << ',' << best[g] << ',' << avg[g] << '\n';
+    return f.str();
+}
+
+TEST(Fig13Regression, TelemetryReproducesMonitorSeriesBitExactly) {
+    // Fig. 13 configuration: mBF6_2, seed 061F, XR 10, pop 64, 64 gens.
+    MemorySink telemetry;
+    system::GaSystemConfig cfg;
+    cfg.params = {.pop_size = 64, .n_gens = 64, .xover_threshold = 10, .mut_threshold = 1,
+                  .seed = 0x061F};
+    cfg.internal_fems = {fitness::FitnessId::kMBf6_2};
+    cfg.trace_sink = &telemetry;
+    system::GaSystem sys(cfg);
+    const core::RunResult r = sys.run();
+
+    // Monitor-tap series (the pre-telemetry data path).
+    std::vector<double> mon_best, mon_avg;
+    for (const auto& s : r.history) {
+        mon_best.push_back(s.best_fit);
+        mon_avg.push_back(s.population.empty()
+                              ? static_cast<double>(s.fit_sum)
+                              : static_cast<double>(s.fit_sum) / s.population.size());
+    }
+
+    // Telemetry series: integer best_fit / fit_sum / pop from the
+    // generation events, averaged with the identical expression.
+    std::vector<double> tel_best, tel_avg;
+    for (const TraceEvent& e : telemetry.events()) {
+        if (e.kind != kind::kGeneration) continue;
+        tel_best.push_back(static_cast<double>(e.u64("best_fit")));
+        const std::uint64_t pop = e.u64("pop");
+        tel_avg.push_back(pop == 0 ? static_cast<double>(e.u64("fit_sum"))
+                                   : static_cast<double>(e.u64("fit_sum")) /
+                                         static_cast<double>(pop));
+    }
+
+    ASSERT_EQ(tel_best.size(), mon_best.size());
+    for (std::size_t g = 0; g < mon_best.size(); ++g) {
+        EXPECT_EQ(tel_best[g], mon_best[g]) << "gen " << g;
+        EXPECT_EQ(tel_avg[g], mon_avg[g]) << "gen " << g;
+    }
+
+    // Formatted output (what lands in fig13_mbf6_061f.csv) is byte-equal.
+    EXPECT_EQ(csv_text(tel_best, tel_avg), csv_text(mon_best, mon_avg));
+
+    // Paper headline for Fig. 13: the run is essentially converged within
+    // the first ~10 generations (later steps only refine the last <1%).
+    ASSERT_GT(tel_best.size(), 12u);
+    EXPECT_GE(tel_best[12], 0.99 * static_cast<double>(r.best_fitness));
+}
+
+}  // namespace
+}  // namespace gaip::trace

@@ -1,0 +1,170 @@
+// VcdWriter unit tests: golden-file output, hierarchical scopes, and the
+// changed-values-only dump discipline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "rtl/kernel.hpp"
+#include "rtl/module.hpp"
+#include "trace/vcd.hpp"
+
+namespace gaip::trace {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream f(path);
+    EXPECT_TRUE(f.good()) << path;
+    return {std::istreambuf_iterator<char>(f), std::istreambuf_iterator<char>()};
+}
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + "/" + name; }
+
+TEST(VcdWriter, GoldenFile) {
+    const std::string path = temp_path("vcd_golden.vcd");
+    std::uint64_t a = 0, b = 0;
+    {
+        VcdWriter vcd(path);
+        vcd.add_probe("top", "a", 4, [&a] { return a; });
+        vcd.add_probe("top", "b", 1, [&b] { return b; });
+        vcd.sample(0);
+        a = 5;
+        vcd.sample(10);
+        b = 1;
+        vcd.sample(20);
+    }
+    EXPECT_EQ(slurp(path),
+              "$timescale 1ps $end\n"
+              "$scope module top $end\n"
+              "$var reg 4 ! a $end\n"
+              "$var reg 1 \" b $end\n"
+              "$upscope $end\n"
+              "$enddefinitions $end\n"
+              "#0\n"
+              "b0000 !\n"
+              "0\"\n"
+              "#10\n"
+              "b0101 !\n"
+              "#20\n"
+              "1\"\n");
+    std::filesystem::remove(path);
+}
+
+TEST(VcdWriter, NestedScopesOpenAndCloseByPathDiff) {
+    const std::string path = temp_path("vcd_scopes.vcd");
+    {
+        VcdWriter vcd(path);
+        vcd.add_probe("sys.core", "x", 1, [] { return 0u; });
+        vcd.add_probe("sys.core.alu", "y", 1, [] { return 0u; });
+        vcd.add_probe("sys.rng", "z", 1, [] { return 0u; });
+        vcd.write_header();
+    }
+    EXPECT_EQ(slurp(path),
+              "$timescale 1ps $end\n"
+              "$scope module sys $end\n"
+              "$scope module core $end\n"
+              "$var reg 1 ! x $end\n"
+              "$scope module alu $end\n"
+              "$var reg 1 \" y $end\n"
+              "$upscope $end\n"
+              "$upscope $end\n"
+              "$scope module rng $end\n"
+              "$var reg 1 # z $end\n"
+              "$upscope $end\n"
+              "$upscope $end\n"
+              "$enddefinitions $end\n");
+    std::filesystem::remove(path);
+}
+
+TEST(VcdWriter, UnchangedValuesEmitNoTimeMark) {
+    const std::string path = temp_path("vcd_static.vcd");
+    {
+        VcdWriter vcd(path);
+        vcd.add_probe("s", "v", 8, [] { return 42u; });
+        vcd.sample(0);
+        vcd.sample(100);  // nothing changed: no #100 mark
+        vcd.sample(200);
+    }
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("#0\n"), std::string::npos);
+    EXPECT_EQ(text.find("#100"), std::string::npos);
+    EXPECT_EQ(text.find("#200"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(VcdWriter, MasksValuesToDeclaredWidth) {
+    const std::string path = temp_path("vcd_mask.vcd");
+    {
+        VcdWriter vcd(path);
+        vcd.add_probe("s", "v", 4, [] { return 0xF5u; });  // only low 4 bits dump
+        vcd.sample(0);
+    }
+    EXPECT_NE(slurp(path).find("b0101 !"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+TEST(VcdWriter, RejectsBadWidthAndLateProbes) {
+    const std::string path = temp_path("vcd_reject.vcd");
+    VcdWriter vcd(path);
+    EXPECT_THROW(vcd.add_probe("s", "v", 0, [] { return 0u; }), std::invalid_argument);
+    EXPECT_THROW(vcd.add_probe("s", "v", 65, [] { return 0u; }), std::invalid_argument);
+    vcd.add_probe("s", "v", 1, [] { return 0u; });
+    vcd.write_header();
+    EXPECT_THROW(vcd.add_probe("s", "w", 1, [] { return 0u; }), std::logic_error);
+    std::filesystem::remove(path);
+}
+
+TEST(VcdWriter, IdentifiersStayInPrintableAlphabet) {
+    const std::string path = temp_path("vcd_ids.vcd");
+    {
+        VcdWriter vcd(path);
+        for (int i = 0; i < 200; ++i)  // force two-char ids past entry 93
+            vcd.add_probe("s", "v" + std::to_string(i), 1, [] { return 0u; });
+        vcd.write_header();
+    }
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("$var reg 1 ! v0 $end"), std::string::npos);
+    // Entry 94 wraps to a two-character id: 94 = 0 + 1*94 -> "!\"".
+    EXPECT_NE(text.find("$var reg 1 !\" v94 $end"), std::string::npos);
+    std::filesystem::remove(path);
+}
+
+/// Register-backed module dump via the KernelObserver hook.
+class Pulser final : public rtl::Module {
+public:
+    Pulser() : rtl::Module("pulser") { attach(count_); }
+    void eval() override {}
+    void tick() override { count_.load(count_.read() + 3); }
+
+private:
+    rtl::Reg<std::uint8_t> count_{"count", 0};
+};
+
+TEST(VcdWriter, ObservesKernelTimePoints) {
+    const std::string path = temp_path("vcd_kernel.vcd");
+    {
+        rtl::Kernel k;
+        rtl::Clock& clk = k.add_clock("clk", 50'000'000);  // 20 ns period
+        Pulser p;
+        k.bind(p, clk);
+        VcdWriter vcd(path);
+        vcd.add_module(p, "top.pulser");
+        k.add_observer(&vcd);
+        k.reset();
+        k.run_cycles(clk, 3);
+        k.remove_observer(&vcd);
+    }
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("$scope module top $end"), std::string::npos);
+    EXPECT_NE(text.find("$scope module pulser $end"), std::string::npos);
+    EXPECT_NE(text.find("$var reg 8"), std::string::npos);
+    EXPECT_NE(text.find("#0\n"), std::string::npos);
+    EXPECT_NE(text.find("#40000\n"), std::string::npos);  // third edge, 20 ns apart
+    EXPECT_NE(text.find("b00001001"), std::string::npos);  // count = 9 after 3 ticks
+    std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace gaip::trace
