@@ -66,6 +66,7 @@ public:
           rng_(rng_src_->nl) {
         if (params_.empty() || params_.size() > kLanes)
             throw std::invalid_argument("BatchGateRunner: need 1..64 lane configs");
+        presets_.assign(params_.size(), 0);
         lanes_.resize(params_.size());
         for (std::size_t k = 0; k < params_.size(); ++k) {
             Lane& l = lanes_[k];
@@ -84,6 +85,25 @@ public:
     std::size_t lane_count() const noexcept { return lanes_.size(); }
     std::uint64_t cycles() const noexcept { return cycle_; }
     const gates::CompiledNetlist& core_sim() const noexcept { return core_; }
+
+    /// Put one lane in a Table IV preset mode (1..3): its preset pins are
+    /// driven, the init handshake is skipped (presets bypass all programmed
+    /// state — the paper's init-failure fault-tolerance scenario), and the
+    /// start pulse is issued right after reset. Mode 0 restores the normal
+    /// user-mode flow. The lane's GaParameters entry is then ignored.
+    void set_lane_preset(unsigned lane, std::uint8_t preset) {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        presets_[lane] = preset & 0x3;
+    }
+
+    /// Current controller-FSM state of one lane (the supervisor's watchdog
+    /// classification input: kIdle = recoverable, anything else = wedged).
+    std::uint8_t lane_state(unsigned lane) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return static_cast<std::uint8_t>(core_.word_value(core_src_->state, lane));
+    }
 
     /// Attach a telemetry sink to one lane (borrowed; nullptr detaches).
     /// The lane then emits the same protocol/generation event stream the
@@ -133,12 +153,23 @@ public:
     /// Reset everything and run until every lane reaches GA_done (or the
     /// cycle bound trips). Returns one result per configured lane.
     std::vector<BatchLaneResult> run(std::uint64_t max_cycles = 0) {
+        const std::vector<BatchLaneResult> out = run_bounded(max_cycles);
+        for (const BatchLaneResult& r : out)
+            if (!r.finished)
+                throw std::runtime_error("BatchGateRunner: lanes did not finish within bound");
+        return out;
+    }
+
+    /// Watchdog-friendly variant of run(): a lane that misses the cycle
+    /// bound is reported with `finished == false` instead of throwing, so a
+    /// supervisor can classify the trip (lane_state()) and walk its
+    /// recovery ladder. `max_cycles` counts from reset (init handshake
+    /// included); 0 selects the formula bound.
+    std::vector<BatchLaneResult> run_bounded(std::uint64_t max_cycles = 0) {
         if (max_cycles == 0) max_cycles = default_cycle_bound();
         reset();
         std::size_t unfinished = lanes_.size();
         while (unfinished > 0 && cycle_ < max_cycles) unfinished = step();
-        if (unfinished > 0)
-            throw std::runtime_error("BatchGateRunner: lanes did not finish within bound");
         std::vector<BatchLaneResult> out;
         out.reserve(lanes_.size());
         for (const Lane& l : lanes_) out.push_back(l.result);
@@ -173,8 +204,8 @@ private:
 
     std::uint64_t default_cycle_bound() const {
         std::uint64_t bound = 0;
-        for (const core::GaParameters& p : params_) {
-            const core::GaParameters eff = core::resolve_parameters(0, p);
+        for (std::size_t k = 0; k < params_.size(); ++k) {
+            const core::GaParameters eff = core::resolve_parameters(presets_[k], params_[k]);
             const std::uint64_t evals = static_cast<std::uint64_t>(eff.pop_size) *
                                         (static_cast<std::uint64_t>(eff.n_gens) + 1);
             bound = std::max<std::uint64_t>(
@@ -188,11 +219,23 @@ private:
         for (std::size_t k = 0; k < lanes_.size(); ++k) {
             Lane fresh;
             fresh.program = std::move(lanes_[k].program);
+            if (presets_[k] != 0) {
+                // Preset lane: Table IV pins carry the run — no handshake,
+                // start pulse scheduled immediately.
+                fresh.init_done = true;
+                fresh.init_done_traced = true;
+                fresh.start_hold = 2;
+            }
             lanes_[k] = std::move(fresh);
         }
-        // Static pins, all lanes: user preset mode, fitness slot 0.
+        // Static pins: per-lane preset mode (user mode = 0), fitness slot 0.
+        std::array<std::uint64_t, 2> preset_w{};
+        for (std::size_t k = 0; k < presets_.size(); ++k)
+            for (unsigned j = 0; j < 2; ++j)
+                if ((presets_[k] >> j) & 1u) preset_w[j] |= std::uint64_t{1} << k;
         core_.set_input_all(core_src_->reset, false);
-        for (const gates::Net n : core_src_->preset) core_.set_input_all(n, false);
+        for (unsigned j = 0; j < core_src_->preset.size() && j < 2; ++j)
+            core_.set_input_lanes(core_src_->preset[j], preset_w[j]);
         for (const gates::Net n : core_src_->fitfunc_select) core_.set_input_all(n, false);
         for (const gates::Net n : core_src_->fit_value_ext) core_.set_input_all(n, false);
         core_.set_input_all(core_src_->fit_valid_ext, false);
@@ -206,7 +249,8 @@ private:
         for (const gates::Net n : core_src_->index) core_.set_input_all(n, false);
         for (const gates::Net n : core_src_->value) core_.set_input_all(n, false);
         rng_.set_input_all(rng_src_->reset, false);
-        for (const gates::Net n : rng_src_->preset) rng_.set_input_all(n, false);
+        for (unsigned j = 0; j < rng_src_->preset.size() && j < 2; ++j)
+            rng_.set_input_lanes(rng_src_->preset[j], preset_w[j]);
         rng_.set_input_all(rng_src_->start, false);
         rng_.set_input_all(rng_src_->rn_next, false);
         rng_.set_input_all(rng_src_->ga_load, false);
@@ -438,6 +482,7 @@ private:
 
     fitness::FitnessId fn_;
     std::vector<core::GaParameters> params_;
+    std::vector<std::uint8_t> presets_;  ///< per-lane Table IV preset mode (0 = user)
     std::unique_ptr<gates::GaCoreNetlist> core_src_;
     std::unique_ptr<gates::RngNetlist> rng_src_;
     gates::CompiledNetlist core_;

@@ -1,8 +1,24 @@
 #include "fault/fault_model.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace gaip::fault {
+
+std::uint64_t watchdog_budget(std::uint64_t ga_cycles, std::uint64_t factor) {
+    constexpr std::uint64_t kSlack = 64;
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    if (factor != 0 && ga_cycles > (kMax - kSlack) / factor) {
+        throw std::overflow_error(
+            "watchdog_budget: ga_cycles (" + std::to_string(ga_cycles) + ") * watchdog_factor (" +
+            std::to_string(factor) +
+            ") + 64 overflows uint64 — pathological eff_ngens / cycle count; refusing to arm a "
+            "wrapped (too short) watchdog");
+    }
+    return ga_cycles * factor + kSlack;
+}
 
 std::vector<RegisterVulnerability> aggregate_by_register(
     const std::vector<FaultRecord>& records) {

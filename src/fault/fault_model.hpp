@@ -109,6 +109,15 @@ inline FaultOutcome classify(bool finished, std::uint16_t best_fitness,
                : FaultOutcome::kHang;
 }
 
+/// Watchdog cycle budget shared by the SEU injector and the mission
+/// supervisor: `ga_cycles * factor + 64`, with explicit uint64 overflow
+/// checking. A pathological `eff_ngens` (e.g. an upper bit set during
+/// programming or by an upset) can push the golden cycle count high enough
+/// that the naive product wraps and silently arms an absurdly SHORT
+/// watchdog; this throws std::overflow_error with the offending values
+/// instead.
+std::uint64_t watchdog_budget(std::uint64_t ga_cycles, std::uint64_t factor);
+
 /// Per-register aggregation for the vulnerability table.
 struct RegisterVulnerability {
     std::string reg;

@@ -103,8 +103,10 @@ public:
     bool validate_preset_fallback(const FaultSite& site, FaultRecord* observed = nullptr) const;
 
 private:
-    std::uint64_t watchdog_cycles() const noexcept {
-        return golden_.ga_cycles * cfg_.watchdog_factor + 64;
+    /// Overflow-checked `ga_cycles * factor + 64` (throws std::overflow_error
+    /// on pathological cycle counts — see fault::watchdog_budget).
+    std::uint64_t watchdog_cycles() const {
+        return watchdog_budget(golden_.ga_cycles, cfg_.watchdog_factor);
     }
 
     /// Drive `sys` from reset to the kStart cycle; returns false if the

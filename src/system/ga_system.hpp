@@ -126,6 +126,13 @@ public:
         return gate_core_ ? gate_core_->best_fitness() : core_->best_fitness();
     }
     const mem::GaMemory& memory() const noexcept { return *memory_; }
+    /// Mutable memory access: the supervisor's checkpoint/rollback backdoor
+    /// (restore the 256x32 population store alongside the scan chain).
+    mem::GaMemory& memory() noexcept { return *memory_; }
+    /// RT-level RNG module (only valid when use_gate_level_core is off);
+    /// exposed so checkpoints can capture/restore the CA state alongside the
+    /// core's scan chain — the RNG registers are not stitched into it.
+    prng::RngModule& rng_module() noexcept { return *rng_; }
     CoreWireBundle& wires() noexcept { return wires_; }
     InitModule& init_module() noexcept { return *init_; }
     AppModule& app_module() noexcept { return *app_; }

@@ -45,6 +45,18 @@ inline constexpr const char* kPreset = "preset";             ///< PRESET pins ch
 inline constexpr const char* kDone = "done";                 ///< GA_done rose
 inline constexpr const char* kFaultInject = "fault_inject";  ///< SEU planted (fault layer)
 inline constexpr const char* kDivergence = "divergence";     ///< first cycle differing from golden
+// Mission-supervisor decisions (src/supervisor/): every rung of the
+// recovery ladder leaves a structured mark in the stream so gaip-trace can
+// record/diff supervised runs.
+inline constexpr const char* kWatchdogTrip = "watchdog_trip";   ///< cycle budget missed
+inline constexpr const char* kSupRetry = "sup_retry";           ///< backoff retry launched
+inline constexpr const char* kSupRestart = "sup_restart";       ///< request_restart() recovery
+inline constexpr const char* kSupFallback = "sup_fallback";     ///< PRESET fallback engaged
+inline constexpr const char* kSupCheckpoint = "sup_checkpoint"; ///< generation checkpoint taken
+inline constexpr const char* kSupRollback = "sup_rollback";     ///< retry resumed from checkpoint
+inline constexpr const char* kSupVote = "sup_vote";             ///< NMR majority vote tallied
+inline constexpr const char* kSupAbort = "sup_abort";           ///< ladder exhausted, structured abort
+inline constexpr const char* kSupResult = "sup_result";         ///< final supervised verdict
 }  // namespace kind
 
 struct TraceEvent {

@@ -4,6 +4,10 @@
 // the PRESET fallback recovery path.
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 #include "core/ga_core.hpp"
 #include "fault/seu_injector.hpp"
 #include "gates/compiled.hpp"
@@ -33,6 +37,25 @@ TEST(FaultModel, ClassifyTaxonomy) {
     EXPECT_EQ(classify(true, 100, 8, done, golden), FaultOutcome::kWrongAnswer);
     EXPECT_EQ(classify(false, 0, 0, sel, golden), FaultOutcome::kHang);
     EXPECT_EQ(classify(false, 0, 0, idle, golden), FaultOutcome::kRecovered);
+}
+
+TEST(FaultModel, WatchdogBudgetFormulaAndOverflowGuard) {
+    EXPECT_EQ(watchdog_budget(0, 4), 64u);
+    EXPECT_EQ(watchdog_budget(1000, 4), 4064u);
+    // Largest products that still fit, with and without the +64 slack.
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(watchdog_budget(kMax - 64, 1), kMax);
+    EXPECT_THROW(watchdog_budget(kMax - 63, 1), std::overflow_error);
+    // A wrapped product would arm an absurdly SHORT watchdog — must throw.
+    EXPECT_THROW(watchdog_budget(kMax / 2, 4), std::overflow_error);
+    EXPECT_THROW(watchdog_budget(kMax, kMax), std::overflow_error);
+    // The message names the offending values (descriptive, not just a type).
+    try {
+        watchdog_budget(kMax, 4);
+        FAIL() << "expected std::overflow_error";
+    } catch (const std::overflow_error& ex) {
+        EXPECT_NE(std::string(ex.what()).find("watchdog"), std::string::npos);
+    }
 }
 
 TEST(FaultModel, ScanSafeStatesAreTheRngWaits) {

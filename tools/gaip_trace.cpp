@@ -18,6 +18,7 @@
 // Exit status: 0 = success / streams match, 1 = streams differ, 2 = error.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -96,11 +97,25 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 bool parse_u64(const char* s, std::uint64_t& out) {
     try {
-        out = std::stoull(s, nullptr, 0);
-        return true;
+        std::size_t used = 0;
+        out = std::stoull(s, &used, 0);
+        return used == std::strlen(s) && used > 0;
     } catch (...) {
         return false;
     }
+}
+
+/// Fail fast on an unwritable output path — BEFORE the (possibly long)
+/// simulation runs, not after. An append-mode probe creates the file if the
+/// directory allows it and touches nothing that already exists.
+bool validate_writable(const std::string& path, const char* what) {
+    std::ofstream probe(path, std::ios::app);
+    if (!probe) {
+        std::fprintf(stderr, "gaip-trace: cannot open %s '%s' for writing\n", what,
+                     path.c_str());
+        return false;
+    }
+    return true;
 }
 
 struct RecordOptions {
@@ -114,6 +129,8 @@ struct RecordOptions {
 };
 
 int cmd_record(const RecordOptions& opt) {
+    if (!validate_writable(opt.out_path, "output file")) return 2;
+    if (!opt.vcd_path.empty() && !validate_writable(opt.vcd_path, "VCD file")) return 2;
     if (opt.flip.has_value()) {
         if (opt.backend != "rtl") {
             std::fprintf(stderr, "gaip-trace: --flip requires the rtl backend\n");
@@ -225,6 +242,16 @@ int main(int argc, char** argv) {
             }
             return argv[++i];
         };
+        auto need_u64 = [&](int& i, std::uint64_t& v) -> bool {
+            const char* flag = argv[i];
+            const char* s = need_value(i);
+            if (s == nullptr) return false;
+            if (!parse_u64(s, v)) {
+                std::fprintf(stderr, "gaip-trace: %s wants a number, got '%s'\n", flag, s);
+                return false;
+            }
+            return true;
+        };
 
         if (cmd == "record") {
             RecordOptions opt;
@@ -243,28 +270,28 @@ int main(int argc, char** argv) {
                     }
                     opt.fn = it->second;
                 } else if (a == "--pop") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v)) return 2;
+                    if (!need_u64(i, v)) return 2;
                     opt.params.pop_size = core::clamp_pop_size(static_cast<std::uint32_t>(v));
                 } else if (a == "--gens") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v)) return 2;
+                    if (!need_u64(i, v)) return 2;
                     opt.params.n_gens = static_cast<std::uint32_t>(v);
                 } else if (a == "--xover") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v)) return 2;
+                    if (!need_u64(i, v)) return 2;
                     opt.params.xover_threshold = static_cast<std::uint8_t>(v & 0xF);
                 } else if (a == "--mut") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v)) return 2;
+                    if (!need_u64(i, v)) return 2;
                     opt.params.mut_threshold = static_cast<std::uint8_t>(v & 0xF);
                 } else if (a == "--seed") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v)) return 2;
+                    if (!need_u64(i, v)) return 2;
                     opt.params.seed = static_cast<std::uint16_t>(v);
                 } else if (a == "--preset") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, v) || v > 3) return 2;
+                    if (!need_u64(i, v)) return 2;
+                    if (v > 3) {
+                        std::fprintf(stderr,
+                                     "gaip-trace: --preset wants a mode 0..3, got %llu\n",
+                                     static_cast<unsigned long long>(v));
+                        return 2;
+                    }
                     opt.preset = static_cast<std::uint8_t>(v);
                 } else if (a == "--backend") {
                     const char* s = need_value(i);
@@ -317,8 +344,7 @@ int main(int argc, char** argv) {
                     if (s == nullptr) return 2;
                     kinds = split_csv(s);
                 } else if (a == "--limit") {
-                    const char* s = need_value(i);
-                    if (s == nullptr || !parse_u64(s, limit)) return 2;
+                    if (!need_u64(i, limit)) return 2;
                 } else if (!a.empty() && a[0] != '-' && path.empty()) {
                     path = a;
                 } else {
