@@ -1,8 +1,10 @@
 // SEU fault-injection campaign over the gate-level GA core (scan-chain
 // fault model). Enumerates every scan-chain flip-flop x a coarse injection
 // cycle grid (405 bits x 25 points = 10125 faults for the default config),
-// runs them 63-per-batch on the compiled 64-lane gate simulator, and
-// classifies each as masked / wrong-answer / hang / recovered.
+// runs them (64 x words - 1)-per-batch on the compiled lane-block gate
+// simulator (8-word / 512-lane blocks by default here, batches fanned out
+// across all cores), and classifies each as masked / wrong-answer / hang /
+// recovered.
 //
 // Cross-validation baked into the run:
 //   * lane 0 of every batch must reproduce the RT-level golden run bit- and
@@ -19,6 +21,8 @@
 //   bench_fault_campaign --quick        strided subsample (~400 injections)
 //   bench_fault_campaign --stride N      keep every N-th site
 //   bench_fault_campaign --max-sites N   cap the site count
+//   bench_fault_campaign --words N       lane-block width (1/2/4/8 u64 words)
+//   bench_fault_campaign --threads N     worker threads (0 = all cores)
 //   bench_fault_campaign --replay REG BIT CYCLE
 //                                        rerun one fault on all 3 backends
 #include <chrono>
@@ -32,6 +36,7 @@
 
 #include "bench/common.hpp"
 #include "fault/campaign.hpp"
+#include "util/worker_pool.hpp"
 
 namespace {
 
@@ -91,6 +96,12 @@ int main(int argc, char** argv) {
                   "fault-injection harness");
 
     fault::CampaignConfig cfg;
+    // Bench defaults differ from the library defaults (1 word, 1 thread):
+    // the campaign is the throughput showcase, so take the widest block and
+    // every core unless told otherwise. Results are bit-identical across
+    // widths/threads (tests/fault/test_campaign.cpp pins this).
+    cfg.lane_words = 8;
+    cfg.threads = 0;
     FaultSite replay_site;
     bool replay = false;
     for (int i = 1; i < argc; ++i) {
@@ -100,6 +111,10 @@ int main(int argc, char** argv) {
             cfg.stride = std::strtoull(argv[++i], nullptr, 0);
         } else if (std::strcmp(argv[i], "--max-sites") == 0 && i + 1 < argc) {
             cfg.max_sites = std::strtoull(argv[++i], nullptr, 0);
+        } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+            cfg.lane_words = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            cfg.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--replay") == 0 && i + 3 < argc) {
             replay_site.reg = argv[++i];
             replay_site.bit = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
@@ -122,8 +137,14 @@ int main(int argc, char** argv) {
     if (replay) return replay_one(campaign, replay_site);
 
     const std::vector<FaultSite> sites = campaign.enumerate_sites();
-    std::printf("fault space: %zu sites (%u cycle points, stride %llu)\n\n", sites.size(),
+    std::printf("fault space: %zu sites (%u cycle points, stride %llu)\n", sites.size(),
                 cfg.cycle_points, static_cast<unsigned long long>(cfg.stride));
+    std::printf("gate backend: %u-word lane blocks (%u lanes: 1 golden + %u injections "
+                "per batch), %u worker thread(s)\n\n",
+                cfg.lane_words, cfg.lane_words * 64, cfg.lane_words * 64 - 1,
+                gaip::util::resolve_threads(cfg.threads,
+                                            (sites.size() + cfg.lane_words * 64 - 2) /
+                                                (cfg.lane_words * 64 - 1)));
 
     const double t0 = now_s();
     std::size_t last_pct = 0;
@@ -235,6 +256,9 @@ int main(int argc, char** argv) {
         .set("golden_best_fitness", std::uint64_t(golden.best_fitness))
         .set("golden_ga_cycles", golden.ga_cycles)
         .set("gate_cycles", res.gate_cycles)
+        .set("lane_words", std::uint64_t(cfg.lane_words))
+        .set("lanes_per_batch", std::uint64_t(cfg.lane_words) * 64)
+        .set("threads", std::uint64_t(cfg.threads))
         .set("batches", std::uint64_t(res.batches))
         .set("wall_seconds", dt)
         .set("injections_per_second", res.records.size() / dt)

@@ -1,6 +1,7 @@
 // BatchGateRunner: batched multi-seed / multi-setting GA runs on the
 // COMPLETE gate-level GA module (GaCoreNetlist + RngNetlist), one run per
-// lane of a single CompiledNetlist 64-lane simulation.
+// lane of a single CompiledNetlist N-word lane-block simulation (64 lanes
+// per word, up to 512 lanes at words == 8).
 //
 // Each lane gets its own GaParameters (seed, population size, thresholds,
 // generations) and runs the full system flow the RT-level GaSystem runs:
@@ -18,6 +19,11 @@
 // lane results are identical to the RT-level GaSystem results for the same
 // seed/settings — asserted by tests/gates/test_gate_batch_runner.cpp.
 //
+// The compiled cores run with the instruction-stream optimizer's dead-gate
+// prune enabled, keeping the observable port surface (everything this
+// runner and its VCD/telemetry probes read); the batch width defaults to
+// the smallest lane block that fits the requested lane count.
+//
 // This is what makes the Table VII-IX grids usable at gate level: the full
 // 24-setting grid is ONE batched simulation instead of 24 scalar ones
 // (bench_table7_gates.cpp).
@@ -27,7 +33,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,6 +47,7 @@
 #include "mem/ga_memory.hpp"
 #include "trace/event.hpp"
 #include "trace/vcd.hpp"
+#include "util/bits.hpp"
 
 namespace gaip::bench {
 
@@ -53,20 +62,45 @@ struct BatchLaneResult {
 
 class BatchGateRunner {
 public:
-    static constexpr unsigned kLanes = gates::CompiledNetlist::kLanes;
+    static constexpr unsigned kWordBits = gates::CompiledNetlist::kWordBits;
+    /// Hard lane ceiling: the widest supported block (8 words = 512 lanes).
+    static constexpr unsigned kMaxLanes =
+        gates::CompiledNetlist::kMaxWords * gates::CompiledNetlist::kWordBits;
 
-    /// One lane per entry of `lane_params` (at most 64). Every lane runs
-    /// `fn` as its (internal, slot-0) fitness function.
-    BatchGateRunner(fitness::FitnessId fn, std::vector<core::GaParameters> lane_params)
+    /// One lane per entry of `lane_params`. Every lane runs `fn` as its
+    /// (internal, slot-0) fitness function. `words` selects the lane-block
+    /// width (1/2/4/8 u64 words); 0 picks the smallest block that fits the
+    /// requested lane count.
+    BatchGateRunner(fitness::FitnessId fn, std::vector<core::GaParameters> lane_params,
+                    unsigned words = 0)
         : fn_(fn),
           params_(std::move(lane_params)),
           core_src_(gates::build_ga_core_netlist()),
-          rng_src_(gates::build_rng_netlist()),
-          core_(core_src_->nl),
-          rng_(rng_src_->nl) {
-        if (params_.empty() || params_.size() > kLanes)
-            throw std::invalid_argument("BatchGateRunner: need 1..64 lane configs");
+          rng_src_(gates::build_rng_netlist()) {
+        if (params_.empty() || params_.size() > kMaxLanes)
+            throw std::invalid_argument("BatchGateRunner: need 1.." +
+                                        std::to_string(kMaxLanes) + " lane configs");
+        if (words == 0)
+            for (words = 1; words * kWordBits < params_.size(); words *= 2) {
+            }
+        if (params_.size() > std::size_t{words} * kWordBits)
+            throw std::invalid_argument(
+                "BatchGateRunner: " + std::to_string(params_.size()) +
+                " lane configs exceed the " + std::to_string(words * kWordBits) +
+                " lanes of a " + std::to_string(words) + "-word block");
+        core_.emplace(core_src_->nl, gates::CompiledNetlist::Options{
+                                         .words = words,
+                                         .cse = true,
+                                         .prune = true,
+                                         .keep = core_src_->observable_port_nets()});
+        rng_.emplace(rng_src_->nl, gates::CompiledNetlist::Options{
+                                       .words = words,
+                                       .cse = true,
+                                       .prune = true,
+                                       .keep = rng_src_->observable_port_nets()});
+        words_ = core_->words();
         presets_.assign(params_.size(), 0);
+        lane_sinks_.assign(params_.size(), nullptr);
         lanes_.resize(params_.size());
         for (std::size_t k = 0; k < params_.size(); ++k) {
             Lane& l = lanes_[k];
@@ -83,8 +117,29 @@ public:
     }
 
     std::size_t lane_count() const noexcept { return lanes_.size(); }
+    /// Lane-block width in u64 words (the simulation carries words()*64
+    /// lanes; configured lanes beyond lane_count() idle).
+    unsigned words() const noexcept { return words_; }
     std::uint64_t cycles() const noexcept { return cycle_; }
-    const gates::CompiledNetlist& core_sim() const noexcept { return core_; }
+    const gates::CompiledNetlist& core_sim() const noexcept { return *core_; }
+
+    /// Formula cycle bound used when run(max_cycles = 0): saturating u64
+    /// arithmetic, so adversarial pop/gens configs clamp to "effectively
+    /// unbounded" instead of wrapping to a tiny bound that would flag
+    /// healthy runs as hangs. Public for regression tests.
+    std::uint64_t default_cycle_bound() const {
+        std::uint64_t bound = 0;
+        for (std::size_t k = 0; k < params_.size(); ++k) {
+            const core::GaParameters eff = core::resolve_parameters(presets_[k], params_[k]);
+            const std::uint64_t evals =
+                util::sat_mul_u64(eff.pop_size, std::uint64_t{eff.n_gens} + 1);
+            const std::uint64_t per_eval =
+                util::sat_add_u64(64, util::sat_mul_u64(8, eff.pop_size));
+            bound = std::max<std::uint64_t>(
+                bound, util::sat_add_u64(util::sat_mul_u64(evals, per_eval), 100'000ull));
+        }
+        return bound;
+    }
 
     /// Put one lane in a Table IV preset mode (1..3): its preset pins are
     /// driven, the init handshake is skipped (presets bypass all programmed
@@ -102,7 +157,7 @@ public:
     std::uint8_t lane_state(unsigned lane) const {
         if (lane >= lanes_.size())
             throw std::invalid_argument("BatchGateRunner: lane out of range");
-        return static_cast<std::uint8_t>(core_.word_value(core_src_->state, lane));
+        return static_cast<std::uint8_t>(core_->word_value(core_src_->state, lane));
     }
 
     /// Attach a telemetry sink to one lane (borrowed; nullptr detaches).
@@ -120,7 +175,7 @@ public:
     /// Register per-lane waveform probes of the compiled core on `vcd`
     /// (borrowed; must outlive run()). One scope per requested lane
     /// ("gates.lane<k>"), sampled once per GA cycle with the 50 MHz period
-    /// (20'000 ps) as the tick — a per-lane slice of the 64-lane simulation
+    /// (20'000 ps) as the tick — a per-lane slice of the batched simulation
     /// in GTKWave. One run() per writer (VCD time is monotonic).
     void add_vcd(trace::VcdWriter* vcd, const std::vector<unsigned>& lanes_to_trace) {
         for (const unsigned lane : lanes_to_trace) {
@@ -129,11 +184,11 @@ public:
             const std::string scope = "gates.lane" + std::to_string(lane);
             auto word = [this, lane](const gates::Word& w) {
                 const gates::Word* pw = &w;  // stable: lives in *core_src_
-                return [this, lane, pw] { return core_.word_value(*pw, lane); };
+                return [this, lane, pw] { return core_->word_value(*pw, lane); };
             };
             auto bit = [this, lane](gates::Net n) {
                 return [this, lane, n] {
-                    return (core_.lanes(n) >> lane) & 1u;
+                    return core_->value(n, lane) ? std::uint64_t{1} : 0;
                 };
             };
             vcd->add_probe(scope, "state", 6, word(core_src_->state));
@@ -177,6 +232,10 @@ public:
     }
 
 private:
+    static constexpr unsigned kMaxWords = gates::CompiledNetlist::kMaxWords;
+    /// One lane-block's worth of packed bits for a single signal.
+    using WordVec = std::array<std::uint64_t, kMaxWords>;
+
     struct Lane {
         // init-handshake FSM (mirrors system::InitModule at GA granularity)
         std::vector<std::pair<std::uint8_t, std::uint16_t>> program;
@@ -202,16 +261,41 @@ private:
         BatchLaneResult result;
     };
 
-    std::uint64_t default_cycle_bound() const {
-        std::uint64_t bound = 0;
-        for (std::size_t k = 0; k < params_.size(); ++k) {
-            const core::GaParameters eff = core::resolve_parameters(presets_[k], params_[k]);
-            const std::uint64_t evals = static_cast<std::uint64_t>(eff.pop_size) *
-                                        (static_cast<std::uint64_t>(eff.n_gens) + 1);
-            bound = std::max<std::uint64_t>(
-                bound, evals * (64ull + 8ull * eff.pop_size) + 100'000ull);
-        }
-        return bound;
+    static bool get(const WordVec& v, std::size_t k) noexcept {
+        return (v[k / kWordBits] >> (k % kWordBits)) & 1u;
+    }
+    static void set(WordVec& v, std::size_t k) noexcept {
+        v[k / kWordBits] |= std::uint64_t{1} << (k % kWordBits);
+    }
+    WordVec read_net(gates::Net n) const {
+        WordVec v{};
+        for (unsigned w = 0; w < words_; ++w) v[w] = core_->lanes_word(n, w);
+        return v;
+    }
+    void drive_core(gates::Net n, const WordVec& v) {
+        for (unsigned w = 0; w < words_; ++w) core_->set_input_word(n, w, v[w]);
+    }
+    void drive_rng(gates::Net n, const WordVec& v) {
+        for (unsigned w = 0; w < words_; ++w) rng_->set_input_word(n, w, v[w]);
+    }
+    /// Transposed read of a port word: per-net lane blocks, indexed
+    /// [net_bit][word]. One lanes_word per net per word instead of one
+    /// word_value (= width x root lookups) per LANE — the hot-path way to
+    /// extract per-lane bytes/words from wide blocks.
+    template <std::size_t N>
+    std::array<WordVec, N> read_word_t(const gates::Word& nets) const {
+        std::array<WordVec, N> out{};
+        const std::size_t n = std::min<std::size_t>(N, nets.size());
+        for (std::size_t j = 0; j < n; ++j)
+            for (unsigned w = 0; w < words_; ++w) out[j][w] = core_->lanes_word(nets[j], w);
+        return out;
+    }
+    template <std::size_t N>
+    static std::uint64_t lane_word(const std::array<WordVec, N>& t, std::size_t k) noexcept {
+        std::uint64_t v = 0;
+        for (std::size_t j = 0; j < N; ++j)
+            if (get(t[j], k)) v |= std::uint64_t{1} << j;
+        return v;
     }
 
     void reset() {
@@ -229,44 +313,44 @@ private:
             lanes_[k] = std::move(fresh);
         }
         // Static pins: per-lane preset mode (user mode = 0), fitness slot 0.
-        std::array<std::uint64_t, 2> preset_w{};
+        std::array<WordVec, 2> preset_w{};
         for (std::size_t k = 0; k < presets_.size(); ++k)
             for (unsigned j = 0; j < 2; ++j)
-                if ((presets_[k] >> j) & 1u) preset_w[j] |= std::uint64_t{1} << k;
-        core_.set_input_all(core_src_->reset, false);
+                if ((presets_[k] >> j) & 1u) set(preset_w[j], k);
+        core_->set_input_all(core_src_->reset, false);
         for (unsigned j = 0; j < core_src_->preset.size() && j < 2; ++j)
-            core_.set_input_lanes(core_src_->preset[j], preset_w[j]);
-        for (const gates::Net n : core_src_->fitfunc_select) core_.set_input_all(n, false);
-        for (const gates::Net n : core_src_->fit_value_ext) core_.set_input_all(n, false);
-        core_.set_input_all(core_src_->fit_valid_ext, false);
-        core_.set_input_all(core_src_->sel_force_found, false);
-        for (const gates::Net n : core_src_->mem_data_in) core_.set_input_all(n, false);
-        for (const gates::Net n : core_src_->fit_value) core_.set_input_all(n, false);
-        core_.set_input_all(core_src_->fit_valid, false);
-        core_.set_input_all(core_src_->start_ga, false);
-        core_.set_input_all(core_src_->ga_load, false);
-        core_.set_input_all(core_src_->data_valid, false);
-        for (const gates::Net n : core_src_->index) core_.set_input_all(n, false);
-        for (const gates::Net n : core_src_->value) core_.set_input_all(n, false);
-        rng_.set_input_all(rng_src_->reset, false);
+            drive_core(core_src_->preset[j], preset_w[j]);
+        for (const gates::Net n : core_src_->fitfunc_select) core_->set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value_ext) core_->set_input_all(n, false);
+        core_->set_input_all(core_src_->fit_valid_ext, false);
+        core_->set_input_all(core_src_->sel_force_found, false);
+        for (const gates::Net n : core_src_->mem_data_in) core_->set_input_all(n, false);
+        for (const gates::Net n : core_src_->fit_value) core_->set_input_all(n, false);
+        core_->set_input_all(core_src_->fit_valid, false);
+        core_->set_input_all(core_src_->start_ga, false);
+        core_->set_input_all(core_src_->ga_load, false);
+        core_->set_input_all(core_src_->data_valid, false);
+        for (const gates::Net n : core_src_->index) core_->set_input_all(n, false);
+        for (const gates::Net n : core_src_->value) core_->set_input_all(n, false);
+        rng_->set_input_all(rng_src_->reset, false);
         for (unsigned j = 0; j < rng_src_->preset.size() && j < 2; ++j)
-            rng_.set_input_lanes(rng_src_->preset[j], preset_w[j]);
-        rng_.set_input_all(rng_src_->start, false);
-        rng_.set_input_all(rng_src_->rn_next, false);
-        rng_.set_input_all(rng_src_->ga_load, false);
-        rng_.set_input_all(rng_src_->data_valid, false);
-        for (const gates::Net n : rng_src_->index) rng_.set_input_all(n, false);
-        for (const gates::Net n : rng_src_->value) rng_.set_input_all(n, false);
+            drive_rng(rng_src_->preset[j], preset_w[j]);
+        rng_->set_input_all(rng_src_->start, false);
+        rng_->set_input_all(rng_src_->rn_next, false);
+        rng_->set_input_all(rng_src_->ga_load, false);
+        rng_->set_input_all(rng_src_->data_valid, false);
+        for (const gates::Net n : rng_src_->index) rng_->set_input_all(n, false);
+        for (const gates::Net n : rng_src_->value) rng_->set_input_all(n, false);
 
         // Synchronous reset pulse in every lane.
-        core_.set_input_all(core_src_->reset, true);
-        rng_.set_input_all(rng_src_->reset, true);
-        core_.eval();
-        rng_.eval();
-        core_.clock();
-        rng_.clock();
-        core_.set_input_all(core_src_->reset, false);
-        rng_.set_input_all(rng_src_->reset, false);
+        core_->set_input_all(core_src_->reset, true);
+        rng_->set_input_all(rng_src_->reset, true);
+        core_->eval();
+        rng_->eval();
+        core_->clock();
+        rng_->clock();
+        core_->set_input_all(core_src_->reset, false);
+        rng_->set_input_all(rng_src_->reset, false);
     }
 
     /// One GA-clock cycle across all lanes; returns unfinished lane count.
@@ -274,102 +358,99 @@ private:
         const std::size_t n = lanes_.size();
 
         // ---- assemble per-lane input words --------------------------------
-        std::uint64_t ga_load_w = 0, data_valid_w = 0, start_w = 0, fit_valid_w = 0;
-        std::array<std::uint64_t, 3> index_w{};
-        std::array<std::uint64_t, 16> value_w{};
-        std::array<std::uint64_t, 16> fitv_w{};
-        std::array<std::uint64_t, 32> mdi_w{};
+        WordVec ga_load_w{}, data_valid_w{}, start_w{}, fit_valid_w{};
+        std::array<WordVec, 3> index_w{};
+        std::array<WordVec, 16> value_w{};
+        std::array<WordVec, 16> fitv_w{};
+        std::array<WordVec, 32> mdi_w{};
         for (std::size_t k = 0; k < n; ++k) {
             const Lane& l = lanes_[k];
-            const std::uint64_t bit = std::uint64_t{1} << k;
             if (!l.init_done) {
-                ga_load_w |= bit;
+                set(ga_load_w, k);
                 if (l.init_asserting) {
-                    data_valid_w |= bit;
+                    set(data_valid_w, k);
                     const auto& [idx, val] = l.program[l.init_item];
                     for (unsigned j = 0; j < 3; ++j)
-                        if ((idx >> j) & 1u) index_w[j] |= bit;
+                        if ((idx >> j) & 1u) set(index_w[j], k);
                     for (unsigned j = 0; j < 16; ++j)
-                        if ((val >> j) & 1u) value_w[j] |= bit;
+                        if ((val >> j) & 1u) set(value_w[j], k);
                 }
             }
-            if (l.start_hold > 0) start_w |= bit;
+            if (l.start_hold > 0) set(start_w, k);
             if (l.fem_valid) {
-                fit_valid_w |= bit;
+                set(fit_valid_w, k);
                 for (unsigned j = 0; j < 16; ++j)
-                    if ((l.fem_value >> j) & 1u) fitv_w[j] |= bit;
+                    if ((l.fem_value >> j) & 1u) set(fitv_w[j], k);
             }
             for (unsigned j = 0; j < 32; ++j)
-                if ((l.mem_dout >> j) & 1u) mdi_w[j] |= bit;
+                if ((l.mem_dout >> j) & 1u) set(mdi_w[j], k);
         }
 
         // ---- drive the core and settle its combinational cone -------------
-        core_.set_input_lanes(core_src_->ga_load, ga_load_w);
-        core_.set_input_lanes(core_src_->data_valid, data_valid_w);
-        core_.set_input_lanes(core_src_->start_ga, start_w);
-        core_.set_input_lanes(core_src_->fit_valid, fit_valid_w);
-        for (unsigned j = 0; j < 3; ++j)
-            core_.set_input_lanes(core_src_->index[j], index_w[j]);
+        drive_core(core_src_->ga_load, ga_load_w);
+        drive_core(core_src_->data_valid, data_valid_w);
+        drive_core(core_src_->start_ga, start_w);
+        drive_core(core_src_->fit_valid, fit_valid_w);
+        for (unsigned j = 0; j < 3; ++j) drive_core(core_src_->index[j], index_w[j]);
         for (unsigned j = 0; j < 16; ++j) {
-            core_.set_input_lanes(core_src_->value[j], value_w[j]);
-            core_.set_input_lanes(core_src_->fit_value[j], fitv_w[j]);
+            drive_core(core_src_->value[j], value_w[j]);
+            drive_core(core_src_->fit_value[j], fitv_w[j]);
             // rn comes straight from the RNG's CA state registers.
-            core_.set_input_lanes(core_src_->rn[j], rng_.lanes(rng_src_->rn[j]));
+            for (unsigned w = 0; w < words_; ++w)
+                core_->set_input_word(core_src_->rn[j], w,
+                                      rng_->lanes_word(rng_src_->rn[j], w));
         }
-        for (unsigned j = 0; j < 32; ++j)
-            core_.set_input_lanes(core_src_->mem_data_in[j], mdi_w[j]);
-        core_.eval();
+        for (unsigned j = 0; j < 32; ++j) drive_core(core_src_->mem_data_in[j], mdi_w[j]);
+        core_->eval();
 
         // ---- sample the core's outputs (pre-edge values) ------------------
-        const std::uint64_t data_ack_w = core_.lanes(core_src_->data_ack);
-        const std::uint64_t fit_req_w = core_.lanes(core_src_->fit_request);
-        const std::uint64_t ga_done_w = core_.lanes(core_src_->ga_done);
-        const std::uint64_t mem_wr_w = core_.lanes(core_src_->mem_wr);
-        const std::uint64_t rn_next_w = core_.lanes(core_src_->rn_next);
+        const WordVec data_ack_w = read_net(core_src_->data_ack);
+        const WordVec fit_req_w = read_net(core_src_->fit_request);
+        const WordVec ga_done_w = read_net(core_src_->ga_done);
+        const WordVec mem_wr_w = read_net(core_src_->mem_wr);
+        const WordVec rn_next_w = read_net(core_src_->rn_next);
+        const auto addr_t = read_word_t<8>(core_src_->mem_address);
+        const auto mdo_t = read_word_t<32>(core_src_->mem_data_out);
+        const auto cand_t = read_word_t<16>(core_src_->candidate);
         // Pre-edge monitor samples: the same observation point the RT-level
         // SystemTap uses, so traced event streams line up across substrates.
-        const std::uint64_t mon_pulse_w =
-            tracing_ ? core_.lanes(core_src_->mon_gen_pulse) : 0;
-        const std::uint64_t mon_bank_w = tracing_ ? core_.lanes(core_src_->mon_bank) : 0;
+        const WordVec mon_pulse_w =
+            tracing_ ? read_net(core_src_->mon_gen_pulse) : WordVec{};
+        const WordVec mon_bank_w = tracing_ ? read_net(core_src_->mon_bank) : WordVec{};
 
         // ---- drive the RNG module (shares the init bus + start pulse) -----
-        rng_.set_input_lanes(rng_src_->ga_load, ga_load_w);
-        rng_.set_input_lanes(rng_src_->data_valid, data_valid_w);
-        rng_.set_input_lanes(rng_src_->start, start_w);
-        rng_.set_input_lanes(rng_src_->rn_next, rn_next_w);
-        for (unsigned j = 0; j < 3; ++j)
-            rng_.set_input_lanes(rng_src_->index[j], index_w[j]);
-        for (unsigned j = 0; j < 16; ++j)
-            rng_.set_input_lanes(rng_src_->value[j], value_w[j]);
-        rng_.eval();
+        drive_rng(rng_src_->ga_load, ga_load_w);
+        drive_rng(rng_src_->data_valid, data_valid_w);
+        drive_rng(rng_src_->start, start_w);
+        drive_rng(rng_src_->rn_next, rn_next_w);
+        for (unsigned j = 0; j < 3; ++j) drive_rng(rng_src_->index[j], index_w[j]);
+        for (unsigned j = 0; j < 16; ++j) drive_rng(rng_src_->value[j], value_w[j]);
+        rng_->eval();
 
         // ---- clock edge ---------------------------------------------------
-        core_.clock();
-        rng_.clock();
+        core_->clock();
+        rng_->clock();
         ++cycle_;
 
         // ---- advance the per-lane peripheral models -----------------------
         std::size_t unfinished = 0;
         for (std::size_t k = 0; k < n; ++k) {
             Lane& l = lanes_[k];
-            const std::uint64_t bit = std::uint64_t{1} << k;
             trace::TraceSink* sink = tracing_ ? lane_sinks_[k] : nullptr;
             const unsigned lk = static_cast<unsigned>(k);
 
-            if (sink != nullptr && (data_ack_w & bit) && !l.prev_ack) {
+            if (sink != nullptr && get(data_ack_w, k) && !l.prev_ack) {
                 const auto& [idx, val] = l.program[l.init_item];
                 sink->on_event(lane_event(trace::kind::kInitWrite)
                                    .add("index", static_cast<std::uint64_t>(idx))
                                    .add("value", static_cast<std::uint64_t>(val)));
             }
-            l.prev_ack = (data_ack_w & bit) != 0;
+            l.prev_ack = get(data_ack_w, k);
 
             // GA memory (write-first synchronous RAM).
-            const std::uint8_t addr = static_cast<std::uint8_t>(
-                core_.word_value(core_src_->mem_address, static_cast<unsigned>(k)));
-            if (mem_wr_w & bit) {
-                const std::uint32_t wdata = static_cast<std::uint32_t>(
-                    core_.word_value(core_src_->mem_data_out, static_cast<unsigned>(k)));
+            const std::uint8_t addr = static_cast<std::uint8_t>(lane_word(addr_t, k));
+            if (get(mem_wr_w, k)) {
+                const std::uint32_t wdata = static_cast<std::uint32_t>(lane_word(mdo_t, k));
                 l.mem[addr] = wdata;
                 l.mem_dout = wdata;
             } else {
@@ -377,11 +458,10 @@ private:
             }
 
             // FEM: one-cycle lookup, valid until the request drops.
-            if (l.fem_valid && !(fit_req_w & bit)) {
+            if (l.fem_valid && !get(fit_req_w, k)) {
                 l.fem_valid = false;
-            } else if ((fit_req_w & bit) && !l.fem_valid) {
-                const std::uint16_t cand = static_cast<std::uint16_t>(
-                    core_.word_value(core_src_->candidate, static_cast<unsigned>(k)));
+            } else if (get(fit_req_w, k) && !l.fem_valid) {
+                const std::uint16_t cand = static_cast<std::uint16_t>(lane_word(cand_t, k));
                 l.fem_value = fitness::fitness_u16(fn_, cand);
                 l.fem_valid = true;
                 ++l.result.evaluations;
@@ -401,8 +481,8 @@ private:
             // Init handshake FSM.
             if (!l.init_done) {
                 if (l.init_asserting) {
-                    if (data_ack_w & bit) l.init_asserting = false;
-                } else if (!(data_ack_w & bit)) {
+                    if (get(data_ack_w, k)) l.init_asserting = false;
+                } else if (!get(data_ack_w, k)) {
                     if (++l.init_item >= l.program.size()) {
                         l.init_done = true;
                         l.start_hold = 2;  // schedule the start_GA pulse
@@ -426,35 +506,35 @@ private:
                     l.start_traced = true;
                     sink->on_event(lane_event(trace::kind::kStart));
                 }
-                if ((mon_pulse_w & bit) && !l.prev_pulse) {
+                if (get(mon_pulse_w, k) && !l.prev_pulse) {
                     sink->on_event(
                         lane_event(trace::kind::kGeneration)
-                            .add("gen", core_.word_value(core_src_->mon_gen_id, lk))
-                            .add("best_fit", core_.word_value(core_src_->mon_best_fit, lk))
-                            .add("best_ind", core_.word_value(core_src_->mon_best_ind, lk))
-                            .add("fit_sum", core_.word_value(core_src_->mon_fit_sum, lk))
-                            .add("pop", core_.word_value(core_src_->mon_pop_size, lk))
-                            .add("bank", (mon_bank_w >> lk) & 1u));
+                            .add("gen", core_->word_value(core_src_->mon_gen_id, lk))
+                            .add("best_fit", core_->word_value(core_src_->mon_best_fit, lk))
+                            .add("best_ind", core_->word_value(core_src_->mon_best_ind, lk))
+                            .add("fit_sum", core_->word_value(core_src_->mon_fit_sum, lk))
+                            .add("pop", core_->word_value(core_src_->mon_pop_size, lk))
+                            .add("bank", get(mon_bank_w, k) ? std::uint64_t{1} : std::uint64_t{0}));
                 }
-                if (((mon_bank_w >> lk) & 1u) != (l.prev_bank ? 1u : 0u)) {
+                if (get(mon_bank_w, k) != l.prev_bank) {
                     sink->on_event(lane_event(trace::kind::kBankSwap)
-                                       .add("bank", (mon_bank_w >> lk) & 1u));
+                                       .add("bank", get(mon_bank_w, k) ? std::uint64_t{1} : std::uint64_t{0}));
                 }
             }
-            l.prev_pulse = (mon_pulse_w & bit) != 0;
-            l.prev_bank = (mon_bank_w & bit) != 0;
+            l.prev_pulse = get(mon_pulse_w, k);
+            l.prev_bank = get(mon_bank_w, k);
 
             // Completion: first GA_done after the start pulse.
             if (!l.result.finished) {
-                if (l.started && (ga_done_w & bit)) {
+                if (l.started && get(ga_done_w, k)) {
                     const unsigned lane = static_cast<unsigned>(k);
                     l.result.finished = true;
                     l.result.best_fitness = static_cast<std::uint16_t>(
-                        core_.word_value(core_src_->best_fit, lane));
+                        core_->word_value(core_src_->best_fit, lane));
                     l.result.best_candidate = static_cast<std::uint16_t>(
-                        core_.word_value(core_src_->best_ind, lane));
+                        core_->word_value(core_src_->best_ind, lane));
                     l.result.generations = static_cast<std::uint32_t>(
-                        core_.word_value(core_src_->gen_id, lane));
+                        core_->word_value(core_src_->gen_id, lane));
                     l.result.ga_cycles = cycle_ - l.start_cycle;
                     if (sink != nullptr) {
                         sink->on_event(
@@ -485,11 +565,12 @@ private:
     std::vector<std::uint8_t> presets_;  ///< per-lane Table IV preset mode (0 = user)
     std::unique_ptr<gates::GaCoreNetlist> core_src_;
     std::unique_ptr<gates::RngNetlist> rng_src_;
-    gates::CompiledNetlist core_;
-    gates::CompiledNetlist rng_;
+    std::optional<gates::CompiledNetlist> core_;
+    std::optional<gates::CompiledNetlist> rng_;
+    unsigned words_ = 1;
     std::vector<Lane> lanes_;
     std::uint64_t cycle_ = 0;
-    std::array<trace::TraceSink*, kLanes> lane_sinks_{};
+    std::vector<trace::TraceSink*> lane_sinks_;
     bool tracing_ = false;
     trace::VcdWriter* vcd_ = nullptr;
 };

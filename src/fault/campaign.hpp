@@ -1,9 +1,12 @@
 // FaultCampaign: enumerates the SEU fault space of the GA core — every
 // scan-chain flip-flop x a coarse grid of injection cycles — and classifies
-// each fault by running it on the 64-lane compiled gate-level simulation:
-// lane 0 of every batch is the fault-free golden reference, lanes 1..63
-// each carry one independent upset (CompiledNetlist::xor_register_lanes),
-// so one batched simulation retires up to 63 injections.
+// each fault by running it on the N-word lane-block compiled gate-level
+// simulation (64 x lane_words lanes per batch): lane 0 of every batch is
+// the fault-free golden reference, each remaining lane carries one
+// independent upset (CompiledNetlist::xor_register_word), so one batched
+// simulation retires up to 64 x lane_words - 1 injections. Batches are
+// independent simulations and fan out across `threads` workers; records,
+// counts and cycle totals are deterministic regardless of width/threads.
 //
 // The golden lane doubles as a determinism detector: every batch requires
 // lane 0 to reproduce the RT-level golden run bit- and cycle-exactly, so a
@@ -40,6 +43,14 @@ struct CampaignConfig {
     /// full enumeration (1 = exhaustive), then at most `max_sites` (0 = all).
     std::uint64_t stride = 1;
     std::size_t max_sites = 0;
+    /// Gate-backend lane-block width in u64 words (1, 2, 4 or 8): every
+    /// batch simulates 64 x lane_words lanes — one golden reference plus up
+    /// to 64 x lane_words - 1 injections retired per batched simulation.
+    unsigned lane_words = 1;
+    /// Worker threads for run_gate (0 = all hardware threads). Each worker
+    /// owns one gate engine and batches are independent, so results are
+    /// bit-identical at any thread count.
+    unsigned threads = 1;
 };
 
 struct CampaignResult {
@@ -75,10 +86,12 @@ public:
     /// one site per grid cycle, subsampled per cfg.stride / cfg.max_sites.
     std::vector<FaultSite> enumerate_sites() const;
 
-    /// Run `sites` on the gate-level 64-lane backend (63 injections +
-    /// 1 golden lane per batch). `progress`, when set, is called after each
-    /// batch with (sites_done, sites_total). Throws if any golden lane
-    /// deviates from the RT-level golden run.
+    /// Run `sites` on the gate-level lane-block backend (64 x lane_words -
+    /// 1 injections + 1 golden lane per batch, batches spread over
+    /// cfg.threads workers). `progress`, when set, is called after each
+    /// batch with (cumulative sites_done, sites_total); sites_done is
+    /// monotone but reflects batch COMPLETION order when threaded. Throws
+    /// if any golden lane deviates from the RT-level golden run.
     CampaignResult run_gate(const std::vector<FaultSite>& sites,
                             const std::function<void(std::size_t, std::size_t)>& progress = {});
 

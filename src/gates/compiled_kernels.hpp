@@ -1,0 +1,42 @@
+// Runtime-dispatched evaluation kernels for CompiledNetlist.
+//
+// The instruction stream is ISA-agnostic; only the inner loop differs: the
+// W words of one net are contiguous, so W=2/4/8 map 1:1 onto SSE2/AVX2/
+// AVX-512 bitwise ops. Each ISA variant lives in its own translation unit
+// compiled with the matching -m flags (see src/gates/CMakeLists.txt), and
+// select() picks the widest one the running CPU reports via
+// __builtin_cpu_supports — the binary stays runnable on plain x86-64 and
+// non-x86 hosts (generic only).
+//
+// The environment variable GAIP_KERNEL ("generic", "avx2", "avx512")
+// forces a variant for differential testing; an unavailable forced variant
+// falls back to generic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gaip::gates {
+
+struct LaneInstr;
+
+namespace kernels {
+
+/// Evaluate `n` instructions over a value array where slot s occupies
+/// words [s*W, s*W + W); W is baked into the function.
+using KernelFn = void (*)(const LaneInstr* code, std::size_t n, std::uint64_t* values);
+
+/// Best kernel for `words` (1/2/4/8) on this CPU. Never returns null.
+KernelFn select(unsigned words);
+
+/// Portable kernel table (always available).
+KernelFn generic(unsigned words);
+
+#if defined(GAIP_X86_KERNELS)
+/// Per-ISA tables; only linked on x86-64 GNU/Clang builds.
+KernelFn avx2(unsigned words);
+KernelFn avx512(unsigned words);
+#endif
+
+}  // namespace kernels
+}  // namespace gaip::gates

@@ -1,0 +1,39 @@
+// Portable kernel table + the runtime dispatcher. Compiled with the
+// project's default flags only — must run on any target.
+#include <cstdlib>
+#include <cstring>
+
+#include "gates/compiled.hpp"
+#include "gates/compiled_kernels.hpp"
+
+namespace gaip::gates::kernels {
+
+namespace {
+#include "gates/compiled_kernels_impl.inl"
+}  // namespace
+
+KernelFn generic(unsigned words) { return table(words); }
+
+KernelFn select(unsigned words) {
+    const char* forced = std::getenv("GAIP_KERNEL");
+#if defined(GAIP_X86_KERNELS)
+    const bool has512 = __builtin_cpu_supports("avx512f") != 0;
+    const bool has2 = __builtin_cpu_supports("avx2") != 0;
+    if (forced != nullptr) {
+        if (std::strcmp(forced, "avx512") == 0 && has512) return avx512(words);
+        if (std::strcmp(forced, "avx2") == 0 && has2) return avx2(words);
+        return generic(words);
+    }
+    if (has512) {
+        if (KernelFn f = avx512(words)) return f;
+    }
+    if (has2) {
+        if (KernelFn f = avx2(words)) return f;
+    }
+#else
+    (void)forced;
+#endif
+    return generic(words);
+}
+
+}  // namespace gaip::gates::kernels

@@ -1,0 +1,61 @@
+// Kernel template shared by every ISA translation unit. Included inside
+// each TU's anonymous namespace so the same source compiles under
+// different -m flags without ODR collisions; the surrounding TU then
+// exports its table function (generic()/avx2()/avx512()) returning
+// pointers to these instantiations.
+//
+// The whole engine is one expression per gate:
+//
+//     dst = ((a & b) & ma) ^ ((a ^ b) & mx) ^ inv
+//
+// applied to W-word lane blocks. GCC/Clang vector extensions give us the
+// W=2/4/8 forms as single variables of vector type; with may_alias they
+// may legally overlay the plain uint64_t storage, and since slot blocks
+// are naturally aligned (storage is 64-byte aligned, each block is W*8
+// bytes), plain vector loads/stores are aligned. Scalar masks broadcast
+// implicitly in vector-scalar binary ops.
+
+typedef std::uint64_t v2u64 __attribute__((vector_size(16), may_alias));
+typedef std::uint64_t v4u64 __attribute__((vector_size(32), may_alias));
+typedef std::uint64_t v8u64 __attribute__((vector_size(64), may_alias));
+
+template <unsigned W>
+struct VecOf;
+template <>
+struct VecOf<1> {
+    using type = std::uint64_t;
+};
+template <>
+struct VecOf<2> {
+    using type = v2u64;
+};
+template <>
+struct VecOf<4> {
+    using type = v4u64;
+};
+template <>
+struct VecOf<8> {
+    using type = v8u64;
+};
+
+template <unsigned W>
+void eval_w(const gaip::gates::LaneInstr* code, std::size_t n, std::uint64_t* values) {
+    using V = typename VecOf<W>::type;
+    V* const v = reinterpret_cast<V*>(values);
+    for (std::size_t i = 0; i < n; ++i) {
+        const gaip::gates::LaneInstr& c = code[i];
+        const V a = v[c.a];
+        const V b = v[c.b];
+        v[c.dst] = ((a & b) & c.ma) ^ ((a ^ b) & c.mx) ^ c.inv;
+    }
+}
+
+inline gaip::gates::kernels::KernelFn table(unsigned words) {
+    switch (words) {
+        case 1: return &eval_w<1>;
+        case 2: return &eval_w<2>;
+        case 4: return &eval_w<4>;
+        case 8: return &eval_w<8>;
+        default: return nullptr;
+    }
+}

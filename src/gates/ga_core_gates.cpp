@@ -89,6 +89,36 @@ private:
 
 }  // namespace
 
+std::vector<Net> GaCoreNetlist::observable_port_nets() const {
+    std::vector<Net> keep;
+    auto add = [&](Net n) {
+        if (n != kNoNet) keep.push_back(n);
+    };
+    auto add_w = [&](const Word& w) { keep.insert(keep.end(), w.begin(), w.end()); };
+    add(data_ack);
+    add(fit_request);
+    add_w(candidate);
+    add_w(mem_address);
+    add_w(mem_data_out);
+    add(mem_wr);
+    add(ga_done);
+    add(rn_next);
+    add(sel_found);
+    add(mon_gen_pulse);
+    add_w(mon_gen_id);
+    add_w(mon_best_fit);
+    add_w(mon_fit_sum);
+    add_w(mon_best_ind);
+    add(mon_bank);
+    add_w(mon_pop_size);
+    add_w(state);
+    add_w(gen_id);
+    add_w(best_fit);
+    add_w(best_ind);
+    add(bank);
+    return keep;
+}
+
 std::unique_ptr<GaCoreNetlist> build_ga_core_netlist(std::uint8_t external_slot_mask) {
     auto out = std::make_unique<GaCoreNetlist>();
     GateNetlist& nl = out->nl;

@@ -67,6 +67,11 @@ struct GaCoreNetlist {
     Word best_fit;        // 16
     Word best_ind;        // 16
     Net bank = kNoNet;
+
+    /// Every output + visibility net above — the keep-roots set for
+    /// CompiledNetlist::Options::prune when a caller only observes the
+    /// port surface (BatchGateRunner, FaultCampaign).
+    std::vector<Net> observable_port_nets() const;
 };
 
 /// Build the full core. `external_slot_mask` as in GaCoreConfig.

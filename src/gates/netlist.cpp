@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace gaip::gates {
 
@@ -75,6 +76,14 @@ void GateNetlist::set_input(Net n, bool v) {
     if (n >= ops_.size() || ops_[n] != GateOp::kInput)
         throw std::invalid_argument("set_input: not an input net");
     values_[n] = v ? 1 : 0;
+}
+
+void GateNetlist::set_word_input(const std::vector<Net>& w, std::uint64_t value) {
+    if (w.size() < 64 && (value >> w.size()) != 0)
+        throw std::invalid_argument("set_word_input: value has bits beyond the " +
+                                    std::to_string(w.size()) + "-bit word");
+    for (std::size_t i = 0; i < w.size(); ++i)
+        set_input(w[i], i < 64 && ((value >> i) & 1u));
 }
 
 void GateNetlist::set_register(Net q, bool v) {

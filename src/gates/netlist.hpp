@@ -81,6 +81,11 @@ public:
 
     // --- simulation ---
     void set_input(Net input_net, bool v);
+    /// Drive a word input (LSB-first net vector) with `value`. Throws if
+    /// `value` carries bits beyond the vector's width — identical strict
+    /// contract as CompiledNetlist::set_word_input, so the scalar oracle
+    /// and the compiled evaluator reject the same stimulus.
+    void set_word_input(const std::vector<Net>& w, std::uint64_t value);
     /// Combinational propagation from current inputs + register state.
     void eval();
     bool value(Net n) const;

@@ -4,6 +4,13 @@
 
 namespace gaip::gates {
 
+std::vector<Net> RngNetlist::observable_port_nets() const {
+    std::vector<Net> keep;
+    keep.insert(keep.end(), rn.begin(), rn.end());
+    keep.insert(keep.end(), seed_reg.begin(), seed_reg.end());
+    return keep;
+}
+
 std::unique_ptr<RngNetlist> build_rng_netlist(std::uint16_t rule150_mask) {
     auto out = std::make_unique<RngNetlist>();
     GateNetlist& nl = out->nl;

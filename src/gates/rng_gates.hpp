@@ -30,6 +30,10 @@ struct RngNetlist {
 
     // visibility
     Word seed_reg;  // 16
+
+    /// Output + visibility nets — keep-roots for
+    /// CompiledNetlist::Options::prune.
+    std::vector<Net> observable_port_nets() const;
 };
 
 std::unique_ptr<RngNetlist> build_rng_netlist(

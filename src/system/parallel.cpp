@@ -1,10 +1,7 @@
 #include "system/parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <stdexcept>
-#include <thread>
 
 #include "fitness/fem.hpp"
 #include "fitness/fem_mux.hpp"
@@ -15,6 +12,8 @@
 #include "system/init_module.hpp"
 #include "system/monitor.hpp"
 #include "system/wires.hpp"
+#include "util/bits.hpp"
+#include "util/worker_pool.hpp"
 
 namespace gaip::system {
 
@@ -121,13 +120,7 @@ ParallelGaSystem::ParallelGaSystem(ParallelGaConfig cfg) : cfg_(std::move(cfg)) 
 }
 
 unsigned ParallelGaSystem::resolved_threads() const noexcept {
-    const auto k = static_cast<unsigned>(engines_.size());
-    unsigned t = cfg_.threads;
-    if (t == 0) {
-        const unsigned hw = std::thread::hardware_concurrency();
-        t = hw == 0 ? 1u : hw;
-    }
-    return std::min(t, k);
+    return util::resolve_threads(cfg_.threads, engines_.size());
 }
 
 rtl::Kernel& ParallelGaSystem::engine_kernel(std::size_t i) {
@@ -135,39 +128,23 @@ rtl::Kernel& ParallelGaSystem::engine_kernel(std::size_t i) {
 }
 
 ParallelRunResult ParallelGaSystem::run() {
+    // Saturating formula bound: adversarial pop/gens configs clamp to
+    // "effectively unbounded" instead of wrapping to a tiny bound that
+    // would abort healthy engines (same fix as BatchGateRunner's
+    // default_cycle_bound).
     const core::GaParameters eff = core::resolve_parameters(0, cfg_.params);
     const std::uint64_t evals =
-        static_cast<std::uint64_t>(eff.pop_size) * (static_cast<std::uint64_t>(eff.n_gens) + 1);
-    const std::uint64_t max_edges = (evals * (64ull + 8ull * eff.pop_size) + 100'000) * 4;
+        util::sat_mul_u64(eff.pop_size, std::uint64_t{eff.n_gens} + 1);
+    const std::uint64_t per_eval = util::sat_add_u64(64, util::sat_mul_u64(8, eff.pop_size));
+    const std::uint64_t max_edges = util::sat_mul_u64(
+        util::sat_add_u64(util::sat_mul_u64(evals, per_eval), 100'000ull), 4);
 
-    const unsigned nthreads = resolved_threads();
-    if (nthreads <= 1) {
-        for (auto& e : engines_) e->run(max_edges);
-    } else {
-        // Small pool pulling engine indices off a shared counter. Each
-        // engine is simulated entirely by one worker; the first exception
-        // (by engine index) is rethrown after the join.
-        std::atomic<std::size_t> next{0};
-        std::vector<std::exception_ptr> errors(engines_.size());
-        std::vector<std::thread> pool;
-        pool.reserve(nthreads);
-        for (unsigned w = 0; w < nthreads; ++w) {
-            pool.emplace_back([&] {
-                for (std::size_t i = next.fetch_add(1); i < engines_.size();
-                     i = next.fetch_add(1)) {
-                    try {
-                        engines_[i]->run(max_edges);
-                    } catch (...) {
-                        errors[i] = std::current_exception();
-                    }
-                }
-            });
-        }
-        for (std::thread& t : pool) t.join();
-        for (const std::exception_ptr& e : errors) {
-            if (e) std::rethrow_exception(e);
-        }
-    }
+    // Pool pulling engine indices off a shared counter (the pattern now
+    // lives in util::parallel_for_n, shared with FaultCampaign). Each
+    // engine is simulated entirely by one worker; the first exception is
+    // rethrown after the join.
+    util::parallel_for_n(resolved_threads(), engines_.size(),
+                         [&](std::size_t i) { engines_[i]->run(max_edges); });
 
     // Join-time best-of reduction over the engines' exported results.
     BestOfCombiner combiner;

@@ -56,6 +56,11 @@ TEST(FaultCampaign, RejectsBadConfig) {
     cfg = small_config();
     cfg.stride = 0;
     EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
+    cfg = small_config();
+    cfg.lane_words = 3;  // only power-of-two block widths exist
+    EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
+    cfg.lane_words = 16;
+    EXPECT_THROW(FaultCampaign{cfg}, std::invalid_argument);
 }
 
 TEST(FaultCampaign, GateBackendAgreesWithBothRtlBackends) {
@@ -120,6 +125,61 @@ TEST(FaultCampaign, ProgressCallbackReportsMonotonically) {
     ASSERT_EQ(done.size(), 2u);
     EXPECT_EQ(done[0], 63u);
     EXPECT_EQ(done[1], 70u);
+}
+
+TEST(FaultCampaign, WideBlocksAndThreadsReproduceDefaultRecords) {
+    // The campaign's record stream (site order, inject cycles, outcomes,
+    // per-record results) and aggregate counters must be bit-identical at
+    // every lane-block width and thread count: batches are independent
+    // simulations and lane position within a batch is semantically inert.
+    CampaignConfig cfg = small_config();
+    cfg.max_sites = 150;  // > 2 single-word batches, spans word boundaries
+    FaultCampaign baseline(cfg);
+    const auto sites = baseline.enumerate_sites();
+    ASSERT_EQ(sites.size(), 150u);
+    const CampaignResult ref = baseline.run_gate(sites);
+    ASSERT_EQ(ref.records.size(), sites.size());
+
+    struct Variant {
+        unsigned words;
+        unsigned threads;
+    };
+    for (const Variant v : {Variant{8, 1}, Variant{2, 2}, Variant{1, 0}}) {
+        SCOPED_TRACE("lane_words=" + std::to_string(v.words) +
+                     " threads=" + std::to_string(v.threads));
+        CampaignConfig wide = cfg;
+        wide.lane_words = v.words;
+        wide.threads = v.threads;
+        FaultCampaign campaign(wide);
+        std::size_t last_done = 0;
+        const CampaignResult res =
+            campaign.run_gate(sites, [&](std::size_t d, std::size_t total) {
+                EXPECT_EQ(total, sites.size());
+                EXPECT_GT(d, last_done) << "progress must be monotone";
+                last_done = d;
+            });
+        EXPECT_EQ(last_done, sites.size());
+        EXPECT_EQ(res.masked, ref.masked);
+        EXPECT_EQ(res.wrong, ref.wrong);
+        EXPECT_EQ(res.hang, ref.hang);
+        EXPECT_EQ(res.recovered, ref.recovered);
+        EXPECT_EQ(res.gate_cycles > 0, true);
+        ASSERT_EQ(res.records.size(), ref.records.size());
+        for (std::size_t i = 0; i < ref.records.size(); ++i) {
+            const FaultRecord& a = ref.records[i];
+            const FaultRecord& b = res.records[i];
+            ASSERT_EQ(a.site.reg, b.site.reg);
+            ASSERT_EQ(a.site.bit, b.site.bit);
+            ASSERT_EQ(a.site.cycle, b.site.cycle);
+            EXPECT_EQ(a.inject_cycle, b.inject_cycle);
+            EXPECT_EQ(a.outcome, b.outcome);
+            EXPECT_EQ(a.finished, b.finished);
+            EXPECT_EQ(a.best_fitness, b.best_fitness);
+            EXPECT_EQ(a.best_candidate, b.best_candidate);
+            EXPECT_EQ(a.ga_cycles, b.ga_cycles);
+            EXPECT_EQ(a.final_state, b.final_state);
+        }
+    }
 }
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "gates/builder.hpp"
@@ -124,14 +126,19 @@ TEST(CompiledNetlist, WordValueRejectsOver64Nets) {
     EXPECT_NO_THROW(cs.word_value(wide, 0));
 }
 
-/// Drive the scalar netlist and the compiled netlist with identical
-/// stimulus for `cycles` cycles (mixing normal clocks and scan-shift
-/// bursts), comparing the scalar reference against compiled lane
-/// `ref_lane` — registers and probe nets every cycle, every net
-/// periodically and on the final cycle.
+/// Drive the scalar netlist and a compiled netlist (any lane-block width,
+/// any Options) with identical stimulus for `cycles` cycles (mixing normal
+/// clocks and scan-shift bursts), comparing the scalar reference against
+/// compiled lane `ref_lane` — registers and probe nets every cycle, every
+/// net periodically and on the final cycle.
 void run_differential(GateNetlist& nl, std::uint64_t seed, unsigned ref_lane,
-                      unsigned cycles, unsigned full_compare_stride) {
-    CompiledNetlist cs(nl);
+                      unsigned cycles, unsigned full_compare_stride,
+                      CompiledNetlist::Options opts = {}) {
+    CompiledNetlist cs(nl, opts);
+    ASSERT_LT(ref_lane, cs.lane_count());
+    const unsigned words = cs.words();
+    const unsigned ref_word = ref_lane / CompiledNetlist::kWordBits;
+    const unsigned ref_bit = ref_lane % CompiledNetlist::kWordBits;
     Rand rnd(seed);
     const std::vector<Net> inputs = input_nets(nl);
     const std::vector<Net> regs = nl.register_q_nets();
@@ -147,12 +154,14 @@ void run_differential(GateNetlist& nl, std::uint64_t seed, unsigned ref_lane,
     };
 
     for (unsigned c = 0; c < cycles; ++c) {
-        // Random stimulus: 64 independent lanes; the scalar reference
-        // replays lane `ref_lane`.
+        // Random stimulus: lane_count() independent lanes; the scalar
+        // reference replays lane `ref_lane`.
         for (const Net in : inputs) {
-            const std::uint64_t w = rnd.next();
-            cs.set_input_lanes(in, w);
-            nl.set_input(in, (w >> ref_lane) & 1u);
+            for (unsigned w = 0; w < words; ++w) {
+                const std::uint64_t word = rnd.next();
+                cs.set_input_word(in, w, word);
+                if (w == ref_word) nl.set_input(in, (word >> ref_bit) & 1u);
+            }
         }
         nl.eval();
         cs.eval();
@@ -170,10 +179,13 @@ void run_differential(GateNetlist& nl, std::uint64_t seed, unsigned ref_lane,
         // exercises test mode under load.
         if (c % 257 == 200) {
             for (int s = 0; s < 8; ++s) {
-                const std::uint64_t scan_w = rnd.next();
-                const bool scalar_out = nl.clock(true, (scan_w >> ref_lane) & 1u);
-                const std::uint64_t batch_out = cs.clock(true, scan_w);
-                ASSERT_EQ((batch_out >> ref_lane) & 1u, scalar_out ? 1u : 0u)
+                std::uint64_t scan_in[CompiledNetlist::kMaxWords] = {};
+                std::uint64_t scan_out[CompiledNetlist::kMaxWords] = {};
+                for (unsigned w = 0; w < words; ++w) scan_in[w] = rnd.next();
+                const bool scalar_out =
+                    nl.clock(true, (scan_in[ref_word] >> ref_bit) & 1u);
+                cs.clock_scan(scan_in, scan_out);
+                ASSERT_EQ((scan_out[ref_word] >> ref_bit) & 1u, scalar_out ? 1u : 0u)
                     << "scan-out mismatch at cycle " << c << " shift " << s;
             }
             nl.eval();
@@ -226,7 +238,7 @@ TEST(CompiledNetlist, ScanChainLanesDoNotInterfere) {
     // all len shifts (the chain shifts head -> tail).
     for (unsigned s = 0; s < len; ++s) {
         std::uint64_t scan_in = 0;
-        for (unsigned lane = 0; lane < CompiledNetlist::kLanes; ++lane)
+        for (unsigned lane = 0; lane < CompiledNetlist::kWordBits; ++lane)
             if (pattern_bit(lane, s)) scan_in |= std::uint64_t{1} << lane;
         cs.clock(true, scan_in);
     }
@@ -261,6 +273,277 @@ TEST(CompiledNetlist, CompileStatsOnFullCore) {
         << "folding + alias chasing must shrink the instruction stream";
     EXPECT_GT(cs.folded_constants(), 0u);
     EXPECT_GT(cs.chased_aliases(), 0u);
+    // The optimizer report must balance: executed + CSE'd + pruned = base.
+    EXPECT_EQ(cs.instruction_count() + cs.cse_shared() + cs.pruned_dead(),
+              cs.base_instruction_count());
+    EXPECT_GT(cs.cse_shared(), 0u) << "the real core has sharable subexpressions";
+    EXPECT_EQ(cs.pruned_dead(), 0u) << "prune is opt-in";
+}
+
+// ---- N-word lane blocks: the same differential bar at 128/256/512 lanes.
+
+TEST(CompiledNetlist, RejectsUnsupportedWordCounts) {
+    GateNetlist nl;
+    (void)nl.input("a");
+    for (unsigned w : {0u, 3u, 5u, 16u})
+        EXPECT_THROW(CompiledNetlist(nl, {.words = w}), std::invalid_argument) << w;
+    for (unsigned w : {1u, 2u, 4u, 8u}) {
+        CompiledNetlist cs(nl, {.words = w});
+        EXPECT_EQ(cs.words(), w);
+        EXPECT_EQ(cs.lane_count(), w * 64u);
+    }
+}
+
+TEST(CompiledNetlist, FullGaCoreDifferentialW2) {
+    const auto g = build_ga_core_netlist();
+    run_differential(g->nl, /*seed=*/0x1207, /*ref_lane=*/100, /*cycles=*/2'500,
+                     /*full_compare_stride=*/97, {.words = 2});
+}
+
+TEST(CompiledNetlist, FullGaCoreDifferentialW4) {
+    const auto g = build_ga_core_netlist();
+    run_differential(g->nl, /*seed=*/0x55AA, /*ref_lane=*/255, /*cycles=*/2'500,
+                     /*full_compare_stride=*/97, {.words = 4});
+}
+
+TEST(CompiledNetlist, FullGaCoreDifferentialW8) {
+    const auto g = build_ga_core_netlist();
+    run_differential(g->nl, /*seed=*/0x9D2C, /*ref_lane=*/511, /*cycles=*/2'500,
+                     /*full_compare_stride=*/97, {.words = 8});
+}
+
+TEST(CompiledNetlist, RngModuleDifferentialW8EveryNetEveryCycle) {
+    const auto g = build_rng_netlist();
+    run_differential(g->nl, /*seed=*/0x71F3, /*ref_lane=*/300, /*cycles=*/4'000,
+                     /*full_compare_stride=*/1, {.words = 8});
+}
+
+TEST(CompiledNetlist, FullGaCoreDifferentialCseDisabled) {
+    // The unoptimized instruction stream must stay a valid baseline.
+    const auto g = build_ga_core_netlist();
+    run_differential(g->nl, /*seed=*/0x2961, /*ref_lane=*/0, /*cycles=*/1'200,
+                     /*full_compare_stride=*/211, {.words = 1, .cse = false});
+}
+
+TEST(CompiledNetlist, PruneKeepsPortsAndRejectsDeadReads) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    const Net b = nl.input("b");
+    const Net live = nl.g_and(a, b);
+    const Net dead = nl.g_xor(a, b);
+    CompiledNetlist cs(nl, {.cse = true, .prune = true, .keep = {live}});
+    EXPECT_EQ(cs.pruned_dead(), 1u);
+    cs.set_input_all(a, true);
+    cs.set_input_all(b, true);
+    cs.eval();
+    EXPECT_EQ(cs.lanes(live), ~std::uint64_t{0});
+    EXPECT_THROW(cs.lanes(dead), std::logic_error);
+    EXPECT_THROW(cs.value(dead, 0), std::logic_error);
+}
+
+TEST(CompiledNetlist, PrunedFullCoreMatchesScalarOnPorts) {
+    // Compile the full core with dead-gate pruning + DFS reorder, keeping
+    // only the observable port surface; ports and registers must still
+    // track the scalar oracle cycle-exactly.
+    const auto g = build_ga_core_netlist();
+    GateNetlist& nl = g->nl;
+    const std::vector<Net> keep = g->observable_port_nets();
+    CompiledNetlist cs(nl, {.words = 2, .cse = true, .prune = true, .keep = keep});
+    EXPECT_EQ(cs.instruction_count() + cs.cse_shared() + cs.pruned_dead(),
+              cs.base_instruction_count());
+
+    Rand rnd(0x77E1);
+    const std::vector<Net> inputs = input_nets(nl);
+    const std::vector<Net> regs = nl.register_q_nets();
+    const unsigned ref_lane = 77;  // word 1, bit 13
+    for (unsigned c = 0; c < 1'500; ++c) {
+        for (const Net in : inputs) {
+            for (unsigned w = 0; w < 2; ++w) {
+                const std::uint64_t word = rnd.next();
+                cs.set_input_word(in, w, word);
+                if (w == ref_lane / 64) nl.set_input(in, (word >> (ref_lane % 64)) & 1u);
+            }
+        }
+        nl.eval();
+        cs.eval();
+        for (const Net k : keep)
+            ASSERT_EQ(cs.value(k, ref_lane), nl.value(k)) << "port net " << k;
+        for (const Net q : regs)
+            ASSERT_EQ(cs.value(q, ref_lane), nl.value(q)) << "register net " << q;
+        nl.clock();
+        cs.clock();
+    }
+}
+
+TEST(CompiledNetlist, KernelVariantsAgree) {
+    // Force the portable kernel via GAIP_KERNEL and replay identical
+    // stimulus: the runtime-dispatched (AVX2/AVX-512 where available) and
+    // generic kernels must produce identical lane blocks.
+    const auto g = build_rng_netlist();
+    GateNetlist& nl = g->nl;
+    const std::vector<Net> inputs = input_nets(nl);
+    for (unsigned words : {4u, 8u}) {
+        CompiledNetlist fast(nl, {.words = words});
+        ::setenv("GAIP_KERNEL", "generic", 1);
+        CompiledNetlist slow(nl, {.words = words});
+        ::unsetenv("GAIP_KERNEL");
+        Rand r1(0xC0DE), r2(0xC0DE);
+        for (unsigned c = 0; c < 500; ++c) {
+            for (const Net in : inputs)
+                for (unsigned w = 0; w < words; ++w) {
+                    fast.set_input_word(in, w, r1.next());
+                    slow.set_input_word(in, w, r2.next());
+                }
+            fast.eval();
+            slow.eval();
+            for (Net n = 0; n < nl.net_count(); ++n)
+                for (unsigned w = 0; w < words; ++w)
+                    ASSERT_EQ(fast.lanes_word(n, w), slow.lanes_word(n, w))
+                        << "net " << n << " word " << w << " cycle " << c;
+            fast.clock();
+            slow.clock();
+        }
+    }
+}
+
+TEST(CompiledNetlist, SingleWordApiThrowsOnWideBlocks) {
+    GateNetlist nl;
+    const Net a = nl.input("a");
+    const Net q = nl.reg("r");
+    nl.connect_reg(q, a);
+    CompiledNetlist cs(nl, {.words = 4});
+    EXPECT_THROW(cs.set_input_lanes(a, 1), std::logic_error);
+    EXPECT_THROW(cs.set_register_lanes(q, 1), std::logic_error);
+    EXPECT_THROW(cs.xor_register_lanes(q, 1), std::logic_error);
+    EXPECT_THROW(cs.lanes(a), std::logic_error);
+    EXPECT_THROW(cs.scan_tail(), std::logic_error);
+    EXPECT_THROW(cs.clock(true, 0), std::logic_error);
+    EXPECT_NO_THROW(cs.clock());  // normal-mode clock works at any width
+    EXPECT_THROW(cs.set_input_word(a, 4, 0), std::invalid_argument);
+    EXPECT_NO_THROW(cs.set_input_word(a, 3, ~std::uint64_t{0}));
+    EXPECT_EQ(cs.lanes_word(a, 3), ~std::uint64_t{0});
+}
+
+TEST(CompiledNetlist, WideScanChainLanesDoNotInterfere) {
+    // The W=8 version of the scan-isolation bar: distinct patterns per
+    // lane across all 512 lanes, shifted in via clock_scan.
+    const auto g = build_rng_netlist();
+    CompiledNetlist cs(g->nl, {.words = 8});
+    const std::vector<Net> regs = g->nl.register_q_nets();
+    const unsigned len = static_cast<unsigned>(regs.size());
+    ASSERT_GT(len, 16u);
+
+    auto pattern_bit = [](unsigned lane, unsigned i) {
+        std::uint64_t h = (std::uint64_t{lane} << 32) | i;
+        h *= 0x9E3779B97F4A7C15ull;
+        h ^= h >> 29;
+        return (h >> 7) & 1u;
+    };
+
+    for (unsigned s = 0; s < len; ++s) {
+        std::uint64_t scan_in[8] = {};
+        for (unsigned lane = 0; lane < cs.lane_count(); ++lane)
+            if (pattern_bit(lane, s)) scan_in[lane / 64] |= std::uint64_t{1} << (lane % 64);
+        cs.clock_scan(scan_in, nullptr);
+    }
+    for (unsigned lane : {0u, 63u, 64u, 130u, 301u, 511u}) {
+        for (unsigned i = 0; i < len; ++i) {
+            ASSERT_EQ(cs.value(regs[i], lane), pattern_bit(lane, len - 1 - i) != 0)
+                << "lane " << lane << " register " << i;
+        }
+    }
+}
+
+// ---- set_word_input: strict value-width contract on BOTH paths.
+
+TEST(CompiledNetlist, SetWordInputRejectsOversizedValuesOnBothPaths) {
+    GateNetlist nl;
+    std::vector<Net> w;
+    for (int i = 0; i < 5; ++i) w.push_back(nl.input("w" + std::to_string(i)));
+    const Net probe = nl.g_xor(nl.g_xor(w[0], w[1]), w[4]);
+    CompiledNetlist cs(nl, {.words = 2});
+
+    // In range: value fits 5 bits; scalar and compiled agree bit-for-bit.
+    nl.set_word_input(w, 0x15);
+    cs.set_word_input(w, 100, 0x15);
+    nl.eval();
+    cs.eval();
+    EXPECT_EQ(cs.value(probe, 100), nl.value(probe));
+    EXPECT_EQ(cs.word_value(w, 100), nl.word_value(w));
+    EXPECT_EQ(nl.word_value(w), 0x15u);
+
+    // Out of range: bit 5 set on a 5-bit word — both paths throw, and the
+    // previously loaded stimulus must remain intact (strong guarantee).
+    EXPECT_THROW(nl.set_word_input(w, 0x20), std::invalid_argument);
+    EXPECT_THROW(cs.set_word_input(w, 100, 0x20), std::invalid_argument);
+    EXPECT_THROW(cs.set_word_input(w, 100, ~std::uint64_t{0}), std::invalid_argument);
+    EXPECT_EQ(nl.word_value(w), 0x15u);
+    EXPECT_EQ(cs.word_value(w, 100), 0x15u);
+
+    // Full-width (64-net) vectors accept any u64.
+    std::vector<Net> full;
+    GateNetlist nl64;
+    for (int i = 0; i < 64; ++i) full.push_back(nl64.input("f" + std::to_string(i)));
+    CompiledNetlist cs64(nl64);
+    EXPECT_NO_THROW(nl64.set_word_input(full, ~std::uint64_t{0}));
+    EXPECT_NO_THROW(cs64.set_word_input(full, 7, ~std::uint64_t{0}));
+    EXPECT_EQ(nl64.word_value(full), ~std::uint64_t{0});
+}
+
+// ---- make_cone / eval_cone: partial re-propagation vs the full-eval oracle.
+
+TEST(CompiledNetlist, ConeEvalMatchesFullEvalAfterSourceOnlyChanges) {
+    const auto g = build_rng_netlist();
+    CompiledNetlist full(g->nl, {.words = 2});
+    CompiledNetlist cs(g->nl, {.words = 2});
+    const std::vector<Net> inputs = input_nets(g->nl);
+    ASSERT_GE(inputs.size(), 6u);
+    const std::vector<Net> sources(inputs.begin(), inputs.begin() + 3);
+    const std::uint32_t cone = cs.make_cone(sources);
+    ASSERT_GT(cs.cone_size(cone), 0u);
+    ASSERT_LT(cs.cone_size(cone), cs.instruction_count());
+
+    Rand rnd(0xC0DE);
+    for (unsigned c = 0; c < 200; ++c) {
+        // Identical full-stimulus cycle on both instances.
+        for (const Net in : inputs) {
+            for (unsigned w = 0; w < 2; ++w) {
+                const std::uint64_t word = rnd.next();
+                full.set_input_word(in, w, word);
+                cs.set_input_word(in, w, word);
+            }
+        }
+        full.eval();
+        cs.eval();
+        // Then change ONLY the cone sources: the oracle re-evaluates the
+        // whole stream, the subject re-propagates just the precompiled
+        // fanout cone. Every net must agree — nets outside the cone are
+        // untouched by a source-only change by definition.
+        for (const Net in : sources) {
+            for (unsigned w = 0; w < 2; ++w) {
+                const std::uint64_t word = rnd.next();
+                full.set_input_word(in, w, word);
+                cs.set_input_word(in, w, word);
+            }
+        }
+        full.eval();
+        cs.eval_cone(cone);
+        for (Net n = 0; n < g->nl.net_count(); ++n)
+            for (unsigned w = 0; w < 2; ++w)
+                ASSERT_EQ(cs.lanes_word(n, w), full.lanes_word(n, w))
+                    << "cycle " << c << " net " << n << " word " << w;
+        // Latch state off the (identical) post-cone D values so later
+        // cycles exercise the cone against varying register state too.
+        full.clock();
+        cs.clock();
+    }
+}
+
+TEST(CompiledNetlist, MakeConeRejectsBadSources) {
+    const auto g = build_rng_netlist();
+    CompiledNetlist cs(g->nl);
+    EXPECT_THROW(cs.make_cone({g->nl.net_count()}), std::invalid_argument);
+    EXPECT_THROW(cs.eval_cone(99), std::out_of_range);
 }
 
 }  // namespace

@@ -1,7 +1,8 @@
-// BatchGateRunner verification: batched 64-lane gate-level GA runs must
+// BatchGateRunner verification: batched lane-block gate-level GA runs must
 // reproduce the RT-level GaSystem results (best fitness/candidate,
 // evaluation counts, generation counts) for the same seeds and settings,
-// and lanes must be fully independent of batch composition.
+// and lanes must be fully independent of batch composition — including
+// lanes that live beyond word 0 of a multi-word block.
 #include <gtest/gtest.h>
 
 #include "bench/common.hpp"
@@ -97,8 +98,72 @@ TEST(BatchGateRunner, LaneResultsIndependentOfBatchComposition) {
 
 TEST(BatchGateRunner, RejectsEmptyAndOversizedBatches) {
     EXPECT_THROW(BatchGateRunner(FitnessId::kOneMax, {}), std::invalid_argument);
-    std::vector<GaParameters> too_many(65);
+    // 65 lanes used to be the hard ceiling; with lane blocks it just means
+    // a 2-word block. The ceiling is now the widest block (512 lanes).
+    std::vector<GaParameters> too_many(BatchGateRunner::kMaxLanes + 1);
     EXPECT_THROW(BatchGateRunner(FitnessId::kOneMax, too_many), std::invalid_argument);
+    // An explicit width that cannot hold the requested lanes is refused
+    // instead of silently dropping lanes.
+    std::vector<GaParameters> sixty_five(65);
+    EXPECT_THROW(BatchGateRunner(FitnessId::kOneMax, sixty_five, 1), std::invalid_argument);
+}
+
+TEST(BatchGateRunner, AutoWidthPicksSmallestFittingBlock) {
+    const GaParameters p{.pop_size = 8, .n_gens = 2, .xover_threshold = 12,
+                         .mut_threshold = 1, .seed = 0x2961};
+    EXPECT_EQ(BatchGateRunner(FitnessId::kOneMax, {p}).words(), 1u);
+    EXPECT_EQ(BatchGateRunner(FitnessId::kOneMax, std::vector<GaParameters>(64, p)).words(), 1u);
+    EXPECT_EQ(BatchGateRunner(FitnessId::kOneMax, std::vector<GaParameters>(65, p)).words(), 2u);
+    EXPECT_EQ(BatchGateRunner(FitnessId::kOneMax, std::vector<GaParameters>(129, p)).words(),
+              4u);
+    EXPECT_EQ(BatchGateRunner(FitnessId::kOneMax, std::vector<GaParameters>(257, p)).words(),
+              8u);
+}
+
+TEST(BatchGateRunner, LaneBeyondWordZeroMatchesSoloRun) {
+    // A lane placed past bit 63 (word 1 of a 2-word block) must behave
+    // exactly like a solo single-word run of the same config.
+    const FitnessId fn = FitnessId::kOneMax;
+    const GaParameters probe{.pop_size = 8, .n_gens = 2, .xover_threshold = 12,
+                             .mut_threshold = 1, .seed = 0xA0A0};
+    BatchGateRunner solo(fn, {probe});
+    const auto alone = solo.run();
+
+    std::vector<GaParameters> lanes(70, GaParameters{.pop_size = 8, .n_gens = 2,
+                                                     .xover_threshold = 12,
+                                                     .mut_threshold = 1, .seed = 0x1111});
+    for (std::size_t k = 0; k < lanes.size(); ++k)
+        lanes[k].seed = static_cast<std::uint16_t>(0x1111 + 13 * k);
+    lanes[68] = probe;
+    BatchGateRunner batch(fn, lanes);
+    ASSERT_EQ(batch.words(), 2u);
+    const auto together = batch.run();
+    EXPECT_EQ(together[68].best_fitness, alone[0].best_fitness);
+    EXPECT_EQ(together[68].best_candidate, alone[0].best_candidate);
+    EXPECT_EQ(together[68].evaluations, alone[0].evaluations);
+    EXPECT_EQ(together[68].ga_cycles, alone[0].ga_cycles)
+        << "lane timing must not depend on block width or position";
+}
+
+TEST(BatchGateRunner, DefaultCycleBoundIsExactAndOverflowSafe) {
+    // The bound formula now runs on saturating u64 arithmetic (sat_add_u64
+    // / sat_mul_u64 — wrap-to-tiny-bound is impossible by construction;
+    // the clamping itself is unit-tested in tests/util/test_bits.cpp).
+    // With the max-representable parameters the formula must come out
+    // exact and monotone, not wrapped.
+    const GaParameters adversarial{.pop_size = 128, .n_gens = 0xFFFFFFFF,
+                                   .xover_threshold = 12, .mut_threshold = 1, .seed = 1};
+    BatchGateRunner runner(FitnessId::kOneMax, {adversarial});
+    const std::uint64_t evals = 128ull * 0x1'0000'0000ull;
+    const std::uint64_t per_eval = 64ull + 8ull * 128ull;
+    EXPECT_EQ(runner.default_cycle_bound(), evals * per_eval + 100'000ull);
+    EXPECT_GT(runner.default_cycle_bound(), evals) << "no wraparound";
+
+    // Sane configs still get the exact formula value.
+    const GaParameters sane{.pop_size = 16, .n_gens = 12, .xover_threshold = 12,
+                            .mut_threshold = 1, .seed = 0x2961};
+    BatchGateRunner ok(FitnessId::kOneMax, {sane});
+    EXPECT_EQ(ok.default_cycle_bound(), (16ull * 13ull) * (64ull + 8ull * 16ull) + 100'000ull);
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "util/worker_pool.hpp"
+
+namespace gaip::util {
+namespace {
+
+TEST(ResolveThreads, CapsToJobsAndFloorsAtOne) {
+    EXPECT_EQ(resolve_threads(4, 100), 4u);
+    EXPECT_EQ(resolve_threads(8, 3), 3u);
+    EXPECT_EQ(resolve_threads(1, 0), 1u);
+    EXPECT_GE(resolve_threads(0, 1000), 1u);  // 0 = hardware concurrency
+    EXPECT_LE(resolve_threads(0, 2), 2u);     // still capped to the job count
+}
+
+TEST(ParallelForN, VisitsEveryIndexExactlyOnce) {
+    for (const unsigned threads : {1u, 2u, 5u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        constexpr std::size_t kJobs = 137;
+        std::vector<std::atomic<int>> hits(kJobs);
+        parallel_for_n(threads, kJobs, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(ParallelForN, SequentialDegradationPreservesOrder) {
+    std::vector<std::size_t> order;
+    parallel_for_n(1, 10, [&](std::size_t i) { order.push_back(i); });
+    ASSERT_EQ(order.size(), 10u);
+    for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForWorkers, WorkerIdsAddressPerWorkerContexts) {
+    constexpr unsigned kThreads = 3;
+    constexpr std::size_t kJobs = 50;
+    // One slot per worker: jobs may only touch their worker's slot, which
+    // is exactly how FaultCampaign reuses one gate engine per worker.
+    std::vector<std::vector<std::size_t>> per_worker(kThreads);
+    std::vector<std::atomic<int>> hits(kJobs);
+    parallel_for_workers(kThreads, kJobs, [&](unsigned worker, std::size_t i) {
+        ASSERT_LT(worker, kThreads);
+        per_worker[worker].push_back(i);
+        ++hits[i];
+    });
+    std::set<std::size_t> seen;
+    for (const auto& jobs : per_worker) seen.insert(jobs.begin(), jobs.end());
+    EXPECT_EQ(seen.size(), kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForWorkers, SequentialFormUsesWorkerZero) {
+    parallel_for_workers(1, 5, [](unsigned worker, std::size_t) {
+        EXPECT_EQ(worker, 0u);
+    });
+}
+
+TEST(ParallelForN, FirstExceptionPropagatesAfterJoin) {
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        std::atomic<int> ran{0};
+        try {
+            parallel_for_n(threads, 100, [&](std::size_t i) {
+                if (i == 7) throw std::runtime_error("job 7 failed");
+                ++ran;
+            });
+            FAIL() << "expected the job exception to propagate";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "job 7 failed");
+        }
+        EXPECT_LT(ran.load(), 100);
+    }
+}
+
+}  // namespace
+}  // namespace gaip::util
