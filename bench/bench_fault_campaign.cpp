@@ -23,6 +23,7 @@
 //   bench_fault_campaign --max-sites N   cap the site count
 //   bench_fault_campaign --words N       lane-block width (1/2/4/8 u64 words)
 //   bench_fault_campaign --threads N     worker threads (0 = all cores)
+//   bench_fault_campaign --backend B     gate engine: interp (default) or jit
 //   bench_fault_campaign --replay REG BIT CYCLE
 //                                        rerun one fault on all 3 backends
 #include <chrono>
@@ -36,6 +37,8 @@
 
 #include "bench/common.hpp"
 #include "fault/campaign.hpp"
+#include "gates/compiled_kernels.hpp"
+#include "gates/jit.hpp"
 #include "util/worker_pool.hpp"
 
 namespace {
@@ -115,6 +118,16 @@ int main(int argc, char** argv) {
             cfg.lane_words = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
         } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
             cfg.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
+        } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+            const char* b = argv[++i];
+            if (std::strcmp(b, "interp") == 0) {
+                cfg.backend = gates::Backend::kInterp;
+            } else if (std::strcmp(b, "jit") == 0) {
+                cfg.backend = gates::Backend::kJit;
+            } else {
+                std::printf("unknown --backend: %s (expected interp or jit)\n", b);
+                return 2;
+            }
         } else if (std::strcmp(argv[i], "--replay") == 0 && i + 3 < argc) {
             replay_site.reg = argv[++i];
             replay_site.bit = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 0));
@@ -139,12 +152,15 @@ int main(int argc, char** argv) {
     const std::vector<FaultSite> sites = campaign.enumerate_sites();
     std::printf("fault space: %zu sites (%u cycle points, stride %llu)\n", sites.size(),
                 cfg.cycle_points, static_cast<unsigned long long>(cfg.stride));
-    std::printf("gate backend: %u-word lane blocks (%u lanes: 1 golden + %u injections "
-                "per batch), %u worker thread(s)\n\n",
-                cfg.lane_words, cfg.lane_words * 64, cfg.lane_words * 64 - 1,
-                gaip::util::resolve_threads(cfg.threads,
-                                            (sites.size() + cfg.lane_words * 64 - 2) /
-                                                (cfg.lane_words * 64 - 1)));
+    const gates::Backend resolved = gates::resolve_backend(cfg.backend);
+    const unsigned threads_used =
+        gaip::util::resolve_threads(cfg.threads, (sites.size() + cfg.lane_words * 64 - 2) /
+                                                     (cfg.lane_words * 64 - 1));
+    std::printf("gate backend: %s engine, %u-word lane blocks (%u lanes: 1 golden + %u "
+                "injections per batch), %u worker thread(s)\n\n",
+                gates::backend_name(resolved), cfg.lane_words, cfg.lane_words * 64,
+                cfg.lane_words * 64 - 1, threads_used);
+    gates::jit::reset_stats();
 
     const double t0 = now_s();
     std::size_t last_pct = 0;
@@ -242,6 +258,7 @@ int main(int argc, char** argv) {
 
     bench::JsonReport report;
     report.set("bench", std::string("fault_campaign"))
+        .set("backend", std::string(gates::backend_name(resolved)))
         .set("fitness", std::string("mBF6_2"))
         .set("pop_size", std::uint64_t(cfg.params.pop_size))
         .set("n_gens", std::uint64_t(cfg.params.n_gens))
@@ -266,6 +283,23 @@ int main(int argc, char** argv) {
         .set("crosscheck_disagreements", std::uint64_t(disagreements))
         .set("fallback_checked", std::uint64_t(fb_checked))
         .set("fallback_failed", std::uint64_t(fb_failed));
+    if (resolved == gates::Backend::kJit || resolved == gates::Backend::kJitForce) {
+        const gates::jit::Stats js = gates::jit::stats();
+        report.set("jit_compiles", js.compiles)
+            .set("jit_compile_ms_total", js.compile_ms_total)
+            .set("jit_disk_hits", js.disk_hits)
+            .set("jit_memory_hits", js.memory_hits)
+            .set("jit_fallbacks", js.fallbacks);
+        std::printf("  jit cache: %llu compile(s) (%.0f ms), %llu disk hit(s), %llu"
+                    " in-process hit(s), %llu fallback(s)\n",
+                    static_cast<unsigned long long>(js.compiles), js.compile_ms_total,
+                    static_cast<unsigned long long>(js.disk_hits),
+                    static_cast<unsigned long long>(js.memory_hits),
+                    static_cast<unsigned long long>(js.fallbacks));
+    }
+    bench::env_block(report, cfg.lane_words, threads_used,
+                     gates::kernels::selected_name(cfg.lane_words),
+                     gates::backend_name(resolved));
     report.write(bench::out_path("BENCH_faults.json"));
 
     if (disagreements != 0 || fb_failed != 0) {

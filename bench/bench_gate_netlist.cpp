@@ -11,8 +11,10 @@
 #include "bench/common.hpp"
 #include "gates/blocks.hpp"
 #include "gates/compiled.hpp"
+#include "gates/compiled_kernels.hpp"
 #include "gates/ga_core_gates.hpp"
 #include "gates/asic_flow.hpp"
+#include "gates/jit.hpp"
 #include "gates/optimize.hpp"
 #include "gates/rng_gates.hpp"
 
@@ -42,14 +44,24 @@ double time_scalar(gaip::gates::GateNetlist& nl, const std::vector<gaip::gates::
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 
+/// Same loop over the compiled engine, driving inputs through the
+/// validated-once SlotHandle hot path — the way BatchGateRunner and
+/// FaultCampaign drive it — so the measured ratio reflects engine
+/// throughput, not per-call input re-validation.
 double time_compiled(gaip::gates::CompiledNetlist& cs,
                      const std::vector<gaip::gates::Net>& ins, unsigned cycles) {
     Lcg rnd;
     const unsigned words = cs.words();
+    std::vector<gaip::gates::CompiledNetlist::SlotHandle> handles;
+    handles.reserve(ins.size());
+    for (const gaip::gates::Net in : ins) handles.push_back(cs.input_handle(in));
+    std::vector<std::uint64_t> w(words);
     const auto t0 = std::chrono::steady_clock::now();
     for (unsigned c = 0; c < cycles; ++c) {
-        for (const gaip::gates::Net in : ins)
-            for (unsigned w = 0; w < words; ++w) cs.set_input_word(in, w, rnd.next());
+        for (const auto h : handles) {
+            for (unsigned i = 0; i < words; ++i) w[i] = rnd.next();
+            cs.write_words(h, w.data());
+        }
         cs.eval();
         cs.clock();
     }
@@ -186,18 +198,27 @@ int main() {
         report.set("bench", std::string("bench_gate_netlist"))
             .set("logic_gates", static_cast<std::uint64_t>(gates_n))
             .set("scalar_gate_evals_per_sec", scalar_geps);
+        // Width varies per series below (64..512 lanes), so env_words stays
+        // unset; the kernel variant is width-independent on one host CPU.
+        bench::env_block(report, /*words=*/0, /*threads=*/1,
+                         gates::kernels::selected_name(1),
+                         gates::jit::available() ? "interp+jit" : "interp");
 
         double compiled_geps = 0;  // W = 1 per-lane figure
         double lanes64_geps = 0;
         double best_geps = 0;
         unsigned best_lanes = 64;
+        const bool jit_avail = gates::jit::available();
+        gates::jit::reset_stats();
         for (const unsigned w : {1u, 2u, 4u, 8u}) {
-            gates::CompiledNetlist cs(g->nl, gates::CompiledNetlist::Options{.words = w});
+            gates::CompiledNetlist cs(
+                g->nl, gates::CompiledNetlist::Options{.words = w,
+                                                       .backend = gates::Backend::kInterp});
             const double t = time_compiled(cs, ins, compiled_cycles);
             const unsigned lanes = cs.lane_count();
             const double lane_equiv = gates_n * compiled_cycles / t * lanes;
             char label[48], ratio[32];
-            std::snprintf(label, sizeof(label), "compiled %u-word (%u-lane equiv)", w, lanes);
+            std::snprintf(label, sizeof(label), "interp %u-word (%u-lane equiv)", w, lanes);
             std::snprintf(ratio, sizeof(ratio), "%.1fx", lane_equiv / scalar_geps);
             tt.add(label, lanes, compiled_cycles, t, lane_equiv, ratio);
             report.set("compiled_" + std::to_string(lanes) + "lane_gate_evals_per_sec",
@@ -218,8 +239,46 @@ int main() {
                 best_geps = lane_equiv;
                 best_lanes = lanes;
             }
+
+            // Same width on the native-codegen backend: the identical
+            // optimized instruction stream, lowered to specialized C++ and
+            // compiled by the host toolchain (src/gates/jit.*). Skipped
+            // gracefully when no host compiler is available.
+            if (!jit_avail) continue;
+            gates::CompiledNetlist cj(
+                g->nl, gates::CompiledNetlist::Options{.words = w,
+                                                       .backend = gates::Backend::kJit});
+            if (!cj.jit_active()) continue;
+            const double tj = time_compiled(cj, ins, compiled_cycles);
+            const double jit_equiv = gates_n * compiled_cycles / tj * lanes;
+            std::snprintf(label, sizeof(label), "jit %u-word (%u-lane equiv)", w, lanes);
+            std::snprintf(ratio, sizeof(ratio), "%.1fx", jit_equiv / scalar_geps);
+            tt.add(label, lanes, compiled_cycles, tj, jit_equiv, ratio);
+            report.set("jit_" + std::to_string(lanes) + "lane_gate_evals_per_sec", jit_equiv)
+                .set("speedup_jit_vs_interp_" + std::to_string(lanes) + "lane",
+                     jit_equiv / lane_equiv);
+            if (jit_equiv > best_geps) {
+                best_geps = jit_equiv;
+                best_lanes = lanes;
+            }
         }
         tt.print();
+
+        if (jit_avail) {
+            const gates::jit::Stats js = gates::jit::stats();
+            std::printf("  jit cache: %llu compile(s) (%.0f ms), %llu disk hit(s),"
+                        " %llu in-process hit(s), %llu fallback(s)  [%s]\n",
+                        static_cast<unsigned long long>(js.compiles), js.compile_ms_total,
+                        static_cast<unsigned long long>(js.disk_hits),
+                        static_cast<unsigned long long>(js.memory_hits),
+                        static_cast<unsigned long long>(js.fallbacks),
+                        gates::jit::cache_dir().c_str());
+            report.set("jit_compiles", js.compiles)
+                .set("jit_compile_ms_total", js.compile_ms_total)
+                .set("jit_disk_hits", js.disk_hits)
+                .set("jit_memory_hits", js.memory_hits)
+                .set("jit_fallbacks", js.fallbacks);
+        }
 
         // Port-pruned variant: what BatchGateRunner / FaultCampaign execute
         // (only the cone of the observable port surface survives).

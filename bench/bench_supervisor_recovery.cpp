@@ -150,6 +150,7 @@ int main() {
         .set("bare_wall_seconds", bare_s)
         .set("supervised_wall_seconds", sup_s)
         .set("clean_overhead_fraction", overhead);
+    bench::env_block(report);
     report.write(bench::out_path("BENCH_supervisor.json"));
 
     // Recovery is the contract: every disruptive upset must end recovered

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,33 @@ public:
 private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Standard environment block for every BENCH_*.json: the toolchain that
+/// built this binary (compiler id via the predefined version macros, flags
+/// via the GAIP_BENCH_CXX_FLAGS definition baked in bench/CMakeLists.txt),
+/// the host's hardware concurrency, and — when the bench knows them — the
+/// lane-block width, worker-thread count, kernel variant and evaluation
+/// backend the numbers were actually taken with. env_-prefixed keys keep
+/// reports diffable across PRs without colliding with bench series.
+inline void env_block(JsonReport& r, unsigned words = 0, unsigned threads = 0,
+                      const std::string& kernel = "", const std::string& backend = "") {
+#if defined(__clang__)
+    r.set("env_compiler", std::string("clang " __clang_version__));
+#elif defined(__GNUC__)
+    r.set("env_compiler", std::string("gcc " __VERSION__));
+#else
+    r.set("env_compiler", std::string("unknown"));
+#endif
+#if defined(GAIP_BENCH_CXX_FLAGS)
+    r.set("env_cxx_flags", std::string(GAIP_BENCH_CXX_FLAGS));
+#endif
+    r.set("env_hw_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+    if (words != 0) r.set("env_words", static_cast<std::uint64_t>(words));
+    if (threads != 0) r.set("env_threads", static_cast<std::uint64_t>(threads));
+    if (!kernel.empty()) r.set("env_kernel", kernel);
+    if (!backend.empty()) r.set("env_backend", backend);
+}
 
 /// Percentage deviation from a paper value, rendered as e.g. "-0.6%".
 inline std::string vs_paper(double measured, double paper) {

@@ -70,9 +70,11 @@ public:
     /// One lane per entry of `lane_params`. Every lane runs `fn` as its
     /// (internal, slot-0) fitness function. `words` selects the lane-block
     /// width (1/2/4/8 u64 words); 0 picks the smallest block that fits the
-    /// requested lane count.
+    /// requested lane count. `backend` selects the evaluation engine for
+    /// both compiled netlists (interpreted kernels vs host-compiled native
+    /// code; kAuto defers to GAIP_JIT and defaults to the interpreter).
     BatchGateRunner(fitness::FitnessId fn, std::vector<core::GaParameters> lane_params,
-                    unsigned words = 0)
+                    unsigned words = 0, gates::Backend backend = gates::Backend::kAuto)
         : fn_(fn),
           params_(std::move(lane_params)),
           core_src_(gates::build_ga_core_netlist()),
@@ -92,12 +94,14 @@ public:
                                          .words = words,
                                          .cse = true,
                                          .prune = true,
-                                         .keep = core_src_->observable_port_nets()});
+                                         .keep = core_src_->observable_port_nets(),
+                                         .backend = backend});
         rng_.emplace(rng_src_->nl, gates::CompiledNetlist::Options{
                                        .words = words,
                                        .cse = true,
                                        .prune = true,
-                                       .keep = rng_src_->observable_port_nets()});
+                                       .keep = rng_src_->observable_port_nets(),
+                                       .backend = backend});
         words_ = core_->words();
         presets_.assign(params_.size(), 0);
         lane_sinks_.assign(params_.size(), nullptr);

@@ -44,12 +44,14 @@ public:
                 gates::CompiledNetlist::Options{.words = cfg.lane_words,
                                                 .cse = true,
                                                 .prune = true,
-                                                .keep = core_src_->observable_port_nets()}),
+                                                .keep = core_src_->observable_port_nets(),
+                                                .backend = cfg.backend}),
           rng_(rng_src_->nl,
                gates::CompiledNetlist::Options{.words = cfg.lane_words,
                                                .cse = true,
                                                .prune = true,
-                                               .keep = rng_src_->observable_port_nets()}),
+                                               .keep = rng_src_->observable_port_nets(),
+                                               .backend = cfg.backend}),
           words_(core_.words()),
           lane_count_(core_.lane_count()) {
         const core::GaParameters& p = cfg_.params;

@@ -24,6 +24,7 @@
 
 #include "fault/fault_model.hpp"
 #include "fault/seu_injector.hpp"
+#include "gates/compiled.hpp"
 
 namespace gaip::fault {
 
@@ -51,6 +52,12 @@ struct CampaignConfig {
     /// owns one gate engine and batches are independent, so results are
     /// bit-identical at any thread count.
     unsigned threads = 1;
+    /// Evaluation engine for the per-worker gate simulations: interpreted
+    /// kernels or the host-compiled native backend (kAuto defers to the
+    /// GAIP_JIT override and defaults to the interpreter). Fault records
+    /// are bit-identical across backends; concurrent workers requesting
+    /// the same artifact block on ONE compile (src/gates/jit.cpp registry).
+    gates::Backend backend = gates::Backend::kAuto;
 };
 
 struct CampaignResult {

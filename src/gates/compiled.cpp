@@ -1,5 +1,7 @@
 #include "gates/compiled.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -7,8 +9,36 @@
 #include <vector>
 
 #include "gates/compiled_kernels.hpp"
+#include "gates/jit.hpp"
 
 namespace gaip::gates {
+
+Backend resolve_backend(Backend requested) {
+    const char* env = std::getenv("GAIP_JIT");
+    if (env != nullptr && *env != '\0') {
+        if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "interp") == 0)
+            return Backend::kInterp;
+        if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+            std::strcmp(env, "jit") == 0)
+            return Backend::kJit;
+        if (std::strcmp(env, "force") == 0) return Backend::kJitForce;
+        throw std::invalid_argument(
+            "GAIP_JIT: unknown value \"" + std::string(env) +
+            "\" (expected 0/off/interp, 1/on/jit, or force)");
+    }
+    return requested == Backend::kAuto ? Backend::kInterp : requested;
+}
+
+const char* backend_name(Backend b) {
+    switch (b) {
+        case Backend::kInterp: return "interp";
+        case Backend::kJit: return "jit";
+        case Backend::kJitForce: return "jit-force";
+        case Backend::kAuto: break;
+    }
+    return "auto";
+}
 
 namespace {
 
@@ -301,6 +331,27 @@ CompiledNetlist::CompiledNetlist(const GateNetlist& src, Options opts) {
     store_.assign(std::size_t{slots_} * words_ + 7, 0);
     std::uint64_t* const one = slot_ptr(1);
     for (unsigned w = 0; w < words_; ++w) one[w] = kAll;
+
+    // ---- Backend selection: the interpreter kernel above is always
+    // available (cones run on it regardless); the JIT replaces the full
+    // eval pass, register clocking and scan shifting with host-compiled
+    // specialized code, falling back gracefully unless forced.
+    const Backend backend = resolve_backend(opts.backend);
+    if (backend == Backend::kJit || backend == Backend::kJitForce) {
+        jit::Request req;
+        req.code = code_.data();
+        req.n = code_.size();
+        req.words = words_;
+        req.slots = slots_;
+        req.regs_q = regs_q_;
+        req.regs_d = regs_d_;
+        jit_ = jit::compile(req, backend == Backend::kJitForce);
+        if (jit_) {
+            jit_eval_ = jit_->eval();
+            jit_clock_ = jit_->clock();
+            jit_scan_ = jit_->scan();
+        }
+    }
 }
 
 std::uint32_t CompiledNetlist::input_slot(Net n, const char* who) const {
@@ -388,7 +439,13 @@ void CompiledNetlist::xor_register_lanes(Net q, std::uint64_t mask) {
     slot_ptr(state_slot(q, "xor_register_lanes"))[0] ^= mask;
 }
 
-void CompiledNetlist::eval() { kernel_(code_.data(), code_.size(), base()); }
+void CompiledNetlist::eval() {
+    if (jit_eval_ != nullptr) {
+        jit_eval_(base());
+        return;
+    }
+    kernel_(code_.data(), code_.size(), base());
+}
 
 std::uint32_t CompiledNetlist::make_cone(const std::vector<Net>& sources) {
     std::vector<char> hot(slots_, 0);
@@ -428,6 +485,10 @@ std::uint64_t CompiledNetlist::clock(bool test_mode, std::uint64_t scan_in) {
         return out;
     }
     const std::uint64_t out = slot_ptr(regs_q_.back())[0];
+    if (jit_clock_ != nullptr) {
+        jit_clock_(base());
+        return out;
+    }
     const std::size_t r = regs_q_.size();
     for (std::size_t i = 0; i < r; ++i) {
         const std::uint64_t* const d = slot_ptr(regs_d_[i]);
@@ -441,6 +502,10 @@ std::uint64_t CompiledNetlist::clock(bool test_mode, std::uint64_t scan_in) {
 }
 
 void CompiledNetlist::clock_scan(const std::uint64_t* scan_in, std::uint64_t* scan_out) {
+    if (jit_scan_ != nullptr) {
+        jit_scan_(base(), scan_in, scan_out);
+        return;
+    }
     if (regs_q_.empty()) {
         if (scan_out != nullptr)
             for (unsigned w = 0; w < words_; ++w) scan_out[w] = 0;

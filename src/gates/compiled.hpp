@@ -55,11 +55,34 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gates/netlist.hpp"
 
 namespace gaip::gates {
+
+namespace jit {
+class Module;
+}
+
+/// Evaluation engine behind CompiledNetlist. kInterp runs the per-ISA
+/// interpreted kernels (compiled_kernels*); kJit lowers the optimized
+/// instruction stream to specialized native code via the host toolchain
+/// (src/gates/jit.*), falling back to the interpreter when no compiler is
+/// available; kJitForce throws instead of falling back (differential tests
+/// assert real native execution with it). kAuto defers to the GAIP_JIT
+/// environment override and defaults to the interpreter.
+enum class Backend { kAuto, kInterp, kJit, kJitForce };
+
+/// Apply the GAIP_JIT environment override to a requested backend.
+/// Accepted values: "0"/"off"/"interp", "1"/"on"/"jit", "force"; anything
+/// else throws std::invalid_argument (same strict contract as
+/// GAIP_KERNEL). Unset: kAuto resolves to kInterp, explicit requests pass
+/// through.
+Backend resolve_backend(Backend requested);
+/// "interp", "jit" or "jit-force" (resolved backends only; kAuto asserts).
+const char* backend_name(Backend b);
 
 /// One lowered gate: dst/a/b are STORAGE SLOTS (not source net ids); the
 /// kernel computes dst = ((a & b) & ma) ^ ((a ^ b) & mx) ^ inv per word.
@@ -93,6 +116,9 @@ public:
         /// Extra liveness roots for prune (port/monitor nets). Inputs,
         /// registers, and constants are always live.
         std::vector<Net> keep;
+        /// Evaluation engine: interpreted kernels or host-compiled native
+        /// code (see Backend above; GAIP_JIT overrides).
+        Backend backend = Backend::kAuto;
     };
 
     /// Compile `src` (constant folding + buffer/alias chasing + the
@@ -229,6 +255,14 @@ public:
     /// Value-storage slots after compaction (cache-footprint metric).
     std::size_t slot_count() const noexcept { return slots_; }
 
+    // --- JIT backend introspection ---
+    /// True when eval()/clock() run host-compiled native code instead of
+    /// the interpreted kernels (false after a graceful fallback).
+    bool jit_active() const noexcept { return jit_ != nullptr; }
+    /// Loaded JIT artifact (nullptr when interpreting) — exposes the
+    /// content-hash key, cache-hit flag, and compile time.
+    const jit::Module* jit_module() const noexcept { return jit_.get(); }
+
 private:
     static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
@@ -267,6 +301,12 @@ private:
     std::vector<std::uint32_t> regs_d_;     // slots, root-resolved D nets
     std::vector<std::uint64_t> latch_tmp_;  // clock() scratch (regs * words)
     KernelFn kernel_ = nullptr;
+    std::shared_ptr<const jit::Module> jit_;  // native backend (null = interp)
+    // Raw entry points of jit_ (non-null iff jit_ is), cached so the hot
+    // paths dispatch without a virtual call.
+    void (*jit_eval_)(std::uint64_t*) = nullptr;
+    void (*jit_clock_)(std::uint64_t*) = nullptr;
+    void (*jit_scan_)(std::uint64_t*, const std::uint64_t*, std::uint64_t*) = nullptr;
     std::size_t base_instructions_ = 0;
     std::size_t folded_ = 0;
     std::size_t aliased_ = 0;

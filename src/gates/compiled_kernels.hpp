@@ -9,8 +9,11 @@
 // non-x86 hosts (generic only).
 //
 // The environment variable GAIP_KERNEL ("generic", "avx2", "avx512")
-// forces a variant for differential testing; an unavailable forced variant
-// falls back to generic.
+// forces a variant for differential testing; a KNOWN variant the running
+// CPU lacks falls back to generic (so one test matrix runs everywhere),
+// but an unknown value is rejected with std::invalid_argument — a typo'd
+// kernel name must not silently benchmark the wrong engine. GAIP_JIT gets
+// the same strict contract (see gates/compiled.hpp resolve_backend).
 #pragma once
 
 #include <cstddef>
@@ -27,7 +30,13 @@ namespace kernels {
 using KernelFn = void (*)(const LaneInstr* code, std::size_t n, std::uint64_t* values);
 
 /// Best kernel for `words` (1/2/4/8) on this CPU. Never returns null.
+/// Throws std::invalid_argument on an unknown GAIP_KERNEL value.
 KernelFn select(unsigned words);
+
+/// Name of the variant select(words) resolves to on this CPU under the
+/// current GAIP_KERNEL setting: "generic", "avx2" or "avx512". Same strict
+/// GAIP_KERNEL validation as select().
+const char* selected_name(unsigned words);
 
 /// Portable kernel table (always available).
 KernelFn generic(unsigned words);

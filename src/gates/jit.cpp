@@ -1,0 +1,607 @@
+#include "gates/jit.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <dlfcn.h>
+#include <unistd.h>
+#define GAIP_JIT_POSIX 1
+#endif
+
+#include "gates/compiled.hpp"
+#include "trace/event.hpp"
+
+namespace gaip::gates::jit {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Stats + trace plumbing.
+
+struct Counters {
+    std::atomic<std::uint64_t> memory_hits{0};
+    std::atomic<std::uint64_t> disk_hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> compiles{0};
+    std::atomic<std::uint64_t> compile_failures{0};
+    std::atomic<std::uint64_t> fallbacks{0};
+    std::atomic<std::uint64_t> compile_us_total{0};
+};
+
+Counters& counters() {
+    static Counters c;
+    return c;
+}
+
+std::atomic<trace::TraceSink*> g_sink{nullptr};
+
+void emit(trace::TraceEvent e) {
+    if (trace::TraceSink* s = g_sink.load(std::memory_order_acquire)) s->on_event(std::move(e));
+}
+
+// ---------------------------------------------------------------------------
+// Content hash: FNV-1a 64 run twice with different offset bases over the
+// same serialized request -> 32 hex chars. Not cryptographic — it only has
+// to make accidental collisions between netlist variants implausible.
+
+class Fnv {
+public:
+    explicit Fnv(std::uint64_t basis) : h_(basis) {}
+    void bytes(const void* p, std::size_t n) {
+        const auto* b = static_cast<const unsigned char*>(p);
+        for (std::size_t i = 0; i < n; ++i) {
+            h_ ^= b[i];
+            h_ *= 0x100000001B3ull;
+        }
+    }
+    void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+    void str(const std::string& s) {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+    std::uint64_t value() const noexcept { return h_; }
+
+private:
+    std::uint64_t h_;
+};
+
+std::string hex64(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void hash_request(Fnv& f, const Request& req, const std::string& cxx_id,
+                  const std::string& flags) {
+    f.str("gaip-jit-abi1");
+    f.u64(req.words);
+    f.u64(req.slots);
+    f.u64(req.n);
+    for (std::size_t i = 0; i < req.n; ++i) {
+        const LaneInstr& c = req.code[i];
+        f.u64(c.dst);
+        f.u64(c.a);
+        f.u64(c.b);
+        f.u64(c.ma);
+        f.u64(c.mx);
+        f.u64(c.inv);
+    }
+    f.u64(req.regs_q.size());
+    for (const std::uint32_t q : req.regs_q) f.u64(q);
+    f.u64(req.regs_d.size());
+    for (const std::uint32_t d : req.regs_d) f.u64(d);
+    f.str(cxx_id);
+    f.str(flags);
+}
+
+// ---------------------------------------------------------------------------
+// Compiler resolution. GAIP_JIT_CXX wins (set-but-unusable means
+// "unavailable" — that is how tests and CI simulate a compilerless host);
+// otherwise the compiler that built this binary, then PATH.
+
+bool executable_file(const std::string& path) {
+#if defined(GAIP_JIT_POSIX)
+    return !path.empty() && path.find('/') != std::string::npos &&
+           ::access(path.c_str(), X_OK) == 0;
+#else
+    (void)path;
+    return false;
+#endif
+}
+
+std::string search_path(const char* name) {
+    const char* path = std::getenv("PATH");
+    if (path == nullptr) return {};
+    std::stringstream ss{std::string(path)};
+    std::string dir;
+    while (std::getline(ss, dir, ':')) {
+        if (dir.empty()) continue;
+        const std::string cand = dir + "/" + name;
+        if (executable_file(cand)) return cand;
+    }
+    return {};
+}
+
+/// Absolute path of the host compiler, empty when none is usable.
+std::string resolve_compiler() {
+#if !defined(GAIP_JIT_POSIX)
+    return {};
+#else
+    if (const char* env = std::getenv("GAIP_JIT_CXX")) {
+        std::string p = env;
+        if (executable_file(p)) return p;
+        if (!p.empty() && p.find('/') == std::string::npos) {
+            const std::string found = search_path(p.c_str());
+            if (!found.empty()) return found;
+        }
+        return {};  // explicitly requested compiler is unusable -> unavailable
+    }
+#if defined(GAIP_JIT_HOST_CXX)
+    if (executable_file(GAIP_JIT_HOST_CXX)) return GAIP_JIT_HOST_CXX;
+#endif
+    for (const char* name : {"c++", "g++", "clang++"}) {
+        const std::string found = search_path(name);
+        if (!found.empty()) return found;
+    }
+    return {};
+#endif
+}
+
+struct Toolchain {
+    std::string cxx;   // resolved compiler path ("" = unavailable)
+    std::string id;    // "path (version first line)"
+    std::string flags; // codegen flags, part of the cache key
+};
+
+std::string compiler_version_line(const std::string& cxx) {
+#if defined(GAIP_JIT_POSIX)
+    const std::string cmd = "'" + cxx + "' --version 2>/dev/null";
+    std::string line;
+    if (FILE* p = ::popen(cmd.c_str(), "r")) {
+        char buf[256];
+        if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+            line = buf;
+            while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+                line.pop_back();
+        }
+        ::pclose(p);
+    }
+    return line;
+#else
+    (void)cxx;
+    return {};
+#endif
+}
+
+const Toolchain& toolchain() {
+    // Resolved once per process: compiler identity is part of every cache
+    // key, and spawning `--version` per compile would double the
+    // subprocess cost. GAIP_JIT_CXX/GAIP_JIT_FLAGS are therefore read at
+    // first use — tests that flip them do so before the first compile or
+    // accept the pinned resolution.
+    static const Toolchain tc = [] {
+        Toolchain t;
+        t.cxx = resolve_compiler();
+        if (!t.cxx.empty()) t.id = t.cxx + " (" + compiler_version_line(t.cxx) + ")";
+        // -O2 buys measurably better vector codegen than -O1 on the wide
+        // (W=4/8) lane types and still compiles the ~6k-statement GA-core
+        // stream in single-digit seconds once the stream is split into
+        // modest chunks (see kChunk below).
+        t.flags = "-O2 -march=native -fPIC -shared -fno-plt";
+        if (const char* extra = std::getenv("GAIP_JIT_FLAGS")) {
+            t.flags += ' ';
+            t.flags += extra;
+        }
+        return t;
+    }();
+    return tc;
+}
+
+// ---------------------------------------------------------------------------
+// Cache directory.
+
+std::string resolve_cache_dir() {
+    const char* env = std::getenv("GAIP_JIT_CACHE");
+    if (env != nullptr && *env != '\0') return env;
+    if (const char* xdg = std::getenv("XDG_CACHE_HOME"); xdg != nullptr && *xdg != '\0')
+        return std::string(xdg) + "/gaip-jit";
+    if (const char* home = std::getenv("HOME"); home != nullptr && *home != '\0')
+        return std::string(home) + "/.cache/gaip-jit";
+    return "/tmp/gaip-jit-cache";
+}
+
+// ---------------------------------------------------------------------------
+// Code generation.
+
+/// Specialized C++ expression for one instruction. The kernel form
+/// ((a & b) & ma) ^ ((a ^ b) & mx) ^ inv with ma/mx/inv in {0, ~0}
+/// collapses to the exact operator; non-canonical masks (impossible in the
+/// current lowering, but the generator must not silently miscompile) fall
+/// back to the literal mask form.
+void emit_instr(std::string& out, const LaneInstr& c) {
+    constexpr std::uint64_t kAll = ~std::uint64_t{0};
+    char buf[96];
+    const auto canonical = [&](std::uint64_t m) { return m == 0 || m == kAll; };
+    if (canonical(c.ma) && canonical(c.mx) && canonical(c.inv) && (c.ma != 0 || c.mx != 0)) {
+        const char* op = nullptr;
+        if (c.ma != 0 && c.mx != 0) op = "|";
+        else if (c.ma != 0) op = "&";
+        else op = "^";
+        if (c.a == c.b && c.ma != 0) {
+            // NOT (or a degenerate copy) of a single operand.
+            std::snprintf(buf, sizeof(buf), "v[%u]=%sv[%u];", c.dst, c.inv ? "~" : "", c.a);
+        } else if (c.inv != 0) {
+            std::snprintf(buf, sizeof(buf), "v[%u]=~(v[%u]%sv[%u]);", c.dst, c.a, op, c.b);
+        } else {
+            std::snprintf(buf, sizeof(buf), "v[%u]=v[%u]%sv[%u];", c.dst, c.a, op, c.b);
+        }
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "v[%u]=((v[%u]&v[%u])&C(0x%llxull))^((v[%u]^v[%u])&C(0x%llxull))^"
+                      "C(0x%llxull);",
+                      c.dst, c.a, c.b, static_cast<unsigned long long>(c.ma), c.a, c.b,
+                      static_cast<unsigned long long>(c.mx),
+                      static_cast<unsigned long long>(c.inv));
+    }
+    out += buf;
+    out += '\n';
+}
+
+std::string generate_source(const Request& req, const std::string& key) {
+    // Chunk the eval body into fixed-size static functions: one 6000-
+    // statement function provokes superlinear behavior in the host
+    // compiler's register allocator; ~300-statement chunks keep -O2
+    // compile time near-linear and cost one direct call each.
+    constexpr std::size_t kChunk = 300;
+    std::string s;
+    s.reserve(64 * req.n + 4096);
+    s += "// auto-generated by gaip::gates::jit — do not edit.\n";
+    s += "// key " + key + "\n";
+    s += "typedef unsigned long long u64;\n";
+    const unsigned W = req.words;
+    if (W == 1) {
+        s += "typedef u64 V;\n";
+    } else {
+        s += "typedef u64 V __attribute__((vector_size(" + std::to_string(8 * W) +
+             "), may_alias));\n";
+    }
+    // C(x): broadcast a scalar mask to the lane-block type (vector-scalar
+    // binary ops broadcast implicitly, but ^ with an explicit cast keeps
+    // the generic form valid for W == 1 too).
+    s += "#define C(x) ((u64)(x))\n";
+    s += "#define AS_V(p) ((V*)__builtin_assume_aligned((p), 64))\n\n";
+
+    const std::size_t chunks = (req.n + kChunk - 1) / kChunk;
+    for (std::size_t ch = 0; ch < chunks; ++ch) {
+        s += "static void e" + std::to_string(ch) + "(V* v){\n";
+        const std::size_t end = std::min(req.n, (ch + 1) * kChunk);
+        for (std::size_t i = ch * kChunk; i < end; ++i) emit_instr(s, req.code[i]);
+        s += "}\n";
+    }
+    s += "\nextern \"C\" void gaip_jit_eval(u64* vals){\nV* v=AS_V(vals);\n";
+    if (req.n == 0) s += "(void)v;\n";
+    for (std::size_t ch = 0; ch < chunks; ++ch) s += "e" + std::to_string(ch) + "(v);\n";
+    s += "}\n";
+
+    // Register clocking: two-phase latch (sample every D, then write every
+    // Q) with the slot lists fully unrolled. The temporary lives on the
+    // stack so concurrent instances clocking DIFFERENT value arrays never
+    // share state.
+    const std::size_t r = req.regs_q.size();
+    s += "\nextern \"C\" void gaip_jit_clock(u64* vals){\nV* v=AS_V(vals);\n";
+    if (r == 0) {
+        s += "(void)v;\n";
+    } else {
+        s += "V t[" + std::to_string(r) + "];\n";
+        for (std::size_t i = 0; i < r; ++i)
+            s += "t[" + std::to_string(i) + "]=v[" + std::to_string(req.regs_d[i]) + "];\n";
+        for (std::size_t i = 0; i < r; ++i)
+            s += "v[" + std::to_string(req.regs_q[i]) + "]=t[" + std::to_string(i) + "];\n";
+    }
+    s += "}\n";
+
+    // Scan-chain shift: head gets scan_in, every register passes its value
+    // down the chain, the pre-shift tail goes to scan_out — the test-mode
+    // mux of GateNetlist::clock, specialized to this chain.
+    s += "\nextern \"C\" void gaip_jit_scan(u64* vals, const u64* sin, u64* sout){\n";
+    if (r == 0) {
+        s += "(void)vals;\nif(sout){for(unsigned w=0;w<" + std::to_string(W) +
+             "u;++w)sout[w]=0;}\n";
+    } else {
+        s += "V* v=AS_V(vals);\n";
+        s += "if(sout){__builtin_memcpy(sout,&v[" + std::to_string(req.regs_q.back()) +
+             "],sizeof(V));}\n";
+        s += "V c;\nif(sin){__builtin_memcpy(&c,sin,sizeof(V));}else{__builtin_memset(&c,0,"
+             "sizeof(V));}\n";
+        for (const std::uint32_t q : req.regs_q) {
+            const std::string qs = std::to_string(q);
+            s += "{V t=v[" + qs + "];v[" + qs + "]=c;c=t;}\n";
+        }
+    }
+    s += "}\n";
+
+    // Load-time validation exports: the loader rejects an artifact whose
+    // key or ABI tag does not match the request (stale or corrupted file).
+    s += "\nextern \"C\" const char gaip_jit_key[] = \"" + key + "\";\n";
+    s += "extern \"C\" const unsigned gaip_jit_abi = 1;\n";
+    s += "extern \"C\" const unsigned gaip_jit_words = " + std::to_string(W) + "u;\n";
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Module: dlopen wrapper + validation.
+
+class ModuleImpl final : public Module {
+public:
+    ModuleImpl(std::string key, EvalFn e, ClockFn c, ScanFn s, bool hit, double ms)
+        : key_(std::move(key)), eval_(e), clock_(c), scan_(s), hit_(hit), ms_(ms) {}
+
+    EvalFn eval() const noexcept override { return eval_; }
+    ClockFn clock() const noexcept override { return clock_; }
+    ScanFn scan() const noexcept override { return scan_; }
+    const std::string& key() const noexcept override { return key_; }
+    bool cache_hit() const noexcept override { return hit_; }
+    double compile_ms() const noexcept override { return ms_; }
+
+private:
+    std::string key_;
+    EvalFn eval_;
+    ClockFn clock_;
+    ScanFn scan_;
+    bool hit_;
+    double ms_;
+};
+
+/// dlopen + validate one artifact; returns nullptr (with a reason) when
+/// the file is missing, truncated, or belongs to a different key/ABI.
+std::shared_ptr<const Module> load_artifact(const std::string& so_path, const std::string& key,
+                                            bool cache_hit, double compile_ms,
+                                            std::string* why) {
+#if !defined(GAIP_JIT_POSIX)
+    if (why) *why = "dlopen unavailable on this platform";
+    return nullptr;
+#else
+    void* h = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (h == nullptr) {
+        if (why) {
+            const char* e = ::dlerror();
+            *why = e != nullptr ? e : "dlopen failed";
+        }
+        return nullptr;
+    }
+    const auto sym = [&](const char* name) { return ::dlsym(h, name); };
+    const char* stored_key = static_cast<const char*>(sym("gaip_jit_key"));
+    const unsigned* abi = static_cast<const unsigned*>(sym("gaip_jit_abi"));
+    auto eval = reinterpret_cast<Module::EvalFn>(sym("gaip_jit_eval"));
+    auto clock = reinterpret_cast<Module::ClockFn>(sym("gaip_jit_clock"));
+    auto scan = reinterpret_cast<Module::ScanFn>(sym("gaip_jit_scan"));
+    if (stored_key == nullptr || abi == nullptr || *abi != 1 || key != stored_key ||
+        eval == nullptr || clock == nullptr || scan == nullptr) {
+        // Unload the invalid artifact: none of its pointers escaped, and a
+        // LEAKED handle would pin the rejected object in glibc's namespace
+        // under this path — dlopen dedups by name, so the post-rebuild
+        // reload of the same path would keep returning the stale module
+        // and poison the key for the rest of the process.
+        ::dlclose(h);
+        if (why) *why = "artifact failed validation (stale key, ABI mismatch, or corrupt)";
+        return nullptr;
+    }
+    return std::make_shared<ModuleImpl>(key, eval, clock, scan, cache_hit, compile_ms);
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// In-process registry: one shared_future per key so concurrent campaign
+// workers requesting the same netlist block on ONE compile instead of
+// racing the compiler. Entries live for the process lifetime (modules are
+// never unloaded).
+
+using ModuleFuture = std::shared_future<std::shared_ptr<const Module>>;
+
+std::mutex g_registry_mu;
+std::map<std::string, ModuleFuture> g_registry;
+
+std::shared_ptr<const Module> build_module(const Request& req, const std::string& key) {
+    namespace fs = std::filesystem;
+    const Toolchain& tc = toolchain();
+    const std::string dir = cache_dir();
+    const std::string so_path = dir + "/" + key + ".so";
+
+    // Disk hit: a valid artifact from an earlier process (or an earlier
+    // registry generation) loads without any compiler involvement.
+    if (fs::exists(so_path)) {
+        std::string why;
+        if (auto m = load_artifact(so_path, key, /*cache_hit=*/true, 0.0, &why)) {
+            counters().disk_hits.fetch_add(1, std::memory_order_relaxed);
+            emit(trace::TraceEvent(trace::kind::kJitCacheHit, 0, 0)
+                     .add("key", key)
+                     .add("source", std::string("disk"))
+                     .add("artifact", so_path));
+            return m;
+        }
+        // Corrupted/truncated/stale artifact: fall through to a clean
+        // rebuild that atomically replaces the file.
+    }
+
+    counters().misses.fetch_add(1, std::memory_order_relaxed);
+    if (tc.cxx.empty()) return nullptr;
+
+    const std::string src_path = dir + "/" + key + ".cpp";
+    const std::string log_path = dir + "/" + key + ".log";
+    const std::string tmp_path = so_path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream src(src_path, std::ios::trunc);
+        src << generate_source(req, key);
+        if (!src) return nullptr;
+    }
+    const std::string cmd = "'" + tc.cxx + "' " + tc.flags + " -o '" + tmp_path + "' '" +
+                            src_path + "' 2> '" + log_path + "'";
+    const auto t0 = std::chrono::steady_clock::now();
+    const int rc = std::system(cmd.c_str());
+    const double ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    counters().compile_us_total.fetch_add(static_cast<std::uint64_t>(ms * 1000.0),
+                                          std::memory_order_relaxed);
+    if (rc != 0) {
+        counters().compile_failures.fetch_add(1, std::memory_order_relaxed);
+        std::error_code ec;
+        fs::remove(tmp_path, ec);
+        return nullptr;
+    }
+    // Atomic publish: concurrent processes compiling the same key each
+    // rename their own temp file over the final path; last writer wins and
+    // every byte pattern is a complete artifact.
+    std::error_code ec;
+    fs::rename(tmp_path, so_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        return nullptr;
+    }
+    std::string why;
+    auto m = load_artifact(so_path, key, /*cache_hit=*/false, ms, &why);
+    if (!m) {
+        counters().compile_failures.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    counters().compiles.fetch_add(1, std::memory_order_relaxed);
+    emit(trace::TraceEvent(trace::kind::kJitCompile, 0, 0)
+             .add("key", key)
+             .add("words", std::uint64_t{req.words})
+             .add("instructions", std::uint64_t{req.n})
+             .add("registers", std::uint64_t{req.regs_q.size()})
+             .add("compile_ms", ms)
+             .add("artifact", so_path));
+    return m;
+}
+
+}  // namespace
+
+Stats stats() {
+    const Counters& c = counters();
+    Stats s;
+    s.memory_hits = c.memory_hits.load(std::memory_order_relaxed);
+    s.disk_hits = c.disk_hits.load(std::memory_order_relaxed);
+    s.misses = c.misses.load(std::memory_order_relaxed);
+    s.compiles = c.compiles.load(std::memory_order_relaxed);
+    s.compile_failures = c.compile_failures.load(std::memory_order_relaxed);
+    s.fallbacks = c.fallbacks.load(std::memory_order_relaxed);
+    s.compile_ms_total = static_cast<double>(c.compile_us_total.load(std::memory_order_relaxed)) / 1000.0;
+    return s;
+}
+
+void reset_stats() {
+    Counters& c = counters();
+    c.memory_hits = 0;
+    c.disk_hits = 0;
+    c.misses = 0;
+    c.compiles = 0;
+    c.compile_failures = 0;
+    c.fallbacks = 0;
+    c.compile_us_total = 0;
+}
+
+bool available() { return !toolchain().cxx.empty(); }
+
+std::string compiler_id() { return toolchain().id; }
+
+std::string cache_dir() {
+    const std::string dir = resolve_cache_dir();
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+std::string cache_key(const Request& req) {
+    const Toolchain& tc = toolchain();
+    Fnv lo(0xCBF29CE484222325ull), hi(0x6C62272E07BB0142ull);
+    hash_request(lo, req, tc.id, tc.flags);
+    hash_request(hi, req, tc.id, tc.flags);
+    return hex64(hi.value()) + hex64(lo.value());
+}
+
+void clear_module_registry() {
+    const std::lock_guard<std::mutex> lock(g_registry_mu);
+    g_registry.clear();
+}
+
+void set_trace_sink(trace::TraceSink* sink) {
+    g_sink.store(sink, std::memory_order_release);
+}
+
+std::shared_ptr<const Module> compile(const Request& req, bool force) {
+    if (req.regs_q.size() != req.regs_d.size())
+        throw std::invalid_argument("jit::compile: regs_q/regs_d length mismatch");
+    const std::string key = cache_key(req);
+
+    // One shared_future per key: the first caller ("owner") compiles,
+    // concurrent callers for the same netlist block on the future instead
+    // of racing the host compiler.
+    std::promise<std::shared_ptr<const Module>> promise;
+    ModuleFuture fut;
+    bool owner = false;
+    {
+        const std::lock_guard<std::mutex> lock(g_registry_mu);
+        const auto it = g_registry.find(key);
+        if (it != g_registry.end()) {
+            fut = it->second;
+        } else {
+            fut = promise.get_future().share();
+            g_registry.emplace(key, fut);
+            owner = true;
+        }
+    }
+    if (owner) {
+        std::shared_ptr<const Module> m;
+        try {
+            m = build_module(req, key);
+        } catch (...) {
+            promise.set_value(nullptr);
+            const std::lock_guard<std::mutex> lock(g_registry_mu);
+            g_registry.erase(key);
+            throw;
+        }
+        promise.set_value(m);
+        if (!m) {
+            // Do not pin a failed build in the registry: a later call with
+            // a repaired environment (or rebuilt artifact) should retry.
+            const std::lock_guard<std::mutex> lock(g_registry_mu);
+            g_registry.erase(key);
+        }
+    } else {
+        counters().memory_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::shared_ptr<const Module> m = fut.get();
+    if (m != nullptr) {
+        if (!owner)
+            emit(trace::TraceEvent(trace::kind::kJitCacheHit, 0, 0)
+                     .add("key", key)
+                     .add("source", std::string("memory")));
+        return m;
+    }
+    counters().fallbacks.fetch_add(1, std::memory_order_relaxed);
+    const std::string reason = available()
+                                   ? "compilation failed (see cache .log)"
+                                   : "no host compiler available";
+    emit(trace::TraceEvent(trace::kind::kJitFallback, 0, 0).add("key", key).add("reason",
+                                                                                reason));
+    if (force)
+        throw std::runtime_error("jit::compile: forced JIT unavailable: " + reason +
+                                 " (cache: " + cache_dir() + "/" + key + ".log)");
+    return nullptr;
+}
+
+}  // namespace gaip::gates::jit

@@ -57,6 +57,12 @@ inline constexpr const char* kSupRollback = "sup_rollback";     ///< retry resum
 inline constexpr const char* kSupVote = "sup_vote";             ///< NMR majority vote tallied
 inline constexpr const char* kSupAbort = "sup_abort";           ///< ladder exhausted, structured abort
 inline constexpr const char* kSupResult = "sup_result";         ///< final supervised verdict
+// Native-codegen JIT backend (src/gates/jit.*): artifact-cache traffic and
+// host-compiler invocations, so a campaign's compile overhead is visible
+// in the same stream as its simulation events.
+inline constexpr const char* kJitCompile = "jit_compile";       ///< artifact built by host compiler
+inline constexpr const char* kJitCacheHit = "jit_cache_hit";    ///< artifact reused (memory/disk)
+inline constexpr const char* kJitFallback = "jit_fallback";     ///< JIT requested, interpreter used
 }  // namespace kind
 
 struct TraceEvent {

@@ -8,6 +8,7 @@
 
 #include "core/ga_core.hpp"
 #include "fault/campaign.hpp"
+#include "gates/jit.hpp"
 
 namespace gaip::fault {
 namespace {
@@ -164,6 +165,57 @@ TEST(FaultCampaign, WideBlocksAndThreadsReproduceDefaultRecords) {
         EXPECT_EQ(res.hang, ref.hang);
         EXPECT_EQ(res.recovered, ref.recovered);
         EXPECT_EQ(res.gate_cycles > 0, true);
+        ASSERT_EQ(res.records.size(), ref.records.size());
+        for (std::size_t i = 0; i < ref.records.size(); ++i) {
+            const FaultRecord& a = ref.records[i];
+            const FaultRecord& b = res.records[i];
+            ASSERT_EQ(a.site.reg, b.site.reg);
+            ASSERT_EQ(a.site.bit, b.site.bit);
+            ASSERT_EQ(a.site.cycle, b.site.cycle);
+            EXPECT_EQ(a.inject_cycle, b.inject_cycle);
+            EXPECT_EQ(a.outcome, b.outcome);
+            EXPECT_EQ(a.finished, b.finished);
+            EXPECT_EQ(a.best_fitness, b.best_fitness);
+            EXPECT_EQ(a.best_candidate, b.best_candidate);
+            EXPECT_EQ(a.ga_cycles, b.ga_cycles);
+            EXPECT_EQ(a.final_state, b.final_state);
+        }
+    }
+}
+
+TEST(FaultCampaign, JitBackendReproducesInterpRecords) {
+    // The native-codegen backend must be a pure engine swap: the record
+    // stream (inject cycles, outcomes, per-record results) and the
+    // aggregate taxonomy are bit-identical to the interpreter at every
+    // width/thread combination, including threaded runs where concurrent
+    // workers block on one shared artifact compile (jit.cpp registry).
+    if (!gates::jit::available())
+        GTEST_SKIP() << "no host compiler for the JIT backend";
+    CampaignConfig cfg = small_config();
+    cfg.max_sites = 150;
+    cfg.backend = gates::Backend::kInterp;
+    FaultCampaign baseline(cfg);
+    const auto sites = baseline.enumerate_sites();
+    const CampaignResult ref = baseline.run_gate(sites);
+    ASSERT_EQ(ref.records.size(), sites.size());
+
+    struct Variant {
+        unsigned words;
+        unsigned threads;
+    };
+    for (const Variant v : {Variant{1, 1}, Variant{4, 2}, Variant{8, 0}}) {
+        SCOPED_TRACE("jit lane_words=" + std::to_string(v.words) +
+                     " threads=" + std::to_string(v.threads));
+        CampaignConfig jcfg = cfg;
+        jcfg.lane_words = v.words;
+        jcfg.threads = v.threads;
+        jcfg.backend = gates::Backend::kJitForce;  // fallback would hide a break
+        FaultCampaign campaign(jcfg);
+        const CampaignResult res = campaign.run_gate(sites);
+        EXPECT_EQ(res.masked, ref.masked);
+        EXPECT_EQ(res.wrong, ref.wrong);
+        EXPECT_EQ(res.hang, ref.hang);
+        EXPECT_EQ(res.recovered, ref.recovered);
         ASSERT_EQ(res.records.size(), ref.records.size());
         for (std::size_t i = 0; i < ref.records.size(); ++i) {
             const FaultRecord& a = ref.records[i];

@@ -7,6 +7,7 @@
 
 #include "bench/common.hpp"
 #include "bench/gate_batch_runner.hpp"
+#include "gates/jit.hpp"
 #include "system/ga_system.hpp"
 
 namespace gaip::bench {
@@ -164,6 +165,39 @@ TEST(BatchGateRunner, DefaultCycleBoundIsExactAndOverflowSafe) {
                             .mut_threshold = 1, .seed = 0x2961};
     BatchGateRunner ok(FitnessId::kOneMax, {sane});
     EXPECT_EQ(ok.default_cycle_bound(), (16ull * 13ull) * (64ull + 8ull * 16ull) + 100'000ull);
+}
+
+TEST(BatchGateRunner, JitBackendReproducesInterpLanes) {
+    // The runner's 4th constructor parameter swaps the evaluation engine
+    // under both compiled netlists (core + RNG); every per-lane result —
+    // fitness, candidate, evaluation/generation counts, cycle timings —
+    // must be bit-identical to the interpreter.
+    if (!gates::jit::available())
+        GTEST_SKIP() << "no host compiler for the JIT backend";
+    const FitnessId fn = FitnessId::kMBf6_2;
+    const std::vector<GaParameters> lanes = {
+        {.pop_size = 8, .n_gens = 3, .xover_threshold = 10, .mut_threshold = 2,
+         .seed = 0x2961},
+        {.pop_size = 16, .n_gens = 4, .xover_threshold = 12, .mut_threshold = 1,
+         .seed = 0x061F},
+        {.pop_size = 9, .n_gens = 3, .xover_threshold = 14, .mut_threshold = 4,
+         .seed = 0xB342},
+    };
+    BatchGateRunner interp(fn, lanes, 1, gates::Backend::kInterp);
+    BatchGateRunner jitted(fn, lanes, 1, gates::Backend::kJitForce);
+    ASSERT_TRUE(jitted.core_sim().jit_active());
+    const std::vector<BatchLaneResult> a = interp.run();
+    const std::vector<BatchLaneResult> b = jitted.run();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        SCOPED_TRACE("lane " + std::to_string(k));
+        EXPECT_EQ(a[k].finished, b[k].finished);
+        EXPECT_EQ(a[k].best_fitness, b[k].best_fitness);
+        EXPECT_EQ(a[k].best_candidate, b[k].best_candidate);
+        EXPECT_EQ(a[k].generations, b[k].generations);
+        EXPECT_EQ(a[k].evaluations, b[k].evaluations);
+        EXPECT_EQ(a[k].ga_cycles, b[k].ga_cycles);
+    }
 }
 
 }  // namespace

@@ -1,0 +1,501 @@
+// Native-codegen ("JIT") backend verification.
+//
+// Differential: a CompiledNetlist built with Backend::kJitForce must be
+// bit- and cycle-identical to the interpreted engine on the same source
+// netlist — every net, every lane, every word, across eval(), clock(),
+// full-width scan shifts and cone re-evaluation — at W = 1/2/4/8 on the
+// CA PRNG block and at W = 1/8 on the complete GA core.
+//
+// Cache: the content-hashed artifact cache must (a) skip the compiler on
+// warm in-process and on-disk hits (asserted via jit::Stats — the "warm
+// rerun performs zero compiler invocations" acceptance bar), (b) reject
+// corrupted/truncated artifacts and rebuild cleanly, and (c) miss when the
+// instruction stream changes (stale-hash), even when a poisoned artifact
+// squats on the new key.
+//
+// Environment contract: GAIP_JIT parses strictly (like GAIP_KERNEL), and
+// a missing host compiler degrades kJit to the interpreter gracefully
+// while kJitForce throws. The no-compiler half runs when the suite is
+// launched with GAIP_JIT_CXX=/nonexistent/cxx (CI does this; with a real
+// compiler those assertions are skipped).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gates/blocks.hpp"
+#include "gates/builder.hpp"
+#include "gates/compiled.hpp"
+#include "gates/compiled_kernels.hpp"
+#include "gates/ga_core_gates.hpp"
+#include "gates/jit.hpp"
+
+namespace gaip::gates {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Deterministic stimulus source (splitmix64).
+struct Rand {
+    std::uint64_t s;
+    explicit Rand(std::uint64_t seed) : s(seed) {}
+    std::uint64_t next() {
+        s += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = s;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+};
+
+std::vector<Net> input_nets(const GateNetlist& nl) {
+    std::vector<Net> in;
+    for (Net n = 0; n < nl.net_count(); ++n)
+        if (nl.op_of(n) == GateOp::kInput) in.push_back(n);
+    return in;
+}
+
+/// Scoped environment override restoring the previous value on exit.
+class EnvGuard {
+public:
+    EnvGuard(const char* name, const char* value) : name_(name) {
+        if (const char* old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~EnvGuard() {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+    EnvGuard(const EnvGuard&) = delete;
+    EnvGuard& operator=(const EnvGuard&) = delete;
+
+private:
+    const char* name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/// Fresh private artifact cache + empty module registry + zeroed counters,
+/// torn down on scope exit — cache-behavior tests must not see (or leave)
+/// artifacts in the user's real cache.
+class ScopedCache {
+public:
+    ScopedCache()
+        : dir_(fs::temp_directory_path() /
+               ("gaip-jit-test-" + std::to_string(::getpid()) + "-" +
+                std::to_string(counter_++))),
+          env_("GAIP_JIT_CACHE", dir_.c_str()) {
+        fs::create_directories(dir_);
+        jit::clear_module_registry();
+        jit::reset_stats();
+    }
+    ~ScopedCache() {
+        jit::clear_module_registry();
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+    const std::string& dir() const { return dir_; }
+
+private:
+    static inline int counter_ = 0;
+    std::string dir_;
+    EnvGuard env_;
+};
+
+/// Every live net of both engines must agree in every word.
+void expect_all_nets_equal(const CompiledNetlist& a, const CompiledNetlist& b,
+                           unsigned cycle) {
+    ASSERT_EQ(a.net_count(), b.net_count());
+    ASSERT_EQ(a.words(), b.words());
+    for (Net n = 0; n < a.net_count(); ++n)
+        for (unsigned w = 0; w < a.words(); ++w)
+            ASSERT_EQ(a.lanes_word(n, w), b.lanes_word(n, w))
+                << "net " << n << " word " << w << " @cycle " << cycle;
+}
+
+// ---------------------------------------------------------------------------
+// Environment contract.
+
+TEST(JitBackend, GaipJitParsesStrictly) {
+    EnvGuard env("GAIP_JIT", "fast");  // plausible typo for "force"
+    EXPECT_THROW(resolve_backend(Backend::kAuto), std::invalid_argument);
+    EXPECT_THROW(resolve_backend(Backend::kInterp), std::invalid_argument);
+    // A typo'd engine request must fail the netlist build loudly, not
+    // silently benchmark the wrong engine.
+    GateNetlist nl;
+    nl.output("y", nl.g_and(nl.input("a"), nl.input("b")));
+    EXPECT_THROW(CompiledNetlist(nl, {.words = 1}), std::invalid_argument);
+}
+
+TEST(JitBackend, GaipJitAcceptedSpellings) {
+    for (const char* v : {"0", "off", "interp"}) {
+        EnvGuard env("GAIP_JIT", v);
+        EXPECT_EQ(resolve_backend(Backend::kJit), Backend::kInterp) << v;
+    }
+    for (const char* v : {"1", "on", "jit"}) {
+        EnvGuard env("GAIP_JIT", v);
+        EXPECT_EQ(resolve_backend(Backend::kInterp), Backend::kJit) << v;
+    }
+    {
+        EnvGuard env("GAIP_JIT", "force");
+        EXPECT_EQ(resolve_backend(Backend::kAuto), Backend::kJitForce);
+    }
+    {
+        EnvGuard env("GAIP_JIT", nullptr);
+        EXPECT_EQ(resolve_backend(Backend::kAuto), Backend::kInterp);
+        EXPECT_EQ(resolve_backend(Backend::kJit), Backend::kJit);
+        EXPECT_EQ(resolve_backend(Backend::kJitForce), Backend::kJitForce);
+    }
+}
+
+TEST(JitBackend, GaipKernelParsesStrictly) {
+    EnvGuard env("GAIP_KERNEL", "avx9000");
+    EXPECT_THROW(kernels::select(1), std::invalid_argument);
+    EXPECT_THROW(kernels::selected_name(1), std::invalid_argument);
+}
+
+TEST(JitBackend, KnownKernelNamesAlwaysResolve) {
+    // Known variants the CPU lacks degrade to generic; the name is never
+    // null and select() never returns a null kernel.
+    for (const char* v : {"generic", "avx2", "avx512"}) {
+        EnvGuard env("GAIP_KERNEL", v);
+        for (const unsigned w : {1u, 2u, 4u, 8u}) {
+            EXPECT_NE(kernels::select(w), nullptr) << v;
+            EXPECT_NE(kernels::selected_name(w), nullptr) << v;
+        }
+    }
+    EnvGuard env("GAIP_KERNEL", "generic");
+    EXPECT_STREQ(kernels::selected_name(1), "generic");
+}
+
+TEST(JitBackend, GracefulFallbackWithoutCompiler) {
+    // Exercised for real when the suite runs with
+    // GAIP_JIT_CXX=/nonexistent/cxx (compiler resolution is pinned at
+    // first use, so the switch must happen at process launch — CI's
+    // no-compiler job does exactly that).
+    if (jit::available())
+        GTEST_SKIP() << "host compiler present; run with GAIP_JIT_CXX=/nonexistent/cxx";
+    jit::reset_stats();
+    GateNetlist nl;
+    const auto blk = build_ca_prng(nl);
+    for (std::size_t i = 0; i < blk.state.size(); ++i)
+        nl.output("rn" + std::to_string(i), blk.state[i]);
+
+    CompiledNetlist soft(nl, {.words = 1, .backend = Backend::kJit});
+    EXPECT_FALSE(soft.jit_active()) << "kJit must degrade to the interpreter";
+    EXPECT_GE(jit::stats().fallbacks, 1u);
+    // The degraded engine still simulates: clock the PRNG a few steps and
+    // require state movement (exact values are pinned elsewhere).
+    soft.set_input_all(blk.load, false);
+    soft.eval();
+    soft.clock();
+    EXPECT_THROW(CompiledNetlist(nl, {.words = 1, .backend = Backend::kJitForce}),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: JIT vs interpreter.
+
+TEST(JitDifferential, CaPrngAllWidths) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    GateNetlist nl;
+    const auto blk = build_ca_prng(nl);
+    for (std::size_t i = 0; i < blk.state.size(); ++i)
+        nl.output("rn" + std::to_string(i), blk.state[i]);
+    const std::vector<Net> ins = input_nets(nl);
+
+    for (const unsigned words : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("words=" + std::to_string(words));
+        CompiledNetlist interp(nl, {.words = words, .backend = Backend::kInterp});
+        CompiledNetlist jitted(nl, {.words = words, .backend = Backend::kJitForce});
+        ASSERT_FALSE(interp.jit_active());
+        ASSERT_TRUE(jitted.jit_active());
+
+        Rand rnd(0x2961 + words);
+        for (unsigned cycle = 0; cycle < 500; ++cycle) {
+            for (const Net in : ins)
+                for (unsigned w = 0; w < words; ++w) {
+                    const std::uint64_t bits = rnd.next();
+                    interp.set_input_word(in, w, bits);
+                    jitted.set_input_word(in, w, bits);
+                }
+            interp.eval();
+            jitted.eval();
+            expect_all_nets_equal(interp, jitted, cycle);
+            interp.clock();
+            jitted.clock();
+            expect_all_nets_equal(interp, jitted, cycle);
+        }
+    }
+}
+
+TEST(JitDifferential, GaCoreEvalClockScanW1AndW8) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    const auto g = build_ga_core_netlist();
+    const std::vector<Net> ins = input_nets(g->nl);
+
+    for (const unsigned words : {1u, 8u}) {
+        SCOPED_TRACE("words=" + std::to_string(words));
+        CompiledNetlist interp(g->nl, {.words = words, .backend = Backend::kInterp});
+        CompiledNetlist jitted(g->nl, {.words = words, .backend = Backend::kJitForce});
+        ASSERT_TRUE(jitted.jit_active());
+
+        Rand rnd(0xB342 + words);
+        std::vector<std::uint64_t> scan_in(words), out_a(words), out_b(words);
+        for (unsigned cycle = 0; cycle < 300; ++cycle) {
+            for (const Net in : ins)
+                for (unsigned w = 0; w < words; ++w) {
+                    const std::uint64_t bits = rnd.next();
+                    interp.set_input_word(in, w, bits);
+                    jitted.set_input_word(in, w, bits);
+                }
+            interp.eval();
+            jitted.eval();
+            if (cycle % 50 == 0) expect_all_nets_equal(interp, jitted, cycle);
+
+            if (cycle % 3 == 2) {
+                // Full-width scan shift (register clocking + scan-chain
+                // muxing is fused into the emitted clock/scan functions —
+                // both legs must agree with the interpreter).
+                for (unsigned w = 0; w < words; ++w) scan_in[w] = rnd.next();
+                interp.clock_scan(scan_in.data(), out_a.data());
+                jitted.clock_scan(scan_in.data(), out_b.data());
+                ASSERT_EQ(out_a, out_b) << "scan out @cycle " << cycle;
+            } else {
+                interp.clock();
+                jitted.clock();
+            }
+            for (unsigned w = 0; w < words; ++w)
+                ASSERT_EQ(interp.scan_tail_word(w), jitted.scan_tail_word(w))
+                    << "scan tail @cycle " << cycle;
+        }
+        expect_all_nets_equal(interp, jitted, 300);
+
+        // Scan round trip: shift the whole captured state out of both
+        // engines (zero fill behind) and require identical chains.
+        const std::size_t chain = interp.register_count();
+        for (std::size_t k = 0; k < chain; ++k) {
+            interp.clock_scan(nullptr, out_a.data());
+            jitted.clock_scan(nullptr, out_b.data());
+            ASSERT_EQ(out_a, out_b) << "round-trip shift " << k;
+        }
+    }
+}
+
+TEST(JitDifferential, ConeEvalRunsOnJitUpdatedState) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    // Cones always execute on the interpreter kernel, over whatever the
+    // last full pass (native or interpreted) left in storage: after a JIT
+    // eval, an input-cone re-eval must land both engines on identical
+    // state.
+    const auto g = build_ga_core_netlist();
+    const std::vector<Net> ins = input_nets(g->nl);
+    CompiledNetlist interp(g->nl, {.words = 1, .backend = Backend::kInterp});
+    CompiledNetlist jitted(g->nl, {.words = 1, .backend = Backend::kJitForce});
+    ASSERT_TRUE(jitted.jit_active());
+
+    const std::vector<Net> cone_src = {g->fit_valid};
+    const std::uint32_t ca = interp.make_cone(cone_src);
+    const std::uint32_t cb = jitted.make_cone(cone_src);
+    ASSERT_EQ(interp.cone_size(ca), jitted.cone_size(cb));
+    ASSERT_GT(interp.cone_size(ca), 0u);
+
+    Rand rnd(0xAAAA);
+    for (unsigned cycle = 0; cycle < 100; ++cycle) {
+        for (const Net in : ins) {
+            const std::uint64_t bits = rnd.next();
+            interp.set_input_lanes(in, bits);
+            jitted.set_input_lanes(in, bits);
+        }
+        interp.eval();
+        jitted.eval();
+        const std::uint64_t v = rnd.next();
+        interp.set_input_lanes(g->fit_valid, v);
+        jitted.set_input_lanes(g->fit_valid, v);
+        interp.eval_cone(ca);
+        jitted.eval_cone(cb);
+        expect_all_nets_equal(interp, jitted, cycle);
+        interp.clock();
+        jitted.clock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact cache.
+
+/// Tiny hand-built request: a few real instructions over a private slot
+/// file, so cache tests compile in milliseconds and can compute keys and
+/// artifact paths without a CompiledNetlist.
+struct TinyProgram {
+    std::vector<LaneInstr> code;
+    jit::Request req;
+    explicit TinyProgram(unsigned words = 1, std::uint64_t inv = 0) {
+        constexpr std::uint64_t kAll = ~std::uint64_t{0};
+        code = {
+            {4, 2, 3, kAll, 0, inv},    // slot4 = and(2,3) ^ inv
+            {5, 4, 2, 0, kAll, 0},      // slot5 = xor(4,2)
+            {7, 5, 6, kAll, kAll, 0},   // slot7 = or(5, reg q)
+        };
+        req.code = code.data();
+        req.n = code.size();
+        req.words = words;
+        req.slots = 8;
+        req.regs_q = {6};
+        req.regs_d = {7};
+    }
+};
+
+TEST(JitCache, KeyCoversStreamWordsAndFlags) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    TinyProgram a, b;
+    EXPECT_EQ(jit::cache_key(a.req), jit::cache_key(b.req)) << "key must be deterministic";
+    TinyProgram wide(/*words=*/4);
+    EXPECT_NE(jit::cache_key(a.req), jit::cache_key(wide.req));
+    TinyProgram inverted(/*words=*/1, /*inv=*/~std::uint64_t{0});
+    EXPECT_NE(jit::cache_key(a.req), jit::cache_key(inverted.req));
+}
+
+TEST(JitCache, WarmHitsSkipTheCompiler) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    ScopedCache cache;
+    TinyProgram prog;
+
+    // Cold: one miss, one compiler invocation.
+    auto m1 = jit::compile(prog.req, /*force=*/true);
+    ASSERT_NE(m1, nullptr);
+    EXPECT_FALSE(m1->cache_hit());
+    jit::Stats s = jit::stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.compiles, 1u);
+    EXPECT_GT(s.compile_ms_total, 0.0);
+
+    // In-process warm: the registry returns the live module, zero compiles.
+    auto m2 = jit::compile(prog.req, true);
+    ASSERT_NE(m2, nullptr);
+    s = jit::stats();
+    EXPECT_EQ(s.memory_hits, 1u);
+    EXPECT_EQ(s.compiles, 1u);
+    EXPECT_EQ(m2.get(), m1.get());
+
+    // On-disk warm (a later process): dlopen only — ZERO compiler
+    // invocations, the acceptance bar for warm campaign reruns.
+    jit::clear_module_registry();
+    auto m3 = jit::compile(prog.req, true);
+    ASSERT_NE(m3, nullptr);
+    EXPECT_TRUE(m3->cache_hit());
+    s = jit::stats();
+    EXPECT_EQ(s.disk_hits, 1u);
+    EXPECT_EQ(s.compiles, 1u) << "warm rerun must not invoke the compiler";
+    EXPECT_EQ(m3->key(), jit::cache_key(prog.req));
+}
+
+TEST(JitCache, CorruptedArtifactForcesCleanRebuild) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    // Corruption is seeded into FRESH cache dirs before any load: a loaded
+    // artifact path stays deduplicated by name inside glibc for the
+    // process lifetime, so only a never-loaded path models what a new
+    // process sees after another writer corrupted the cache.
+    TinyProgram prog;
+    std::vector<char> elf_head(64);
+    {
+        // Learn what a valid artifact's leading bytes look like.
+        ScopedCache cache;
+        ASSERT_NE(jit::compile(prog.req, true), nullptr);
+        std::ifstream in(cache.dir() + "/" + jit::cache_key(prog.req) + ".so",
+                         std::ios::binary);
+        in.read(elf_head.data(), static_cast<std::streamsize>(elf_head.size()));
+        ASSERT_EQ(in.gcount(), static_cast<std::streamsize>(elf_head.size()));
+    }
+    {
+        // Garbage squatting on the key's path: dlopen must reject it and
+        // the build must recover with a fresh compile.
+        ScopedCache cache;
+        std::ofstream(cache.dir() + "/" + jit::cache_key(prog.req) + ".so")
+            << "this is not an ELF shared object";
+        auto m = jit::compile(prog.req, true);
+        ASSERT_NE(m, nullptr);
+        EXPECT_FALSE(m->cache_hit());
+        const jit::Stats s = jit::stats();
+        EXPECT_EQ(s.disk_hits, 0u);
+        EXPECT_EQ(s.misses, 1u);
+        EXPECT_EQ(s.compiles, 1u);
+    }
+    {
+        // Truncated (half-written) artifact: a genuine ELF header with the
+        // body missing. Same clean rebuild.
+        ScopedCache cache;
+        std::ofstream(cache.dir() + "/" + jit::cache_key(prog.req) + ".so",
+                      std::ios::binary)
+            .write(elf_head.data(), static_cast<std::streamsize>(elf_head.size()));
+        auto m = jit::compile(prog.req, true);
+        ASSERT_NE(m, nullptr);
+        EXPECT_FALSE(m->cache_hit());
+        const jit::Stats s = jit::stats();
+        EXPECT_EQ(s.disk_hits, 0u);
+        EXPECT_EQ(s.compiles, 1u);
+    }
+}
+
+TEST(JitCache, StaleHashMissesAndRejectsSquattingArtifact) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    ScopedCache cache;
+    TinyProgram before;
+    ASSERT_NE(jit::compile(before.req, true), nullptr);
+
+    // Change the instruction stream: the key must change (no stale hit)...
+    TinyProgram after(/*words=*/1, /*inv=*/~std::uint64_t{0});
+    const std::string new_key = jit::cache_key(after.req);
+    ASSERT_NE(new_key, jit::cache_key(before.req));
+
+    // ...and even a poisoned cache — the OLD artifact copied onto the NEW
+    // key's path — must be rejected via the embedded key check and
+    // recompiled, not executed.
+    fs::copy_file(cache.dir() + "/" + jit::cache_key(before.req) + ".so",
+                  cache.dir() + "/" + new_key + ".so");
+    jit::clear_module_registry();
+    jit::reset_stats();
+    auto m = jit::compile(after.req, true);
+    ASSERT_NE(m, nullptr);
+    EXPECT_FALSE(m->cache_hit());
+    EXPECT_EQ(m->key(), new_key);
+    jit::Stats s = jit::stats();
+    EXPECT_EQ(s.disk_hits, 0u);
+    EXPECT_EQ(s.compiles, 1u);
+}
+
+TEST(JitCache, CompiledNetlistCountsOneCompilePerStream) {
+    if (!jit::available()) GTEST_SKIP() << "no host compiler for the JIT backend";
+    // End-to-end through CompiledNetlist: N engines over the same netlist
+    // and width share one artifact (campaign workers, batch runners).
+    ScopedCache cache;
+    GateNetlist nl;
+    const auto blk = build_ca_prng(nl);
+    for (std::size_t i = 0; i < blk.state.size(); ++i)
+        nl.output("rn" + std::to_string(i), blk.state[i]);
+
+    CompiledNetlist first(nl, {.words = 2, .backend = Backend::kJitForce});
+    CompiledNetlist second(nl, {.words = 2, .backend = Backend::kJitForce});
+    ASSERT_TRUE(first.jit_active());
+    ASSERT_TRUE(second.jit_active());
+    EXPECT_EQ(first.jit_module()->key(), second.jit_module()->key());
+    const jit::Stats s = jit::stats();
+    EXPECT_EQ(s.compiles, 1u);
+    EXPECT_EQ(s.memory_hits, 1u);
+}
+
+}  // namespace
+}  // namespace gaip::gates

@@ -26,6 +26,7 @@
 
 #include "bench/gate_batch_runner.hpp"
 #include "fault/seu_injector.hpp"
+#include "gates/jit.hpp"
 #include "fitness/functions.hpp"
 #include "system/ga_system.hpp"
 #include "trace/diff.hpp"
@@ -155,8 +156,14 @@ int cmd_record(const RecordOptions& opt) {
     }
 
     if (opt.backend == "lanes") {
-        bench::BatchGateRunner runner(opt.fn, {opt.params});
         trace::JsonlSink sink(opt.out_path);
+        // The compiled engines are built inside the runner constructor, so
+        // the JIT telemetry sink (jit_compile / jit_cache_hit /
+        // jit_fallback under GAIP_JIT=1) must be attached first; detached
+        // before the sink dies.
+        gates::jit::set_trace_sink(&sink);
+        bench::BatchGateRunner runner(opt.fn, {opt.params});
+        gates::jit::set_trace_sink(nullptr);
         runner.set_lane_sink(0, &sink);
         std::unique_ptr<trace::VcdWriter> vcd;
         if (!opt.vcd_path.empty()) {
