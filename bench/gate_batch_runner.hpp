@@ -235,6 +235,109 @@ public:
         return out;
     }
 
+    // --- island-mode stepwise interface --------------------------------
+    // The island interconnect (src/island/) drives the batch one GA cycle
+    // at a time and parks lanes at generation boundaries: a parked lane's
+    // registers are clock-gated (CompiledNetlist::clock_gated) and its
+    // peripheral models freeze, so the lane holds its exact architectural
+    // state while siblings keep evolving — the cycle-level model of N
+    // cores meeting at a migration barrier. While a lane is parked its
+    // software GA memory can be poked (migration applies at the same
+    // point the RTL backdoor pokes GaMemory: right after the monitor's
+    // kGenCheck capture edge, before the next selection read).
+
+    /// Append one {index, value} write to a lane's init program — the
+    /// migration extension registers (indices 6/7) ride the handshake
+    /// after the six Table III parameters. Call before the run starts.
+    void append_lane_write(unsigned lane, std::uint8_t index, std::uint16_t value) {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        lanes_[lane].program.emplace_back(index, value);
+    }
+
+    /// Reset every lane and both compiled netlists for a stepwise run
+    /// (run()/run_bounded() do this internally).
+    void begin_run() { reset(); }
+
+    /// One GA-clock cycle; returns the count of unfinished lanes (parked
+    /// lanes count as unfinished).
+    std::size_t step_cycle() { return step(); }
+
+    /// Arm the generation-synchronous barrier: an unfinished lane whose
+    /// monitor pulse rises with mon_gen_id == `gen` parks right after the
+    /// capture edge. Parked lanes stay parked until release_lanes().
+    void arm_generation_barrier(std::uint32_t gen) {
+        barrier_armed_ = true;
+        barrier_gen_ = gen;
+    }
+    void disarm_generation_barrier() { barrier_armed_ = false; }
+
+    /// Step until every lane is parked at the armed barrier or finished,
+    /// or `max_cycles` (counted from reset) elapses. Returns the number of
+    /// lanes still running — nonzero means a lane missed the barrier
+    /// within the bound (the island watchdog's trip signal).
+    std::size_t run_to_barrier(std::uint64_t max_cycles) {
+        std::size_t running = pending_lanes();
+        while (running > 0 && cycle_ < max_cycles) {
+            step();
+            running = pending_lanes();
+        }
+        return running;
+    }
+
+    /// Lanes neither finished nor parked at the barrier.
+    std::size_t pending_lanes() const noexcept {
+        std::size_t n = 0;
+        for (const Lane& l : lanes_)
+            if (!l.result.finished && !l.parked) ++n;
+        return n;
+    }
+
+    bool lane_parked(unsigned lane) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return lanes_[lane].parked;
+    }
+
+    /// Resume every parked lane (the barrier is normally released for all
+    /// islands at once; re-arm for the next boundary before stepping on).
+    void release_lanes() {
+        for (Lane& l : lanes_) l.parked = false;
+        stall_ = WordVec{};
+    }
+
+    /// GA cycles a lane spent clock-gated at barriers so far.
+    std::uint64_t lane_stall_cycles(unsigned lane) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return lanes_[lane].stall_cycles;
+    }
+
+    const BatchLaneResult& lane_result(unsigned lane) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return lanes_[lane].result;
+    }
+
+    /// Current-population bank bit of one lane (post-edge register value).
+    bool lane_bank(unsigned lane) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return core_->value(core_src_->bank, lane);
+    }
+
+    /// Backdoor access to a lane's software GA memory (256 x 32 words).
+    std::uint32_t peek_lane_mem(unsigned lane, std::uint8_t addr) const {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        return lanes_[lane].mem[addr];
+    }
+    void poke_lane_mem(unsigned lane, std::uint8_t addr, std::uint32_t word) {
+        if (lane >= lanes_.size())
+            throw std::invalid_argument("BatchGateRunner: lane out of range");
+        lanes_[lane].mem[addr] = word;
+    }
+
 private:
     static constexpr unsigned kMaxWords = gates::CompiledNetlist::kMaxWords;
     /// One lane-block's worth of packed bits for a single signal.
@@ -256,6 +359,9 @@ private:
         // per-lane GA memory (256 x 32, synchronous read, write-first)
         std::array<std::uint32_t, mem::kGaMemoryDepth> mem{};
         std::uint32_t mem_dout = 0;
+        // island barrier: clock-gated hold at a generation boundary
+        bool parked = false;
+        std::uint64_t stall_cycles = 0;
         // telemetry edge detectors (touched only when a sink is attached)
         bool prev_ack = false;
         bool prev_pulse = false;
@@ -304,6 +410,9 @@ private:
 
     void reset() {
         cycle_ = 0;
+        stall_ = WordVec{};
+        barrier_armed_ = false;
+        barrier_gen_ = 0;
         for (std::size_t k = 0; k < lanes_.size(); ++k) {
             Lane fresh;
             fresh.program = std::move(lanes_[k].program);
@@ -418,8 +527,10 @@ private:
         const auto cand_t = read_word_t<16>(core_src_->candidate);
         // Pre-edge monitor samples: the same observation point the RT-level
         // SystemTap uses, so traced event streams line up across substrates.
+        // The island barrier watches the same pulse to spot lanes entering
+        // their kGenCheck boundary.
         const WordVec mon_pulse_w =
-            tracing_ ? read_net(core_src_->mon_gen_pulse) : WordVec{};
+            (tracing_ || barrier_armed_) ? read_net(core_src_->mon_gen_pulse) : WordVec{};
         const WordVec mon_bank_w = tracing_ ? read_net(core_src_->mon_bank) : WordVec{};
 
         // ---- drive the RNG module (shares the init bus + start pulse) -----
@@ -432,14 +543,33 @@ private:
         rng_->eval();
 
         // ---- clock edge ---------------------------------------------------
-        core_->clock();
-        rng_->clock();
+        // Parked lanes are clock-gated: their registers (core AND RNG) hold
+        // while active lanes latch normally. The WordVec is zero-initialized
+        // beyond words_, so the mask math stays in-range.
+        bool any_parked = false;
+        for (unsigned w = 0; w < words_; ++w) any_parked |= (stall_[w] != 0);
+        if (any_parked) {
+            WordVec enable{};
+            for (unsigned w = 0; w < words_; ++w) enable[w] = ~stall_[w];
+            core_->clock_gated(enable.data());
+            rng_->clock_gated(enable.data());
+        } else {
+            core_->clock();
+            rng_->clock();
+        }
         ++cycle_;
 
         // ---- advance the per-lane peripheral models -----------------------
         std::size_t unfinished = 0;
         for (std::size_t k = 0; k < n; ++k) {
             Lane& l = lanes_[k];
+            if (l.parked) {
+                // Frozen at the barrier: peripherals hold, telemetry edge
+                // detectors hold, the lane just accrues stall time.
+                ++l.stall_cycles;
+                if (!l.result.finished) ++unfinished;
+                continue;
+            }
             trace::TraceSink* sink = tracing_ ? lane_sinks_[k] : nullptr;
             const unsigned lk = static_cast<unsigned>(k);
 
@@ -525,6 +655,17 @@ private:
                                        .add("bank", get(mon_bank_w, k) ? std::uint64_t{1} : std::uint64_t{0}));
                 }
             }
+            // Barrier park: the pulse rise IS the monitor capture edge
+            // (E2 of the boundary), so gating the lane from the next cycle
+            // on freezes it after the pre-migration snapshot and before the
+            // elite write reaches the other bank — the exact window the
+            // RTL island driver pokes GaMemory in.
+            if (barrier_armed_ && !l.result.finished && get(mon_pulse_w, k) && !l.prev_pulse &&
+                core_->word_value(core_src_->mon_gen_id, static_cast<unsigned>(k)) ==
+                    barrier_gen_) {
+                l.parked = true;
+                set(stall_, k);
+            }
             l.prev_pulse = get(mon_pulse_w, k);
             l.prev_bank = get(mon_bank_w, k);
 
@@ -574,6 +715,10 @@ private:
     unsigned words_ = 1;
     std::vector<Lane> lanes_;
     std::uint64_t cycle_ = 0;
+    // island barrier state: per-lane clock-gate mask + armed boundary
+    WordVec stall_{};
+    bool barrier_armed_ = false;
+    std::uint32_t barrier_gen_ = 0;
     std::vector<trace::TraceSink*> lane_sinks_;
     bool tracing_ = false;
     trace::VcdWriter* vcd_ = nullptr;

@@ -1,6 +1,7 @@
 #include "core/behavioral.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/bits.hpp"
 
@@ -31,18 +32,6 @@ std::pair<std::uint16_t, std::uint16_t> crossover_pair(std::uint16_t p1, std::ui
 
 namespace {
 
-struct BestTracker {
-    std::uint16_t fit = 0;
-    std::uint16_t ind = 0;
-
-    void offer(std::uint16_t candidate, std::uint16_t fitness) noexcept {
-        if (fitness > fit) {  // strict: first-seen wins ties, like the RTL
-            fit = fitness;
-            ind = candidate;
-        }
-    }
-};
-
 std::uint16_t mutate(std::uint16_t off, std::uint16_t rn, std::uint8_t mut_thresh) noexcept {
     if ((rn & 0xF) < mut_thresh) off ^= static_cast<std::uint16_t>(1u << ((rn >> 4) & 0xF));
     return off;
@@ -50,85 +39,105 @@ std::uint16_t mutate(std::uint16_t off, std::uint16_t rn, std::uint8_t mut_thres
 
 }  // namespace
 
+BehavioralEngine::BehavioralEngine(const GaParameters& raw_params, FitnessFn fitness,
+                                   prng::RngKind rng_kind, bool keep_populations, bool elitism)
+    : params_(resolve_parameters(0, raw_params)),
+      fitness_(std::move(fitness)),
+      rng_(params_.seed, rng_kind),
+      keep_populations_(keep_populations),
+      elitism_(elitism) {
+    // --- initial population ---
+    cur_.resize(params_.pop_size);
+    next_.resize(params_.pop_size);
+    for (Member& m : cur_) {
+        m.candidate = rng_.next16();
+        m.fitness = fitness_(m.candidate);
+        ++evaluations_;
+        fit_sum_cur_ += m.fitness;
+        offer_best(m.candidate, m.fitness);
+    }
+    snapshot();
+}
+
+void BehavioralEngine::snapshot() {
+    GenerationStats s;
+    s.gen = gen_;
+    s.best_fit = best_fit_;
+    s.best_ind = best_ind_;
+    s.fit_sum = fit_sum_cur_;
+    if (keep_populations_) s.population = cur_;
+    history_.push_back(std::move(s));
+}
+
+void BehavioralEngine::poke_member(std::size_t slot, Member m) {
+    if (slot >= cur_.size())
+        throw std::invalid_argument("BehavioralEngine::poke_member: slot out of range");
+    cur_[slot] = m;
+}
+
+void BehavioralEngine::step_generation() {
+    if (done()) throw std::logic_error("BehavioralEngine: run already complete");
+
+    std::uint32_t fit_sum_new = 0;
+    std::size_t idx = 0;
+    if (elitism_) {
+        // Elitism: the best-ever member occupies slot 0 of the new bank.
+        next_[0] = {best_ind_, best_fit_};
+        fit_sum_new = best_fit_;
+        idx = 1;
+    }
+
+    while (idx < params_.pop_size) {
+        const std::uint16_t r1 = rng_.next16();
+        const std::size_t i1 = proportionate_select(cur_, fit_sum_cur_, r1);
+        const std::uint16_t r2 = rng_.next16();
+        const std::size_t i2 = proportionate_select(cur_, fit_sum_cur_, r2);
+
+        const std::uint16_t rx = rng_.next16();
+        std::uint16_t off1 = cur_[i1].candidate;
+        std::uint16_t off2 = cur_[i2].candidate;
+        if ((rx & 0xF) < params_.xover_threshold) {
+            std::tie(off1, off2) = crossover_pair(off1, off2, (rx >> 4) & 0xF);
+        }
+
+        off1 = mutate(off1, rng_.next16(), params_.mut_threshold);
+        const std::uint16_t f1 = fitness_(off1);
+        ++evaluations_;
+        next_[idx] = {off1, f1};
+        fit_sum_new += f1;
+        offer_best(off1, f1);
+        ++idx;
+        if (idx >= params_.pop_size) break;  // second offspring dropped (core skips Mu2)
+
+        off2 = mutate(off2, rng_.next16(), params_.mut_threshold);
+        const std::uint16_t f2 = fitness_(off2);
+        ++evaluations_;
+        next_[idx] = {off2, f2};
+        fit_sum_new += f2;
+        offer_best(off2, f2);
+        ++idx;
+    }
+
+    cur_.swap(next_);
+    fit_sum_cur_ = fit_sum_new;
+    ++gen_;
+    snapshot();
+}
+
+RunResult BehavioralEngine::result() const {
+    RunResult r;
+    r.best_candidate = best_ind_;
+    r.best_fitness = best_fit_;
+    r.evaluations = evaluations_;
+    r.history = history_;
+    return r;
+}
+
 RunResult run_behavioral_ga(const GaParameters& raw_params, const FitnessFn& fitness,
                             prng::RngKind rng_kind, bool keep_populations, bool elitism) {
-    const GaParameters params = resolve_parameters(0, raw_params);
-    RngState rng(params.seed, rng_kind);
-    RunResult result;
-    BestTracker best;
-
-    // --- initial population ---
-    std::vector<Member> cur(params.pop_size);
-    std::uint32_t fit_sum_cur = 0;
-    for (Member& m : cur) {
-        m.candidate = rng.next16();
-        m.fitness = fitness(m.candidate);
-        ++result.evaluations;
-        fit_sum_cur += m.fitness;
-        best.offer(m.candidate, m.fitness);
-    }
-
-    auto snapshot = [&](std::uint32_t gen) {
-        GenerationStats s;
-        s.gen = gen;
-        s.best_fit = best.fit;
-        s.best_ind = best.ind;
-        s.fit_sum = fit_sum_cur;
-        if (keep_populations) s.population = cur;
-        result.history.push_back(std::move(s));
-    };
-    snapshot(0);
-
-    // --- generations ---
-    std::vector<Member> next(params.pop_size);
-    for (std::uint32_t gen = 0; gen < params.n_gens; ++gen) {
-        std::uint32_t fit_sum_new = 0;
-        std::size_t idx = 0;
-        if (elitism) {
-            // Elitism: the best-ever member occupies slot 0 of the new bank.
-            next[0] = {best.ind, best.fit};
-            fit_sum_new = best.fit;
-            idx = 1;
-        }
-
-        while (idx < params.pop_size) {
-            const std::uint16_t r1 = rng.next16();
-            const std::size_t i1 = proportionate_select(cur, fit_sum_cur, r1);
-            const std::uint16_t r2 = rng.next16();
-            const std::size_t i2 = proportionate_select(cur, fit_sum_cur, r2);
-
-            const std::uint16_t rx = rng.next16();
-            std::uint16_t off1 = cur[i1].candidate;
-            std::uint16_t off2 = cur[i2].candidate;
-            if ((rx & 0xF) < params.xover_threshold) {
-                std::tie(off1, off2) = crossover_pair(off1, off2, (rx >> 4) & 0xF);
-            }
-
-            off1 = mutate(off1, rng.next16(), params.mut_threshold);
-            const std::uint16_t f1 = fitness(off1);
-            ++result.evaluations;
-            next[idx] = {off1, f1};
-            fit_sum_new += f1;
-            best.offer(off1, f1);
-            ++idx;
-            if (idx >= params.pop_size) break;  // second offspring dropped (core skips Mu2)
-
-            off2 = mutate(off2, rng.next16(), params.mut_threshold);
-            const std::uint16_t f2 = fitness(off2);
-            ++result.evaluations;
-            next[idx] = {off2, f2};
-            fit_sum_new += f2;
-            best.offer(off2, f2);
-            ++idx;
-        }
-
-        cur.swap(next);
-        fit_sum_cur = fit_sum_new;
-        snapshot(gen + 1);
-    }
-
-    result.best_candidate = best.ind;
-    result.best_fitness = best.fit;
+    BehavioralEngine eng(raw_params, fitness, rng_kind, keep_populations, elitism);
+    while (!eng.done()) eng.step_generation();
+    RunResult result = eng.result();
     return result;
 }
 

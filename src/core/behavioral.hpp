@@ -75,6 +75,81 @@ std::size_t proportionate_select(const std::vector<Member>& pop, std::uint32_t f
 std::pair<std::uint16_t, std::uint16_t> crossover_pair(std::uint16_t p1, std::uint16_t p2,
                                                        unsigned cut);
 
+/// Resumable form of the behavioral model: the same algorithm, one
+/// generation at a time, with the current population exposed between
+/// steps. This is the software analog of parking the RTL core at the
+/// kGenCheck boundary and poking GA memory through the simulator backdoor —
+/// what the island interconnect does to apply migration. The semantics
+/// mirror the hardware exactly:
+///   * poke_member() rewrites a slot of the CURRENT population bank only;
+///     the running fitness sum (`fit_sum`) is a register loaded at the
+///     previous kGenEnd and stays STALE until the next generation completes
+///     (the next selection threshold uses the pre-poke sum, while the scan
+///     reads the poked fitness values — identical to the RTL timing);
+///   * the best-ever tracker is a register too: a poked member enters it
+///     only once an offspring evaluation beats it, never retroactively.
+/// run_behavioral_ga() is a thin wrapper over this class; the
+/// behavioral-vs-RTL equivalence tests pin both to the same bit pattern.
+class BehavioralEngine {
+public:
+    BehavioralEngine(const GaParameters& params, FitnessFn fitness,
+                     prng::RngKind rng_kind = prng::RngKind::kCellularAutomaton,
+                     bool keep_populations = true, bool elitism = true);
+
+    /// Resolved parameters actually run (preset 0 resolution applied).
+    const GaParameters& params() const noexcept { return params_; }
+    /// Completed generations so far (0 = initial population only).
+    std::uint32_t generation() const noexcept { return gen_; }
+    bool done() const noexcept { return gen_ >= params_.n_gens; }
+
+    /// Evolve one generation (throws std::logic_error when done()).
+    void step_generation();
+    /// Evolve until `gen` generations have completed (no-op if past it).
+    void run_to(std::uint32_t gen) {
+        while (gen_ < gen && !done()) step_generation();
+    }
+
+    // --- inter-generation state access (the island migration backdoor) ---
+    const std::vector<Member>& population() const noexcept { return cur_; }
+    /// Overwrite one slot of the current bank. Leaves fit_sum() and the
+    /// best-ever registers untouched (see class comment).
+    void poke_member(std::size_t slot, Member m);
+    /// The stale fitness-sum register the NEXT generation's selection uses.
+    std::uint32_t fit_sum() const noexcept { return fit_sum_cur_; }
+
+    std::uint16_t best_fitness() const noexcept { return best_fit_; }
+    std::uint16_t best_candidate() const noexcept { return best_ind_; }
+    std::uint64_t evaluations() const noexcept { return evaluations_; }
+    const std::vector<GenerationStats>& history() const noexcept { return history_; }
+
+    /// Assemble the RunResult a completed (or truncated) run delivers.
+    RunResult result() const;
+
+private:
+    void offer_best(std::uint16_t candidate, std::uint16_t fitness) noexcept {
+        if (fitness > best_fit_) {  // strict: first-seen wins ties, like the RTL
+            best_fit_ = fitness;
+            best_ind_ = candidate;
+        }
+    }
+    void snapshot();
+
+    GaParameters params_;
+    FitnessFn fitness_;
+    RngState rng_;
+    bool keep_populations_;
+    bool elitism_;
+
+    std::vector<Member> cur_;
+    std::vector<Member> next_;
+    std::uint32_t fit_sum_cur_ = 0;
+    std::uint32_t gen_ = 0;
+    std::uint16_t best_fit_ = 0;
+    std::uint16_t best_ind_ = 0;
+    std::uint64_t evaluations_ = 0;
+    std::vector<GenerationStats> history_;
+};
+
 /// Run the full optimization cycle. `keep_populations` controls whether the
 /// per-generation history stores full population snapshots (needed by the
 /// convergence-scatter benches) or only the scalar statistics. `elitism`

@@ -501,6 +501,27 @@ std::uint64_t CompiledNetlist::clock(bool test_mode, std::uint64_t scan_in) {
     return out;
 }
 
+void CompiledNetlist::clock_gated(const std::uint64_t* enable_words) {
+    if (regs_q_.empty()) return;
+    const std::size_t r = regs_q_.size();
+    if (gate_tmp_.size() < r * words_) gate_tmp_.resize(r * words_);
+    // Save every register's Q block, take a normal edge on the active
+    // backend, then put the saved state back in the disabled lanes:
+    // q = (q_new & enable) | (q_old & ~enable).
+    for (std::size_t i = 0; i < r; ++i) {
+        const std::uint64_t* const q = slot_ptr(regs_q_[i]);
+        for (unsigned w = 0; w < words_; ++w) gate_tmp_[i * words_ + w] = q[w];
+    }
+    clock();
+    for (std::size_t i = 0; i < r; ++i) {
+        std::uint64_t* const q = slot_ptr(regs_q_[i]);
+        for (unsigned w = 0; w < words_; ++w) {
+            const std::uint64_t en = enable_words[w];
+            q[w] = (q[w] & en) | (gate_tmp_[i * words_ + w] & ~en);
+        }
+    }
+}
+
 void CompiledNetlist::clock_scan(const std::uint64_t* scan_in, std::uint64_t* scan_out) {
     if (jit_scan_ != nullptr) {
         jit_scan_(base(), scan_in, scan_out);

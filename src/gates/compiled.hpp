@@ -184,6 +184,15 @@ public:
     /// Full-width scan shift: `scan_in`/`scan_out` are words() words
     /// (either may be nullptr: zeros in / discard out).
     void clock_scan(const std::uint64_t* scan_in, std::uint64_t* scan_out);
+    /// Per-lane clock gating: a normal-mode clock edge that latches D into Q
+    /// only in the lanes whose bit is SET in `enable_words` (words() words,
+    /// bit k of word w = lane w*64+k); disabled lanes hold their register
+    /// state — the island interconnect's generation-synchronous barrier,
+    /// where parked lanes freeze while siblings keep evolving. Implemented
+    /// as save / clock() / merge around whichever backend is active, so the
+    /// interpreted kernels and the JIT modules gate identically without a
+    /// dedicated code path (asserted by tests/gates/test_clock_gating.cpp).
+    void clock_gated(const std::uint64_t* enable_words);
 
     // --- validated-once hot-path handles ---
     // The per-call accessors above re-validate the net kind / word index /
@@ -300,6 +309,7 @@ private:
     std::vector<std::uint32_t> regs_q_;     // slots, scan-chain order
     std::vector<std::uint32_t> regs_d_;     // slots, root-resolved D nets
     std::vector<std::uint64_t> latch_tmp_;  // clock() scratch (regs * words)
+    std::vector<std::uint64_t> gate_tmp_;   // clock_gated() Q save (lazily sized)
     KernelFn kernel_ = nullptr;
     std::shared_ptr<const jit::Module> jit_;  // native backend (null = interp)
     // Raw entry points of jit_ (non-null iff jit_ is), cached so the hot

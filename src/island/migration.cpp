@@ -1,0 +1,141 @@
+#include "island/migration.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace gaip::island {
+
+namespace {
+
+/// Slots ordered best-first: fitness descending, slot ascending on ties.
+/// Emigrants and the star hub's broadcast set are prefixes of this order.
+std::vector<std::size_t> slots_best_first(const std::vector<core::Member>& pop) {
+    std::vector<std::size_t> order(pop.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (pop[a].fitness != pop[b].fitness) return pop[a].fitness > pop[b].fitness;
+        return a < b;
+    });
+    return order;
+}
+
+/// Victim slots for one destination island, on its pre-migration population.
+std::vector<std::size_t> pick_victims(const std::vector<core::Member>& pop, unsigned count,
+                                      ReplacePolicy policy, core::RngState& rng) {
+    std::vector<std::size_t> victims;
+    victims.reserve(count);
+    if (policy == ReplacePolicy::kWorst) {
+        // Fitness ascending, slot DESCENDING on ties: the elite copy the
+        // core wrote into slot 0 is the last to be displaced.
+        std::vector<std::size_t> order(pop.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+            if (pop[a].fitness != pop[b].fitness) return pop[a].fitness < pop[b].fitness;
+            return a > b;
+        });
+        victims.assign(order.begin(), order.begin() + count);
+    } else {
+        // Distinct draws from the interconnect RNG stream; rejection on
+        // repeats terminates because count <= pop/2 by the clamp contract.
+        while (victims.size() < count) {
+            const std::size_t slot = rng.next16() % pop.size();
+            if (std::find(victims.begin(), victims.end(), slot) == victims.end())
+                victims.push_back(slot);
+        }
+    }
+    return victims;
+}
+
+struct Import {
+    std::uint8_t from = 0;
+    std::uint8_t src_slot = 0;
+    core::Member member{};
+};
+
+void emit_imports(MigrationPlan& plan, std::uint8_t dst,
+                  const std::vector<core::Member>& dst_pop, const std::vector<Import>& imports,
+                  const MigrationConfig& eff, core::RngState& rng, std::uint32_t gen) {
+    const std::vector<std::size_t> victims =
+        pick_victims(dst_pop, static_cast<unsigned>(imports.size()), eff.policy, rng);
+    for (std::size_t r = 0; r < imports.size(); ++r) {
+        MigrationRecord rec;
+        rec.gen = gen;
+        rec.from = imports[r].from;
+        rec.to = dst;
+        rec.src_slot = imports[r].src_slot;
+        rec.dst_slot = static_cast<std::uint8_t>(victims[r]);
+        rec.member = imports[r].member;
+        rec.victim = dst_pop[victims[r]];
+        plan.records.push_back(rec);
+    }
+}
+
+}  // namespace
+
+MigrationPlan plan_migration(const std::vector<std::vector<core::Member>>& pops,
+                             Topology topology, const MigrationConfig& eff,
+                             core::RngState& mig_rng, std::uint32_t gen) {
+    MigrationPlan plan;
+    const std::size_t n = pops.size();
+    if (n < 2 || eff.count == 0) return plan;
+    const std::size_t pop_size = pops[0].size();
+    if (pop_size == 0) throw std::invalid_argument("plan_migration: empty subpopulation");
+    for (const auto& p : pops)
+        if (p.size() != pop_size)
+            throw std::invalid_argument("plan_migration: unequal subpopulation sizes");
+    const unsigned count = std::min<unsigned>(eff.count, static_cast<unsigned>(pop_size / 2));
+    if (count == 0) return plan;
+
+    // Capture every island's emigrant set BEFORE any import is planned, so
+    // simultaneous exchange never cascades a migrant onward.
+    std::vector<std::vector<Import>> outbound(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<std::size_t> order = slots_best_first(pops[i]);
+        for (unsigned r = 0; r < count; ++r)
+            outbound[i].push_back(Import{static_cast<std::uint8_t>(i),
+                                         static_cast<std::uint8_t>(order[r]),
+                                         pops[i][order[r]]});
+    }
+
+    // Destinations visited in ascending island order — this fixes the
+    // consumption order of the random-replacement RNG stream.
+    if (topology == Topology::kRing) {
+        for (std::size_t dst = 0; dst < n; ++dst) {
+            const std::size_t src = (dst + n - 1) % n;
+            emit_imports(plan, static_cast<std::uint8_t>(dst), pops[dst], outbound[src], eff,
+                         mig_rng, gen);
+        }
+    } else {  // star, hub = island 0
+        // Hub imports the best `count` of the pooled spoke emigrants
+        // (ties: source island ascending, then slot ascending — both
+        // already the iteration order below).
+        std::vector<Import> pooled;
+        for (std::size_t s = 1; s < n; ++s)
+            pooled.insert(pooled.end(), outbound[s].begin(), outbound[s].end());
+        std::stable_sort(pooled.begin(), pooled.end(), [](const Import& a, const Import& b) {
+            return a.member.fitness > b.member.fitness;
+        });
+        pooled.resize(count);
+        emit_imports(plan, 0, pops[0], pooled, eff, mig_rng, gen);
+        // Every spoke receives the hub's pre-import top-`count` broadcast.
+        for (std::size_t dst = 1; dst < n; ++dst)
+            emit_imports(plan, static_cast<std::uint8_t>(dst), pops[dst], outbound[0], eff,
+                         mig_rng, gen);
+    }
+    return plan;
+}
+
+void apply_plan(const MigrationPlan& plan, std::vector<std::vector<core::Member>>& pops) {
+    for (const MigrationRecord& rec : plan.records) pops[rec.to][rec.dst_slot] = rec.member;
+}
+
+std::vector<std::uint32_t> migration_boundaries(const MigrationConfig& eff, unsigned islands,
+                                                std::uint32_t n_gens) {
+    std::vector<std::uint32_t> out;
+    if (islands < 2 || eff.interval == 0 || eff.count == 0) return out;
+    for (std::uint32_t g = eff.interval; g < n_gens; g += eff.interval) out.push_back(g);
+    return out;
+}
+
+}  // namespace gaip::island

@@ -1,0 +1,145 @@
+// Internal RT-level island driver helpers shared by island.cpp (plain
+// ensemble) and supervised.cpp (checkpointed/rolled-back ensemble). Not
+// part of the public island API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "island/island.hpp"
+#include "mem/ga_memory.hpp"
+#include "supervisor/supervisor.hpp"
+#include "system/ga_system.hpp"
+
+namespace gaip::island::detail {
+
+/// Init-handshake cycle bound (same constant the supervisor arms).
+inline constexpr std::uint64_t kInitBound = 4096;
+
+inline void ga_cycle(system::GaSystem& sys) { sys.kernel().run_cycles(sys.ga_clock(), 1); }
+
+/// Whole-run GA-cycle bound per island: the formula estimate used across
+/// the repo's cycle bounds, with a 4x watchdog margin.
+inline std::uint64_t island_cycle_bound(const core::GaParameters& eff) {
+    const std::uint64_t evals =
+        static_cast<std::uint64_t>(eff.pop_size) * (static_cast<std::uint64_t>(eff.n_gens) + 1);
+    return 4 * (evals * (64ull + 8ull * eff.pop_size) + 100'000);
+}
+
+/// GA cycles one generation costs (evaluation handshakes + selection scan).
+inline std::uint64_t per_generation_cycles(const core::GaParameters& eff) {
+    return static_cast<std::uint64_t>(eff.pop_size) * (64ull + 8ull * eff.pop_size);
+}
+
+inline std::vector<core::Member> members_from_memory(const mem::GaMemory& memory, bool bank,
+                                                     unsigned pop) {
+    std::vector<core::Member> out(pop);
+    for (unsigned j = 0; j < pop; ++j)
+        out[j] = core::Member{memory.candidate_at(bank, static_cast<std::uint8_t>(j)),
+                              memory.fitness_at(bank, static_cast<std::uint8_t>(j))};
+    return out;
+}
+
+/// One RT-level island: a complete GaSystem plus its interconnect bus port.
+struct RtlIsland {
+    std::unique_ptr<system::GaSystem> sys;
+    std::unique_ptr<MigrationRegisterBus> bus;
+    core::GaCore::State prev = core::GaCore::State::kIdle;
+    std::uint64_t run_cycles = 0;
+    std::uint64_t stall_cycles = 0;
+};
+
+/// Construct one island's system + bus snoop, reset, and drive the static
+/// pins. The migration registers are programmed with the RAW requested
+/// values — the interconnect clamps on use, like the hardware.
+inline void build_rtl_island(RtlIsland& isl, const IslandConfig& cfg,
+                             const core::GaParameters& eff, std::uint16_t seed) {
+    system::GaSystemConfig scfg;
+    scfg.params = eff;
+    scfg.params.seed = seed;
+    scfg.internal_fems = {cfg.fn};
+    scfg.rng_kind = cfg.rng_kind;
+    scfg.keep_populations = false;
+    scfg.extra_init_writes = {
+        {kMigIntervalIndex, cfg.migration.interval},
+        {kMigCountIndex, pack_count_policy(cfg.migration)},
+    };
+    isl.sys = std::make_unique<system::GaSystem>(scfg);
+    auto& w = isl.sys->wires();
+    isl.bus = std::make_unique<MigrationRegisterBus>(
+        MigrationBusPorts{w.ga_load, w.index, w.value, w.data_valid});
+    // The bus snoops on the fast peripheral clock, like the system tap:
+    // every handshake transition is visible there.
+    isl.sys->kernel().bind(*isl.bus, isl.sys->app_clock());
+    isl.sys->kernel().reset();
+    w.preset.drive(0);
+    w.fitfunc_select.drive(0);
+    isl.prev = core::GaCore::State::kIdle;
+}
+
+/// Run the init handshake to the kStart state; optionally let the start
+/// pulse fall afterwards (required before a checkpoint restore — a still-
+/// high start_GA would re-trigger the RNG's seed-reload edge detector).
+/// Returns false on handshake timeout.
+inline bool init_rtl_island(RtlIsland& isl, bool drain_start_pulse) {
+    core::GaCore& core = isl.sys->core();
+    std::uint64_t c = 0;
+    while (core.state() != core::GaCore::State::kStart) {
+        if (c++ >= kInitBound) return false;
+        ga_cycle(*isl.sys);
+    }
+    if (drain_start_pulse)
+        for (unsigned g = 0; g < 32 && isl.sys->wires().start_ga.read(); ++g) ga_cycle(*isl.sys);
+    isl.prev = core.state();
+    return true;
+}
+
+struct AdvanceResult {
+    bool ok = false;              ///< reached the target within the bound
+    std::uint64_t cycles = 0;     ///< cycles consumed (== bound on a trip)
+    std::uint8_t final_state = 0; ///< FSM state at a watchdog trip
+};
+
+/// Advance one island until it parks one cycle past the kGenCheck entry of
+/// generation `target` — the post-E2 edge where the monitor has captured
+/// the boundary and the current bank is poke-safe — or, for target ==
+/// UINT32_MAX, until kDone. The optional hook is the supervised ensemble's
+/// fault-injection surface, invoked after every cycle with `cycle_base +
+/// cycles consumed so far` (the island's cumulative run-cycle numbering).
+inline AdvanceResult advance_rtl(RtlIsland& isl, std::uint32_t target, std::uint64_t bound,
+                                 const supervisor::CycleHook* hook = nullptr,
+                                 const supervisor::AttemptInfo* info = nullptr,
+                                 std::uint64_t cycle_base = 0) {
+    core::GaCore& core = isl.sys->core();
+    AdvanceResult res;
+    while (true) {
+        if (target == UINT32_MAX && core.state() == core::GaCore::State::kDone) {
+            res.ok = true;
+            return res;
+        }
+        if (res.cycles >= bound) {
+            res.final_state = static_cast<std::uint8_t>(core.state());
+            return res;
+        }
+        ga_cycle(*isl.sys);
+        ++res.cycles;
+        if (hook != nullptr && *hook) (*hook)(*isl.sys, *info, cycle_base + res.cycles);
+        const core::GaCore::State st = core.state();
+        if (target != UINT32_MAX && st == core::GaCore::State::kGenCheck &&
+            isl.prev != core::GaCore::State::kGenCheck && core.generation() == target) {
+            // E1 committed (monitor pulse high); one more edge commits the
+            // monitor capture and leaves the memory quiescent for the poke.
+            ga_cycle(*isl.sys);
+            ++res.cycles;
+            if (hook != nullptr && *hook) (*hook)(*isl.sys, *info, cycle_base + res.cycles);
+            isl.prev = core.state();
+            res.ok = true;
+            return res;
+        }
+        isl.prev = st;
+    }
+}
+
+}  // namespace gaip::island::detail

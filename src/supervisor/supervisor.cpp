@@ -62,6 +62,8 @@ std::uint64_t formula_cycles(const core::GaParameters& params) {
     return evals * (64ull + 8ull * eff.pop_size) + 100'000ull;
 }
 
+}  // namespace
+
 Checkpoint capture_checkpoint(system::GaSystem& sys, std::uint64_t cycle) {
     Checkpoint cp;
     cp.generation = sys.core().generation();
@@ -75,10 +77,6 @@ Checkpoint capture_checkpoint(system::GaSystem& sys, std::uint64_t cycle) {
     return cp;
 }
 
-/// Load a checkpoint into a fresh system that has completed its init
-/// handshake and whose start pulse has fallen (so the RNG's seed-reload
-/// edge is in the past). Every touched module gets input_changed() so the
-/// event-driven scheduler re-settles its Moore outputs before the next edge.
 void restore_checkpoint(system::GaSystem& sys, const Checkpoint& cp) {
     sys.core().scan_chain().load(cp.core_bits);
     sys.core().input_changed();
@@ -92,8 +90,6 @@ void restore_checkpoint(system::GaSystem& sys, const Checkpoint& cp) {
     sys.memory().registers().front()->set_bits(cp.memory_dout);
     sys.memory().input_changed();
 }
-
-}  // namespace
 
 MissionSupervisor::MissionSupervisor(SupervisorConfig cfg) : cfg_(std::move(cfg)) {
     if (cfg_.watchdog_factor < 2)

@@ -174,6 +174,19 @@ struct Checkpoint {
     std::uint64_t memory_dout = 0;           ///< BRAM synchronous-read register
 };
 
+/// Snapshot a running RT-level system (scan chain, RNG registers, both GA
+/// memory banks, BRAM output register). Public so the island ensemble can
+/// checkpoint each member system at its migration boundaries with the same
+/// audited capture the supervisor ladder uses.
+Checkpoint capture_checkpoint(system::GaSystem& sys, std::uint64_t cycle);
+
+/// Load a checkpoint into a system that has completed its init handshake
+/// and whose start pulse has fallen (so the RNG's seed-reload edge is in
+/// the past). Every touched module gets input_changed() so the
+/// event-driven scheduler re-settles its Moore outputs before the next
+/// edge. Throws std::logic_error if the RNG register census changed.
+void restore_checkpoint(system::GaSystem& sys, const Checkpoint& cp);
+
 /// One supervised attempt, as recorded in the report.
 struct AttemptRecord {
     unsigned replica = 0;

@@ -59,7 +59,11 @@ GaSystem::GaSystem(GaSystemConfig cfg) : cfg_(std::move(cfg)) {
     init_ = std::make_unique<InitModule>(
         InitModulePorts{wires_.ga_load, wires_.index, wires_.value, wires_.data_valid,
                         wires_.data_ack, init_done_});
-    if (!cfg_.skip_initialization) init_->program_parameters(cfg_.params);
+    if (!cfg_.skip_initialization) {
+        init_->program_parameters(cfg_.params);
+        for (const auto& [index, value] : cfg_.extra_init_writes)
+            init_->append_write(index, value);
+    }
 
     app_ = std::make_unique<AppModule>(
         AppModulePorts{init_done_, wires_.start_ga, wires_.ga_done, wires_.candidate, app_done_});

@@ -10,6 +10,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/behavioral.hpp"
@@ -45,6 +46,15 @@ struct GaSystemConfig {
     /// scenario where parameter initialization failed and a preset mode
     /// carries the run.
     bool skip_initialization = false;
+
+    /// Extra {index, value} writes appended to the init program after the
+    /// six Table III parameters. The core's handshake ACKs every 3-bit
+    /// index (unknown ones land in no core register), so extension
+    /// registers — the island interconnect's migration interval/count/
+    /// policy at indices 6/7 — are programmed over the same two-way
+    /// handshake and latched by whichever module snoops the bus, exactly
+    /// like the RNG module snoops the seed write.
+    std::vector<std::pair<std::uint8_t, std::uint16_t>> extra_init_writes;
 
     /// Internal lookup FEMs occupying mux slots 0..n-1 (at most the slots
     /// the core's external_slot_mask leaves internal).

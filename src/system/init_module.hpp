@@ -53,6 +53,14 @@ public:
         program_ = std::move(program);
     }
 
+    /// Append one write to the program — extension registers (e.g. the
+    /// island interconnect's migration registers at indices 6/7) ride the
+    /// same handshake after the six Table III parameters. The core ACKs
+    /// every index; modules that own extension registers snoop the bus.
+    void append_write(std::uint8_t index, std::uint16_t value) {
+        program_.emplace_back(index, value);
+    }
+
     void eval() override {
         const State s = state_.read();
         const bool active = s == State::kAssert || s == State::kDrop;

@@ -63,6 +63,15 @@ inline constexpr const char* kSupResult = "sup_result";         ///< final super
 inline constexpr const char* kJitCompile = "jit_compile";       ///< artifact built by host compiler
 inline constexpr const char* kJitCacheHit = "jit_cache_hit";    ///< artifact reused (memory/disk)
 inline constexpr const char* kJitFallback = "jit_fallback";     ///< JIT requested, interpreter used
+// Island-model interconnect (src/island/): generation-synchronous barriers
+// and the individual migrations the interconnect carries between the
+// N cooperating GA engines, plus the per-island recovery decisions the
+// supervised ensemble takes on top of the sup_* ladder events.
+inline constexpr const char* kIslandBarrier = "island_barrier";    ///< all islands parked at a boundary
+inline constexpr const char* kIslandMigrate = "island_migrate";    ///< one emigrant delivered
+inline constexpr const char* kIslandStall = "island_stall";        ///< per-island barrier stall tally
+inline constexpr const char* kIslandRollback = "island_rollback";  ///< one island rolled back + re-run
+inline constexpr const char* kIslandDone = "island_done";          ///< one island finished its run
 }  // namespace kind
 
 struct TraceEvent {
