@@ -1,0 +1,113 @@
+// Service-plane throughput bench: jobs/s and aggregate generations/s the
+// gaipd scheduler sustains at 1 / 8 / 64 / 256 concurrent jobs, driven
+// through the REAL socket stack (in-process Daemon + a Client per batch, the
+// same code path gaipctl exercises). Every job is an identical small gates-
+// backend OneMax run, so the headline series isolates the control plane +
+// lane-packing overhead: at 64+ concurrent jobs the scheduler packs whole
+// batches as SIMD lanes of one shared compiled netlist, so aggregate gens/s
+// must GROW from the 1-job baseline (the monotone gate, mirroring
+// bench_island_scaling's).
+//
+// Results land in bench_out/BENCH_service.json for CI trend tracking.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace gaip;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+service::JobSpec job_spec() {
+    service::JobSpec spec;
+    spec.fn = fitness::FitnessId::kOneMax;
+    spec.params = core::resolve_parameters(
+        0, {.pop_size = 16, .n_gens = 12, .xover_threshold = 10, .mut_threshold = 1,
+            .seed = bench::kPaperSeeds[0]});
+    spec.backend = service::JobBackend::kGates;
+    return spec;
+}
+
+struct Level {
+    unsigned jobs;
+    double wall_s;
+    double jobs_per_s;
+    double gens_per_s;
+};
+
+/// Submit `n` identical jobs in one burst, then stream each to completion.
+/// Submission happens before any stream attaches, so the scheduler sees the
+/// whole burst queued and can pack it into lane batches.
+Level run_level(const std::string& socket, unsigned n, std::uint32_t gens) {
+    service::Client c(socket);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n);
+    const service::JobSpec spec = job_spec();
+    for (unsigned i = 0; i < n; ++i) ids.push_back(c.submit(spec));
+    for (const std::uint64_t id : ids) c.stream(id);
+    const double wall = seconds_since(t0);
+    return {n, wall, n / wall, static_cast<double>(n) * gens / wall};
+}
+
+}  // namespace
+
+int main() {
+    bench::banner("Service throughput",
+                  "gaipd control plane: concurrent GA jobs over the socket stack");
+
+    const unsigned workers = std::max(2u, std::thread::hardware_concurrency() / 2);
+    service::ServerConfig cfg;
+    cfg.socket_path = "bench_gaipd.sock";
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.max_queue = 4096;
+    service::Daemon daemon(cfg);
+
+    bench::JsonReport report;
+    bench::env_block(report, 0, workers, "", "gates");
+
+    // Warmup: pay the per-worker netlist compilation outside the timed runs.
+    run_level(cfg.socket_path, workers * 2, job_spec().params.n_gens);
+
+    std::printf("%-8s %-10s %-12s %-14s\n", "jobs", "wall_s", "jobs/s", "gens/s");
+    std::vector<Level> levels;
+    for (const unsigned n : {1u, 8u, 64u, 256u}) {
+        const Level lv = run_level(cfg.socket_path, n, job_spec().params.n_gens);
+        std::printf("%-8u %-10.3f %-12.1f %-14.1f\n", lv.jobs, lv.wall_s, lv.jobs_per_s,
+                    lv.gens_per_s);
+        const std::string p = "jobs" + std::to_string(n) + "_";
+        report.set(p + "wall_s", lv.wall_s)
+            .set(p + "jobs_per_s", lv.jobs_per_s)
+            .set(p + "gens_per_s", lv.gens_per_s);
+        levels.push_back(lv);
+    }
+
+    // Monotone gate: lane packing + worker parallelism must make aggregate
+    // throughput grow from 1 job to 64 concurrent jobs.
+    const bool monotone = levels[0].gens_per_s < levels[1].gens_per_s &&
+                          levels[1].gens_per_s < levels[2].gens_per_s;
+    report.set("throughput_monotone_1_to_64", static_cast<std::uint64_t>(monotone ? 1 : 0));
+    std::printf("monotone gens/s 1 -> 8 -> 64: %s\n", monotone ? "yes" : "NO");
+
+    const service::ServiceStats stats = daemon.scheduler().stats();
+    report.set("total_done", stats.done)
+        .set("total_failed", stats.failed)
+        .set("gate_batches", stats.gate_batches)
+        .set("gate_lanes", stats.gate_lanes)
+        .set("lanes_per_batch",
+             stats.gate_batches == 0
+                 ? 0.0
+                 : static_cast<double>(stats.gate_lanes) / stats.gate_batches);
+
+    report.write(bench::out_path("BENCH_service.json"));
+    daemon.stop();
+    return monotone && stats.failed == 0 ? 0 : 1;
+}

@@ -120,6 +120,37 @@ public:
         }
     }
 
+    /// Rebind the runner to a new job set without recompiling the two
+    /// netlists — construction's dominant cost, which is what makes a
+    /// cached runner worth reusing across service batches (gaipd workers).
+    /// The new lane count must fit the existing lane-block width; fitness
+    /// may change freely (the netlists are function-independent — `fn`
+    /// only drives the software FEM lookup). Presets, sinks, and all lane
+    /// state reset to the post-construction condition.
+    void reconfigure(fitness::FitnessId fn, std::vector<core::GaParameters> lane_params) {
+        if (lane_params.empty() || lane_params.size() > std::size_t{words_} * kWordBits)
+            throw std::invalid_argument(
+                "BatchGateRunner: reconfigure wants 1.." + std::to_string(words_ * kWordBits) +
+                " lane configs for this " + std::to_string(words_) + "-word block");
+        fn_ = fn;
+        params_ = std::move(lane_params);
+        presets_.assign(params_.size(), 0);
+        lane_sinks_.assign(params_.size(), nullptr);
+        tracing_ = false;
+        lanes_.assign(params_.size(), Lane{});
+        for (std::size_t k = 0; k < params_.size(); ++k) {
+            const core::GaParameters& p = params_[k];
+            lanes_[k].program = {
+                {0, static_cast<std::uint16_t>(p.n_gens & 0xFFFF)},
+                {1, static_cast<std::uint16_t>(p.n_gens >> 16)},
+                {2, p.pop_size},
+                {3, p.xover_threshold},
+                {4, p.mut_threshold},
+                {5, p.seed},
+            };
+        }
+    }
+
     std::size_t lane_count() const noexcept { return lanes_.size(); }
     /// Lane-block width in u64 words (the simulation carries words()*64
     /// lanes; configured lanes beyond lane_count() idle).

@@ -1,0 +1,174 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "trace/jsonl.hpp"
+
+namespace gaip::service {
+
+Client::Client(const std::string& socket_path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path))
+        throw ConnectError("socket path empty or too long: '" + socket_path + "'");
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw ConnectError("socket(): " + std::string(strerror(errno)));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const std::string what = strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw ConnectError("cannot connect to " + socket_path + ": " + what);
+    }
+}
+
+Client::~Client() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send(const Frame& f) {
+    std::string out = to_line(f);
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw ConnectError("send(): " + std::string(strerror(errno)));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+std::string Client::read_line() {
+    for (;;) {
+        const std::size_t nl = inbuf_.find('\n');
+        if (nl != std::string::npos) {
+            std::string line = inbuf_.substr(0, nl);
+            inbuf_.erase(0, nl + 1);
+            if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+            return line;
+        }
+        char buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n == 0) throw MalformedResponse("connection closed mid-conversation");
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw ConnectError("recv(): " + std::string(strerror(errno)));
+        }
+        inbuf_.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+Frame Client::read_frame(const std::function<void(const trace::TraceEvent&)>& on_event) {
+    for (;;) {
+        const std::string line = read_line();
+        if (is_event_line(line)) {
+            if (on_event) {
+                try {
+                    on_event(trace::from_json_line(line));
+                } catch (const std::exception& ex) {
+                    throw MalformedResponse("bad event line: " + std::string(ex.what()));
+                }
+            }
+            continue;
+        }
+        try {
+            return parse_frame(line);
+        } catch (const std::exception& ex) {
+            throw MalformedResponse("bad response frame: " + std::string(ex.what()));
+        }
+    }
+}
+
+Frame Client::rpc(const Frame& req) {
+    send(req);
+    Frame resp = read_frame();
+    if (!resp.ok()) throw RemoteError(resp.str("code", "error"), resp.str("error", "rejected"));
+    return resp;
+}
+
+Frame submit_frame(const JobSpec& spec) {
+    Frame f(verb::kSubmit);
+    f.add("fitness", fitness::fitness_name(spec.fn));
+    f.add("backend", job_backend_name(spec.backend));
+    f.add("pop", std::uint64_t{spec.params.pop_size});
+    f.add("gens", std::uint64_t{spec.params.n_gens});
+    f.add("xover", std::uint64_t{spec.params.xover_threshold});
+    f.add("mut", std::uint64_t{spec.params.mut_threshold});
+    f.add("seed", std::uint64_t{spec.params.seed});
+    if (spec.words != 0) f.add("words", std::uint64_t{spec.words});
+    if (spec.islands != 0) {
+        f.add("islands", std::uint64_t{spec.islands});
+        f.add("topology", island::topology_name(spec.topology));
+        f.add("interval", std::uint64_t{spec.migration.interval});
+        f.add("count", std::uint64_t{spec.migration.count});
+        f.add("policy", island::policy_name(spec.migration.policy));
+        f.add("mig_seed", std::uint64_t{spec.migration.mig_seed});
+    }
+    if (spec.supervise) f.add("supervise", std::uint64_t{1});
+    if (spec.deadline_ms != 0) f.add("deadline_ms", spec.deadline_ms);
+    return f;
+}
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+    const Frame ack = rpc(submit_frame(spec));
+    if (!ack.has("id")) throw MalformedResponse("submit ack carries no id");
+    return ack.u64("id");
+}
+
+Frame Client::status(std::uint64_t id) {
+    Frame req(verb::kStatus);
+    req.add("id", id);
+    return rpc(req);
+}
+
+CancelOutcome Client::cancel(std::uint64_t id) {
+    Frame req(verb::kCancel);
+    req.add("id", id);
+    try {
+        const Frame resp = rpc(req);
+        return resp.u64("cancelled") != 0 ? CancelOutcome::kCancelled : CancelOutcome::kTooLate;
+    } catch (const RemoteError& ex) {
+        if (ex.code() == err::kNotFound) return CancelOutcome::kNotFound;
+        throw;
+    }
+}
+
+Frame Client::stream(std::uint64_t id,
+                     const std::function<void(const trace::TraceEvent&)>& on_event) {
+    Frame req(verb::kStream);
+    req.add("id", id);
+    send(req);
+    // Ack first (events may already interleave), then events until
+    // stream_end.
+    Frame ack = read_frame(on_event);
+    if (!ack.ok()) throw RemoteError(ack.str("code", "error"), ack.str("error", "rejected"));
+    for (;;) {
+        Frame f = read_frame(on_event);
+        if (f.verb == "stream_end") return f;
+        // Any other interleaved control frame on this connection is a
+        // protocol violation from our point of view.
+        throw MalformedResponse("unexpected '" + f.verb + "' frame inside a stream");
+    }
+}
+
+Frame Client::run_job(const JobSpec& spec,
+                      const std::function<void(const trace::TraceEvent&)>& on_event) {
+    const std::uint64_t id = submit(spec);
+    const Frame end = stream(id, on_event);
+    const Frame final_status = status(id);
+    if (final_status.str("state") != "done")
+        throw RemoteError("job_" + final_status.str("state", "unknown"),
+                          "job " + std::to_string(id) + " ended " +
+                              final_status.str("state", "unknown") +
+                              (final_status.has("error") ? ": " + final_status.str("error") : ""));
+    return final_status;
+}
+
+}  // namespace gaip::service

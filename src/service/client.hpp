@@ -1,0 +1,99 @@
+// Thin client of the gaipd control protocol, shared by gaipctl and the
+// --daemon paths of gacli / gaip-trace / gaip-supervise. Error taxonomy is
+// part of the CLI contract (distinct exit codes so scripts can tell
+// "daemon down" from "protocol bug"):
+//
+//   ConnectError        cannot reach the socket           -> exit 4
+//   MalformedResponse   daemon answered garbage / EOF     -> exit 5
+//   RemoteError         daemon answered ok:0 + code       -> exit 1 (job error)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "service/job.hpp"
+#include "service/protocol.hpp"
+#include "trace/event.hpp"
+
+namespace gaip::service {
+
+/// Connection-refused / socket-gone / send failure.
+class ConnectError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// The daemon's reply did not parse as a frame (or the stream ended
+/// mid-conversation) — a protocol bug, not an unavailable daemon.
+class MalformedResponse : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Structured ok:0 rejection from the daemon.
+class RemoteError : public std::runtime_error {
+public:
+    RemoteError(std::string code, const std::string& what)
+        : std::runtime_error(what), code_(std::move(code)) {}
+    const std::string& code() const noexcept { return code_; }
+
+private:
+    std::string code_;
+};
+
+class Client {
+public:
+    /// Connects immediately; throws ConnectError.
+    explicit Client(const std::string& socket_path);
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Send one frame (throws ConnectError on a broken pipe).
+    void send(const Frame& f);
+
+    /// Read the next line (control frame or streamed event). Throws
+    /// MalformedResponse on EOF.
+    std::string read_line();
+
+    /// Read lines until the next control frame, handing streamed trace
+    /// events to `on_event` (may be null to discard them). Throws
+    /// MalformedResponse on unparseable frames.
+    Frame read_frame(const std::function<void(const trace::TraceEvent&)>& on_event = nullptr);
+
+    /// send + read_frame + ok check: throws RemoteError on ok:0.
+    Frame rpc(const Frame& req);
+
+    // -- conveniences over the verb set --
+    void ping() { rpc(Frame(verb::kPing)); }
+    /// Submit a spec; returns the assigned job id.
+    std::uint64_t submit(const JobSpec& spec);
+    Frame status(std::uint64_t id);
+    CancelOutcome cancel(std::uint64_t id);
+    Frame stats() { return rpc(Frame(verb::kStats)); }
+    void shutdown() { rpc(Frame(verb::kShutdown)); }
+
+    /// Open a stream on `id` and block until stream_end, forwarding every
+    /// event line to `on_event` (null = discard). Returns the stream_end
+    /// frame (carries final state + result fields).
+    Frame stream(std::uint64_t id,
+                 const std::function<void(const trace::TraceEvent&)>& on_event = nullptr);
+
+    /// submit + stream: run one job to completion through the daemon and
+    /// return its final status frame. Throws RemoteError when the job did
+    /// not end in state "done".
+    Frame run_job(const JobSpec& spec,
+                  const std::function<void(const trace::TraceEvent&)>& on_event = nullptr);
+
+private:
+    int fd_ = -1;
+    std::string inbuf_;
+};
+
+/// Build a submit frame from a spec (field names of docs/GAIPD.md).
+Frame submit_frame(const JobSpec& spec);
+
+}  // namespace gaip::service

@@ -1,0 +1,123 @@
+#include "service/protocol.hpp"
+
+#include <cstdio>
+
+#include "trace/jsonl.hpp"
+
+namespace gaip::service {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void append_value(std::string& out, const trace::Value& v) {
+    if (const auto* u = std::get_if<std::uint64_t>(&v)) {
+        out += std::to_string(*u);
+    } else if (const auto* d = std::get_if<double>(&v)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", *d);
+        out += buf;
+    } else {
+        append_escaped(out, std::get<std::string>(v));
+    }
+}
+
+}  // namespace
+
+std::uint64_t Frame::u64(std::string_view key, std::uint64_t def) const {
+    const trace::Value* v = find(key);
+    if (v == nullptr) return def;
+    if (const auto* u = std::get_if<std::uint64_t>(v)) return *u;
+    throw ProtocolError(err::kBadField, "field '" + std::string(key) + "' wants an unsigned integer");
+}
+
+std::string Frame::str(std::string_view key, const std::string& def) const {
+    const trace::Value* v = find(key);
+    if (v == nullptr) return def;
+    if (const auto* s = std::get_if<std::string>(v)) return *s;
+    throw ProtocolError(err::kBadField, "field '" + std::string(key) + "' wants a string");
+}
+
+std::string to_line(const Frame& f) {
+    std::string out = "{\"verb\":";
+    append_escaped(out, f.verb);
+    for (const trace::Field& fd : f.fields) {
+        out += ',';
+        append_escaped(out, fd.key);
+        out += ':';
+        append_value(out, fd.value);
+    }
+    out += '}';
+    return out;
+}
+
+Frame parse_frame(const std::string& line) {
+    if (line.size() > kMaxFrameBytes)
+        throw ProtocolError(err::kOversized, "frame exceeds " + std::to_string(kMaxFrameBytes) +
+                                                 " bytes");
+    trace::TraceEvent e;
+    try {
+        e = trace::from_json_line(line);
+    } catch (const std::exception& ex) {
+        throw ProtocolError(err::kBadFrame, ex.what());
+    }
+    // "kind"/"t"/"cycle" belong to streamed trace events, never to frames.
+    if (!e.kind.empty() || e.t != 0 || e.cycle != 0)
+        throw ProtocolError(err::kBadFrame, "reserved trace-event key in control frame");
+    Frame f;
+    f.fields = std::move(e.fields);
+    for (std::size_t i = 0; i < f.fields.size(); ++i) {
+        if (f.fields[i].key != "verb") continue;
+        const auto* s = std::get_if<std::string>(&f.fields[i].value);
+        if (s == nullptr) throw ProtocolError(err::kBadFrame, "'verb' wants a string");
+        f.verb = *s;
+        f.fields.erase(f.fields.begin() + static_cast<std::ptrdiff_t>(i));
+        if (f.find("verb") != nullptr)
+            throw ProtocolError(err::kBadFrame, "duplicate 'verb' key");
+        return f;
+    }
+    throw ProtocolError(err::kBadFrame, "missing 'verb' key");
+}
+
+bool is_event_line(const std::string& line) noexcept {
+    const std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos || line[i] != '{') return false;
+    const std::size_t j = line.find_first_not_of(" \t", i + 1);
+    return j != std::string::npos && line.compare(j, 7, "\"kind\":") == 0;
+}
+
+Frame ok_frame(const std::string& verb) {
+    Frame f(verb);
+    f.add("ok", std::uint64_t{1});
+    return f;
+}
+
+Frame error_frame(const std::string& verb, const std::string& code, const std::string& what) {
+    Frame f(verb);
+    f.add("ok", std::uint64_t{0});
+    f.add("code", code);
+    f.add("error", what);
+    return f;
+}
+
+}  // namespace gaip::service

@@ -1,0 +1,145 @@
+// Control protocol of the GA-as-a-service daemon (gaipd): newline-delimited
+// flat JSON frames over a Unix-domain socket, the software analog of the
+// IP core's two-way init handshake. A request is one line —
+// `{"verb":"submit","fitness":"OneMax","pop":16,...}` — and every response
+// is one line echoing the verb plus an `ok` flag:
+//
+//   {"verb":"submit","ok":1,"id":3,"pop":16,...}        accepted (effective,
+//                                                       clamped values echoed)
+//   {"verb":"submit","ok":0,"code":"bad_field","error":"..."}   rejected
+//
+// The frame body reuses the trace-event field model (trace/event.hpp) and
+// the jsonl line grammar (trace/jsonl.cpp), so the daemon's wire format,
+// its metrics stream, and the recorded telemetry all parse with the same
+// reader. Streamed trace events are distinguished from frames by their
+// "kind" key — "kind"/"t"/"cycle" are therefore reserved and rejected in
+// requests.
+//
+// Error-code contract (mirrors the init-handshake discipline): values with
+// a hardware-register analog (pop, thresholds, seed, migration interval/
+// count) clamp silently and the effective values are echoed back;
+// structural errors (unknown verb, unknown field, type mismatch, unknown
+// fitness/backend name) are rejected with a structured `code`. See
+// docs/GAIPD.md for the full verb reference.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace gaip::service {
+
+/// Hard per-line ceiling (requests and responses). A connection that sends
+/// more without a newline is answered with `oversized_frame` and closed.
+inline constexpr std::size_t kMaxFrameBytes = 16384;
+
+/// Control verbs. Every entry must be documented in docs/GAIPD.md — the
+/// docs drift test walks kVerbs and greps for each name.
+namespace verb {
+inline constexpr const char* kPing = "ping";          ///< liveness probe
+inline constexpr const char* kSubmit = "submit";      ///< enqueue one GA job
+inline constexpr const char* kStatus = "status";      ///< inspect one job
+inline constexpr const char* kList = "list";          ///< enumerate all jobs
+inline constexpr const char* kCancel = "cancel";      ///< cancel a queued/running job
+inline constexpr const char* kStream = "stream";      ///< live trace events of one job
+inline constexpr const char* kStats = "stats";        ///< aggregate daemon metrics
+inline constexpr const char* kShutdown = "shutdown";  ///< stop the daemon
+}  // namespace verb
+
+inline constexpr const char* kVerbs[] = {
+    verb::kPing,   verb::kSubmit, verb::kStatus,   verb::kList,
+    verb::kCancel, verb::kStream, verb::kStats,    verb::kShutdown,
+};
+
+/// Structured rejection codes carried in the `code` field of an ok:0 frame.
+namespace err {
+inline constexpr const char* kBadFrame = "bad_frame";            ///< not a flat JSON object / no verb
+inline constexpr const char* kOversized = "oversized_frame";     ///< line exceeds kMaxFrameBytes
+inline constexpr const char* kUnknownVerb = "unknown_verb";
+inline constexpr const char* kUnknownField = "unknown_field";    ///< strict request validation
+inline constexpr const char* kBadField = "bad_field";            ///< wrong type / unknown name value
+inline constexpr const char* kQueueFull = "queue_full";          ///< admission control rejection
+inline constexpr const char* kNotFound = "not_found";            ///< no such job id
+inline constexpr const char* kShuttingDown = "shutting_down";    ///< daemon stopping
+}  // namespace err
+
+/// Thrown by the parsers/validators; the server turns it into an ok:0
+/// frame carrying `code`, the client surfaces it as a remote error.
+class ProtocolError : public std::runtime_error {
+public:
+    ProtocolError(std::string code, const std::string& what)
+        : std::runtime_error(what), code_(std::move(code)) {}
+    const std::string& code() const noexcept { return code_; }
+
+private:
+    std::string code_;
+};
+
+/// One control frame: a verb plus a flat ordered field list (the same
+/// Field/Value model trace events use).
+struct Frame {
+    std::string verb;
+    std::vector<trace::Field> fields;
+
+    Frame() = default;
+    explicit Frame(std::string v) : verb(std::move(v)) {}
+
+    Frame& add(std::string key, std::uint64_t v) {
+        fields.push_back({std::move(key), trace::Value{v}});
+        return *this;
+    }
+    Frame& add(std::string key, double v) {
+        fields.push_back({std::move(key), trace::Value{v}});
+        return *this;
+    }
+    Frame& add(std::string key, std::string v) {
+        fields.push_back({std::move(key), trace::Value{std::move(v)}});
+        return *this;
+    }
+    Frame& add(std::string key, const char* v) { return add(std::move(key), std::string(v)); }
+
+    const trace::Value* find(std::string_view key) const noexcept {
+        for (const trace::Field& f : fields)
+            if (f.key == key) return &f.value;
+        return nullptr;
+    }
+    bool has(std::string_view key) const noexcept { return find(key) != nullptr; }
+
+    /// Unsigned field with a default; throws ProtocolError(bad_field) when
+    /// present with a non-integer payload.
+    std::uint64_t u64(std::string_view key, std::uint64_t def = 0) const;
+    /// String field with a default; throws ProtocolError(bad_field) when
+    /// present with a non-string payload.
+    std::string str(std::string_view key, const std::string& def = {}) const;
+
+    bool ok() const noexcept {
+        const trace::Value* v = find("ok");
+        if (v == nullptr) return false;
+        const auto* u = std::get_if<std::uint64_t>(v);
+        return u != nullptr && *u != 0;
+    }
+
+    friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+/// Serialize one frame as a single JSON line (no trailing newline); the
+/// verb is always the first key.
+std::string to_line(const Frame& f);
+
+/// Parse one request/response line. Throws ProtocolError with code
+/// kOversized / kBadFrame. Does NOT validate the verb against kVerbs —
+/// the dispatcher owns that (kUnknownVerb).
+Frame parse_frame(const std::string& line);
+
+/// True when a received line is a streamed trace event rather than a
+/// control frame (events lead with the reserved "kind" key).
+bool is_event_line(const std::string& line) noexcept;
+
+/// Canned responses.
+Frame ok_frame(const std::string& verb);
+Frame error_frame(const std::string& verb, const std::string& code, const std::string& what);
+
+}  // namespace gaip::service

@@ -1,0 +1,172 @@
+// Job scheduler of the gaipd service plane: a bounded admission queue in
+// front of a pool of pinned worker threads, multiplexing many GA jobs onto
+// the engines the repo already has. Scheduling policy (ROADMAP item 1):
+//
+//   * independent gate-backend jobs are PACKED — a worker drains up to
+//     `max_batch_lanes` queued gates jobs sharing one fitness function and
+//     runs them as lanes of a single BatchGateRunner lane block, reusing a
+//     per-worker cached runner (BatchGateRunner::reconfigure) so the two
+//     compiled netlists are paid for once per worker, not once per job;
+//   * behavioral jobs run the resumable BehavioralEngine one generation at
+//     a time — the cancel/deadline check points;
+//   * rtl jobs run a complete system::GaSystem;
+//   * island jobs map to island::IslandSystem ensembles (supervised island
+//     jobs to SupervisedIslandSystem), supervised jobs to the
+//     MissionSupervisor ladder.
+//
+// Every job's results are bit-identical to running the same spec directly
+// through those engines — the scheduler only multiplexes, it never alters
+// a job's parameter/seed path (asserted by tests/service/
+// test_service_differential.cpp).
+//
+// Cancellation is cooperative: behavioral jobs stop at the next generation
+// boundary, gate batches at the next check window (~2k cycles); monolithic
+// rtl/island/supervised runs are cancelled between runs, or their finished
+// result is discarded when the flag arrives mid-run. Deadlines follow the
+// same checkpoints; a job finishing past its deadline is `expired` and
+// counts as a deadline miss.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gates/compiled.hpp"
+#include "service/job.hpp"
+#include "trace/event.hpp"
+
+namespace gaip::bench {
+class BatchGateRunner;
+}
+
+namespace gaip::service {
+
+struct SchedulerConfig {
+    /// Worker threads (0 = one, the single-core container default; the
+    /// bench and CI raise it explicitly).
+    unsigned workers = 1;
+    /// Admission control: submits beyond this many queued jobs are
+    /// rejected with `queue_full` instead of growing latency unboundedly.
+    std::size_t max_queue = 1024;
+    /// Gate-job packing ceiling per batch (<= BatchGateRunner::kMaxLanes).
+    unsigned max_batch_lanes = 256;
+    /// Evaluation engine for the gate lanes (interpreter / native JIT).
+    gates::Backend gate_backend = gates::Backend::kAuto;
+    /// Lifecycle metrics stream (job_submit/job_start/job_done/...);
+    /// borrowed, may be null. The scheduler serializes its calls.
+    trace::TraceSink* metrics = nullptr;
+};
+
+/// Aggregate daemon counters (the `stats` verb + the metrics stream).
+struct ServiceStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;   ///< admission-control rejections
+    std::uint64_t queued = 0;     ///< currently waiting
+    std::uint64_t running = 0;    ///< currently on a worker
+    std::uint64_t done = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t deadline_misses = 0;  ///< expiries + late finishes
+    std::uint64_t gens_total = 0;       ///< generations evolved by done jobs
+    std::uint64_t evals_total = 0;
+    std::uint64_t rollbacks_total = 0;  ///< supervisor checkpoint restores
+    std::uint64_t done_rtl = 0;
+    std::uint64_t done_behavioral = 0;
+    std::uint64_t done_gates = 0;
+    std::uint64_t done_islands = 0;     ///< subset of the above with islands > 0
+    std::uint64_t done_supervised = 0;  ///< subset with supervise = 1
+    std::uint64_t gate_batches = 0;     ///< BatchGateRunner launches
+    std::uint64_t gate_lanes = 0;       ///< lanes across those launches
+    double uptime_s = 0;
+};
+
+class Scheduler {
+public:
+    explicit Scheduler(SchedulerConfig cfg);
+    ~Scheduler();
+
+    Scheduler(const Scheduler&) = delete;
+    Scheduler& operator=(const Scheduler&) = delete;
+
+    /// Enqueue one validated job; returns its id. Throws
+    /// ProtocolError(queue_full | shutting_down).
+    std::uint64_t submit(const JobSpec& spec);
+
+    /// Cooperative cancel (see file comment).
+    CancelOutcome cancel(std::uint64_t id);
+
+    std::optional<JobRecord> status(std::uint64_t id) const;
+    std::vector<JobRecord> list() const;
+    ServiceStats stats() const;
+
+    /// Attach a live trace sink to a job. Events produced by the job's
+    /// engine (generation, island_*, sup_*, ...) are forwarded as they
+    /// happen; `on_end` fires once, from the finishing worker thread, when
+    /// the job reaches a terminal state. Returns false when the job is
+    /// already terminal (caller should answer with the final record
+    /// directly). Throws ProtocolError(not_found) for unknown ids.
+    bool attach_stream(std::uint64_t id, trace::TraceSink* sink,
+                       std::function<void(const JobRecord&)> on_end);
+    /// Detach a sink registered by attach_stream (no-op when unknown).
+    void detach_stream(std::uint64_t id, trace::TraceSink* sink);
+
+    /// Expire queued jobs whose deadline has passed (server tick calls
+    /// this; workers also check at pickup). Returns expired-job count.
+    std::size_t expire_overdue();
+
+    /// Block until the queue is empty and every worker is idle.
+    void wait_idle();
+
+    /// Stop: reject further submits, cancel queued jobs, flag running
+    /// ones, join the workers. Idempotent; the destructor calls it.
+    void stop();
+
+private:
+    struct Job;
+    using JobPtr = std::shared_ptr<Job>;
+
+    void worker_main(unsigned worker_idx);
+    void run_single(const JobPtr& j, unsigned worker_idx);
+    void run_gate_batch(std::vector<JobPtr> batch, unsigned worker_idx);
+    void run_behavioral_job(const JobPtr& j);
+    void run_rtl_job(const JobPtr& j);
+    void run_island_job(const JobPtr& j);
+    void run_supervised_job(const JobPtr& j);
+
+    /// Mark terminal state, update counters, emit metrics, fire stream-end
+    /// callbacks. `outcome` only read for kDone.
+    void finish(const JobPtr& j, JobState state, const JobOutcome& outcome,
+                const std::string& error = {});
+    void emit_metric(trace::TraceEvent e);
+    bool past_deadline(const JobPtr& j) const;
+
+    SchedulerConfig cfg_;
+    Clock::time_point started_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;       ///< queue not empty / stopping
+    std::condition_variable idle_cv_;  ///< drained (wait_idle)
+    std::deque<JobPtr> queue_;
+    std::unordered_map<std::uint64_t, JobPtr> jobs_;
+    std::uint64_t next_id_ = 1;
+    std::size_t active_ = 0;  ///< jobs currently on workers
+    bool stopping_ = false;
+    ServiceStats counters_{};  ///< terminal-state counters (queued/running derived)
+
+    std::mutex metrics_mu_;
+
+    /// Per-worker gate-runner cache, keyed by lane-block words.
+    std::vector<std::unordered_map<unsigned, std::unique_ptr<bench::BatchGateRunner>>> runner_cache_;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace gaip::service

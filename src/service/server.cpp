@@ -1,0 +1,383 @@
+#include "service/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+
+namespace gaip::service {
+
+namespace {
+
+/// How long one write may wait for a stalled client to drain its socket
+/// buffer before the connection is declared dead. Generous: a slow reader
+/// under CPU contention recovers within milliseconds; only a truly wedged
+/// client (stopped process, abandoned fd) burns the full budget.
+constexpr int kWriteStallMs = 5000;
+
+/// Thread-safe line writer over one client fd. Shared between the poll
+/// thread (frame responses) and worker threads (streamed events + the
+/// stream_end frame), and outlives the connection entry so an end callback
+/// firing after close is a safe no-op.
+class ConnWriter {
+public:
+    explicit ConnWriter(int fd) : fd_(fd) {}
+
+    bool write_line(const std::string& line) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (fd_ < 0) return false;
+        std::string out = line;
+        out += '\n';
+        std::size_t off = 0;
+        while (off < out.size()) {
+            const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+            if (n < 0) {
+                if (errno == EINTR) continue;
+                // The fd is non-blocking: a full socket buffer (client
+                // briefly descheduled while a worker streams events) is
+                // backpressure, not death. Block THIS writer until the
+                // client drains or the stall budget says it never will.
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    pollfd p{fd_, POLLOUT, 0};
+                    if (::poll(&p, 1, kWriteStallMs) > 0 &&
+                        (p.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0)
+                        continue;
+                }
+                dead_ = true;
+                return false;
+            }
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    void close_fd() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = -1;
+    }
+
+    bool dead() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return dead_ || fd_ < 0;
+    }
+
+private:
+    mutable std::mutex mu_;
+    int fd_;
+    bool dead_ = false;
+};
+
+/// Forwards one job's trace events to the client as raw event lines
+/// (distinguished from frames by their leading "kind" key).
+class ConnStreamSink final : public trace::TraceSink {
+public:
+    ConnStreamSink(std::shared_ptr<ConnWriter> w) : w_(std::move(w)) {}
+    void on_event(const trace::TraceEvent& e) override { w_->write_line(trace::to_json_line(e)); }
+
+private:
+    std::shared_ptr<ConnWriter> w_;
+};
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+}  // namespace
+
+struct Server::Conn {
+    int fd = -1;
+    std::string inbuf;
+    std::shared_ptr<ConnWriter> writer;
+    /// Streams opened on this connection: (job id, sink) pairs detached +
+    /// freed at close.
+    std::vector<std::pair<std::uint64_t, std::unique_ptr<ConnStreamSink>>> streams;
+    bool closing = false;
+};
+
+Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
+    if (!cfg_.metrics_path.empty())
+        metrics_ = std::make_unique<trace::JsonlSink>(cfg_.metrics_path);
+    SchedulerConfig sc = cfg_.scheduler;
+    sc.metrics = metrics_.get();
+    sched_ = std::make_unique<Scheduler>(sc);
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socket_path.empty() || cfg_.socket_path.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("gaipd: socket path empty or longer than " +
+                                 std::to_string(sizeof(addr.sun_path) - 1) + " bytes: '" +
+                                 cfg_.socket_path + "'");
+    std::memcpy(addr.sun_path, cfg_.socket_path.c_str(), cfg_.socket_path.size() + 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("gaipd: socket(): " + std::string(strerror(errno)));
+    ::unlink(cfg_.socket_path.c_str());  // replace a stale socket file
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const std::string what = strerror(errno);
+        ::close(listen_fd_);
+        throw std::runtime_error("gaipd: bind(" + cfg_.socket_path + "): " + what);
+    }
+    if (::listen(listen_fd_, 64) < 0) {
+        const std::string what = strerror(errno);
+        ::close(listen_fd_);
+        ::unlink(cfg_.socket_path.c_str());
+        throw std::runtime_error("gaipd: listen(): " + what);
+    }
+    set_nonblocking(listen_fd_);
+
+    int pipefd[2];
+    if (::pipe(pipefd) < 0) {
+        ::close(listen_fd_);
+        ::unlink(cfg_.socket_path.c_str());
+        throw std::runtime_error("gaipd: pipe(): " + std::string(strerror(errno)));
+    }
+    wake_r_ = pipefd[0];
+    wake_w_ = pipefd[1];
+    set_nonblocking(wake_r_);
+
+    if (cfg_.announce)
+        std::fprintf(stderr, "gaipd: listening on %s (%u workers)\n", cfg_.socket_path.c_str(),
+                     cfg_.scheduler.workers == 0 ? 1u : cfg_.scheduler.workers);
+}
+
+Server::~Server() {
+    stop();
+    sched_->stop();
+    for (auto& c : conns_) close_conn(*c);
+    conns_.clear();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_r_ >= 0) ::close(wake_r_);
+    if (wake_w_ >= 0) ::close(wake_w_);
+    ::unlink(cfg_.socket_path.c_str());
+    if (metrics_) metrics_->flush();
+}
+
+void Server::stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+    if (wake_w_ >= 0) {
+        const char b = 'x';
+        [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+    }
+}
+
+void Server::close_conn(Conn& c) {
+    if (c.fd < 0) return;
+    for (auto& [id, sink] : c.streams) sched_->detach_stream(id, sink.get());
+    c.streams.clear();
+    c.writer->close_fd();  // also invalidates the fd for pending stream writes
+    c.fd = -1;
+    c.closing = true;
+}
+
+void Server::run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+        std::vector<pollfd> fds;
+        fds.push_back({listen_fd_, POLLIN, 0});
+        fds.push_back({wake_r_, POLLIN, 0});
+        for (const auto& c : conns_)
+            if (c->fd >= 0) fds.push_back({c->fd, POLLIN, 0});
+
+        const int rc = ::poll(fds.data(), fds.size(), 100);
+        if (rc < 0 && errno != EINTR) break;
+
+        // Periodic housekeeping: queued jobs whose deadline passed.
+        sched_->expire_overdue();
+
+        if (rc > 0) {
+            if (fds[1].revents & POLLIN) {
+                char buf[64];
+                while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+                }
+            }
+            if (fds[0].revents & POLLIN) {
+                for (;;) {
+                    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+                    if (cfd < 0) break;
+                    set_nonblocking(cfd);
+                    auto c = std::make_unique<Conn>();
+                    c->fd = cfd;
+                    c->writer = std::make_shared<ConnWriter>(cfd);
+                    conns_.push_back(std::move(c));
+                }
+            }
+            std::size_t fi = 2;
+            for (auto& c : conns_) {
+                if (c->fd < 0) continue;
+                if (fi < fds.size() && fds[fi].fd == c->fd &&
+                    (fds[fi].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                    handle_readable(*c);
+                ++fi;
+            }
+        }
+        // Drop closed / dead-writer connections.
+        std::erase_if(conns_, [this](const std::unique_ptr<Conn>& c) {
+            if (c->fd >= 0 && c->writer->dead()) close_conn(*c);
+            return c->fd < 0;
+        });
+    }
+}
+
+void Server::handle_readable(Conn& c) {
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+            close_conn(c);
+            return;
+        }
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+            if (errno == EINTR) continue;
+            close_conn(c);
+            return;
+        }
+        c.inbuf.append(buf, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (;;) {
+            const std::size_t nl = c.inbuf.find('\n', start);
+            if (nl == std::string::npos) break;
+            const std::string line = c.inbuf.substr(start, nl - start);
+            start = nl + 1;
+            if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+            handle_line(c, line);
+            if (c.fd < 0) return;
+        }
+        c.inbuf.erase(0, start);
+        // A line refusing to end within the frame ceiling is answered and
+        // the connection closed — it can never parse.
+        if (c.inbuf.size() > kMaxFrameBytes) {
+            c.writer->write_line(to_line(error_frame(
+                "error", err::kOversized,
+                "line exceeds " + std::to_string(kMaxFrameBytes) + " bytes")));
+            close_conn(c);
+            return;
+        }
+    }
+}
+
+void Server::handle_line(Conn& c, const std::string& line) {
+    Frame req;
+    try {
+        req = parse_frame(line);
+    } catch (const ProtocolError& ex) {
+        c.writer->write_line(to_line(error_frame("error", ex.code(), ex.what())));
+        return;
+    }
+    try {
+        if (req.verb == verb::kPing) {
+            c.writer->write_line(to_line(ok_frame(verb::kPing)));
+        } else if (req.verb == verb::kSubmit) {
+            const JobSpec spec = parse_job_spec(req);
+            const std::uint64_t id = sched_->submit(spec);
+            Frame ack = ok_frame(verb::kSubmit);
+            ack.add("id", id);
+            add_spec_fields(ack, spec);
+            c.writer->write_line(to_line(ack));
+        } else if (req.verb == verb::kStatus) {
+            if (!req.has("id")) throw ProtocolError(err::kBadField, "status wants an 'id'");
+            const auto rec = sched_->status(req.u64("id"));
+            if (!rec) throw ProtocolError(err::kNotFound, "no such job");
+            Frame f = job_frame(*rec);
+            f.verb = verb::kStatus;
+            c.writer->write_line(to_line(f));
+        } else if (req.verb == verb::kList) {
+            const std::vector<JobRecord> recs = sched_->list();
+            for (const JobRecord& r : recs) c.writer->write_line(to_line(job_frame(r)));
+            Frame f = ok_frame(verb::kList);
+            f.add("count", std::uint64_t{recs.size()});
+            c.writer->write_line(to_line(f));
+        } else if (req.verb == verb::kCancel) {
+            if (!req.has("id")) throw ProtocolError(err::kBadField, "cancel wants an 'id'");
+            const std::uint64_t id = req.u64("id");
+            const CancelOutcome out = sched_->cancel(id);
+            if (out == CancelOutcome::kNotFound)
+                throw ProtocolError(err::kNotFound, "no such job");
+            Frame f = ok_frame(verb::kCancel);
+            f.add("id", id);
+            f.add("cancelled", std::uint64_t{out == CancelOutcome::kCancelled ? 1u : 0u});
+            if (const auto rec = sched_->status(id)) f.add("state", job_state_name(rec->state));
+            c.writer->write_line(to_line(f));
+        } else if (req.verb == verb::kStream) {
+            if (!req.has("id")) throw ProtocolError(err::kBadField, "stream wants an 'id'");
+            const std::uint64_t id = req.u64("id");
+            auto sink = std::make_unique<ConnStreamSink>(c.writer);
+            std::shared_ptr<ConnWriter> w = c.writer;
+            const auto on_end = [w, id](const JobRecord& rec) {
+                Frame f("stream_end");
+                f.add("ok", std::uint64_t{1});
+                f.add("id", id);
+                f.add("state", job_state_name(rec.state));
+                if (rec.state == JobState::kDone) {
+                    f.add("best_fitness", std::uint64_t{rec.outcome.best_fitness});
+                    f.add("best_candidate", std::uint64_t{rec.outcome.best_candidate});
+                    f.add("generations", std::uint64_t{rec.outcome.generations});
+                }
+                if (!rec.error.empty()) f.add("error", rec.error);
+                w->write_line(to_line(f));
+            };
+            const auto pre = sched_->status(id);
+            if (!pre) throw ProtocolError(err::kNotFound, "no such job");
+            const bool live =
+                pre->state == JobState::kQueued || pre->state == JobState::kRunning;
+            // Ack BEFORE attaching: the finishing worker writes stream_end
+            // the moment the sink attaches, and the client relies on the
+            // ack arriving first.
+            Frame ack = ok_frame(verb::kStream);
+            ack.add("id", id);
+            ack.add("live", std::uint64_t{live ? 1u : 0u});
+            c.writer->write_line(to_line(ack));
+            if (live && sched_->attach_stream(id, sink.get(), on_end)) {
+                c.streams.emplace_back(id, std::move(sink));
+            } else {
+                // Job already terminal: no events will flow; end the
+                // stream immediately with the final record.
+                const auto rec = sched_->status(id);
+                if (rec) on_end(*rec);
+            }
+        } else if (req.verb == verb::kStats) {
+            const ServiceStats s = sched_->stats();
+            Frame f = ok_frame(verb::kStats);
+            f.add("submitted", s.submitted);
+            f.add("rejected", s.rejected);
+            f.add("queued", s.queued);
+            f.add("running", s.running);
+            f.add("done", s.done);
+            f.add("failed", s.failed);
+            f.add("cancelled", s.cancelled);
+            f.add("expired", s.expired);
+            f.add("deadline_misses", s.deadline_misses);
+            f.add("gens_total", s.gens_total);
+            f.add("evals_total", s.evals_total);
+            f.add("rollbacks_total", s.rollbacks_total);
+            f.add("done_rtl", s.done_rtl);
+            f.add("done_behavioral", s.done_behavioral);
+            f.add("done_gates", s.done_gates);
+            f.add("done_islands", s.done_islands);
+            f.add("done_supervised", s.done_supervised);
+            f.add("gate_batches", s.gate_batches);
+            f.add("gate_lanes", s.gate_lanes);
+            f.add("uptime_s", s.uptime_s);
+            c.writer->write_line(to_line(f));
+        } else if (req.verb == verb::kShutdown) {
+            c.writer->write_line(to_line(ok_frame(verb::kShutdown)));
+            stop();
+        } else {
+            throw ProtocolError(err::kUnknownVerb, "unknown verb '" + req.verb + "'");
+        }
+    } catch (const ProtocolError& ex) {
+        c.writer->write_line(to_line(error_frame(req.verb, ex.code(), ex.what())));
+    } catch (const std::exception& ex) {
+        c.writer->write_line(to_line(error_frame(req.verb, err::kBadFrame, ex.what())));
+    }
+}
+
+}  // namespace gaip::service

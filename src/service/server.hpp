@@ -1,0 +1,92 @@
+// gaipd's socket front end: a single-threaded poll() loop owning a Unix-
+// domain listening socket and every client connection, dispatching one
+// control frame per line to the Scheduler (BESS bessd model: one control
+// plane thread, N data-plane workers). Responses and live stream events
+// are written back on the same connection; a per-connection writer mutex
+// lets worker threads interleave streamed trace events with the poll
+// thread's frame responses safely.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.hpp"
+#include "trace/jsonl.hpp"
+
+namespace gaip::service {
+
+struct ServerConfig {
+    /// Unix-domain socket path (sockaddr_un limit ~107 bytes — keep it
+    /// short and relative). A stale socket file is replaced on bind.
+    std::string socket_path = "gaipd.sock";
+    SchedulerConfig scheduler{};
+    /// JSONL metrics stream path ("" = off): one line per job lifecycle
+    /// event (job_submit/job_start/job_done/job_cancel/job_expire/
+    /// job_fail/job_reject), same grammar as the telemetry streams.
+    std::string metrics_path;
+    /// Announce the listening socket on stderr.
+    bool announce = false;
+};
+
+class Server {
+public:
+    /// Binds + listens and starts the worker pool; throws
+    /// std::runtime_error on socket errors.
+    explicit Server(ServerConfig cfg);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Serve until stop()/shutdown verb. Call from one thread only.
+    void run();
+
+    /// Wake the poll loop and make run() return. Safe from any thread and
+    /// from signal handlers (one pipe write).
+    void stop() noexcept;
+
+    Scheduler& scheduler() noexcept { return *sched_; }
+    const std::string& socket_path() const noexcept { return cfg_.socket_path; }
+
+private:
+    struct Conn;
+
+    void handle_readable(Conn& c);
+    void handle_line(Conn& c, const std::string& line);
+    void close_conn(Conn& c);
+
+    ServerConfig cfg_;
+    std::unique_ptr<trace::JsonlSink> metrics_;
+    std::unique_ptr<Scheduler> sched_;
+    int listen_fd_ = -1;
+    int wake_r_ = -1, wake_w_ = -1;  ///< self-pipe for stop()
+    std::atomic<bool> stop_{false};
+    std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+/// In-process daemon — scheduler + server + serving thread — so tests and
+/// the throughput bench drive the full socket stack inside one process.
+class Daemon {
+public:
+    explicit Daemon(ServerConfig cfg)
+        : server_(std::make_unique<Server>(std::move(cfg))),
+          thread_([this] { server_->run(); }) {}
+    ~Daemon() { stop(); }
+
+    void stop() {
+        if (server_) server_->stop();
+        if (thread_.joinable()) thread_.join();
+    }
+
+    Scheduler& scheduler() noexcept { return server_->scheduler(); }
+    const std::string& socket_path() const noexcept { return server_->socket_path(); }
+
+private:
+    std::unique_ptr<Server> server_;
+    std::thread thread_;
+};
+
+}  // namespace gaip::service

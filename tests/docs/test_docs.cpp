@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "service/protocol.hpp"
+
 namespace fs = std::filesystem;
 
 namespace {
@@ -108,6 +110,27 @@ TEST(Docs, BenchDataCoversEveryArtifact) {
         EXPECT_TRUE(documented)
             << "bench_out/" << name << " has no matching entry in docs/BENCH_DATA.md";
     }
+}
+
+TEST(Docs, GaipdDocumentsEveryVerb) {
+    // Every control verb of the service protocol (src/service/protocol.hpp
+    // kVerbs) must be documented in docs/GAIPD.md — in backticks, so a
+    // passing mention in prose doesn't count as documentation.
+    const std::string doc = slurp(kRepo / "docs" / "GAIPD.md");
+    const auto backtick = [](const char* word) {
+        return std::string("`").append(word).append("`");
+    };
+    for (const char* verb : gaip::service::kVerbs)
+        EXPECT_NE(doc.find(backtick(verb)), std::string::npos)
+            << "docs/GAIPD.md does not document the `" << verb << "` verb";
+    // The structured error codes are part of the same contract.
+    for (const char* code :
+         {gaip::service::err::kBadFrame, gaip::service::err::kOversized,
+          gaip::service::err::kUnknownVerb, gaip::service::err::kUnknownField,
+          gaip::service::err::kBadField, gaip::service::err::kQueueFull,
+          gaip::service::err::kNotFound, gaip::service::err::kShuttingDown})
+        EXPECT_NE(doc.find(backtick(code)), std::string::npos)
+            << "docs/GAIPD.md does not document the `" << code << "` error code";
 }
 
 TEST(Docs, IndexLinksEveryDocsPage) {

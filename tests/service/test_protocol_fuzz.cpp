@@ -1,0 +1,245 @@
+// Protocol robustness: a live daemon fed deterministic garbage over raw
+// sockets — random bytes, invalid UTF-8, truncated JSON, unknown verbs,
+// oversized unterminated lines — must answer every line with a structured
+// error frame (or close the connection for the oversized case) and keep
+// serving well-formed clients. It must never crash or hang; the gtest
+// process exiting under the ctest timeout is the liveness oracle.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+using namespace gaip;
+using service::Frame;
+
+/// Raw blocking connection — deliberately NOT the Client class, so we can
+/// send byte sequences the client would never produce.
+class RawConn {
+public:
+    explicit RawConn(const std::string& path) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) throw std::runtime_error("socket");
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+        if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+            ::close(fd_);
+            throw std::runtime_error("connect");
+        }
+    }
+    ~RawConn() {
+        if (fd_ >= 0) ::close(fd_);
+    }
+
+    bool send_all(const std::string& bytes) {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+            if (n <= 0) return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /// Read one newline-terminated line ("" on EOF).
+    std::string read_line() {
+        std::string line;
+        char ch = 0;
+        for (;;) {
+            const ssize_t n = ::recv(fd_, &ch, 1, 0);
+            if (n <= 0) return "";
+            if (ch == '\n') return line;
+            line.push_back(ch);
+        }
+    }
+
+    /// True once the peer has closed (EOF on read).
+    bool at_eof() { return read_line().empty(); }
+
+private:
+    int fd_ = -1;
+};
+
+service::ServerConfig daemon_config(const std::string& socket) {
+    service::ServerConfig cfg;
+    cfg.socket_path = socket;
+    cfg.scheduler.workers = 1;
+    return cfg;
+}
+
+/// xorshift64 — deterministic garbage generator, no global RNG state.
+struct Lcg {
+    std::uint64_t s;
+    std::uint64_t next() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return s;
+    }
+};
+
+std::string garbage_line(Lcg& rng, std::size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        char c = static_cast<char>(rng.next() & 0xFF);
+        if (c == '\n') c = ' ';  // one logical line per send
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool is_error_frame(const std::string& line) {
+    try {
+        const Frame f = service::parse_frame(line);
+        return !f.ok() && f.has("code");
+    } catch (...) {
+        return false;
+    }
+}
+
+TEST(Fuzz, GarbageLinesAnswerStructuredErrors) {
+    service::Daemon d(daemon_config("t_fuzz_garbage.sock"));
+    Lcg rng{0xB342'2961'061F'AAAAull};
+    RawConn conn(d.socket_path());
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_TRUE(conn.send_all(garbage_line(rng, 1 + (rng.next() % 200)) + "\n"));
+        const std::string resp = conn.read_line();
+        ASSERT_FALSE(resp.empty()) << "daemon hung up on plain garbage (iteration " << i << ")";
+        EXPECT_TRUE(is_error_frame(resp)) << resp;
+    }
+    // The same daemon still serves a well-formed client.
+    service::Client ok(d.socket_path());
+    ok.ping();
+}
+
+TEST(Fuzz, InvalidUtf8AndTruncatedJson) {
+    service::Daemon d(daemon_config("t_fuzz_utf8.sock"));
+    const std::vector<std::string> lines = {
+        "\xFF\xFE{\"verb\":\"ping\"}",              // invalid UTF-8 prefix
+        "{\"verb\":\"pi\xC0\xC1ng\"}",              // invalid UTF-8 inside a string
+        "{\"verb\":\"submit\",\"pop\":",             // truncated mid-value
+        "{\"verb\":\"submit\"",                      // truncated before close
+        "{\"verb\" \"submit\"}",                     // missing colon
+        "[{\"verb\":\"ping\"}]",                     // array, not an object
+        "{}",                                         // no verb
+        "{\"verb\":\"ping\",\"x\":12abc}",            // malformed number
+        "null",
+        "\"just a string\"",
+    };
+    RawConn conn(d.socket_path());
+    for (const std::string& line : lines) {
+        ASSERT_TRUE(conn.send_all(line + "\n"));
+        const std::string resp = conn.read_line();
+        ASSERT_FALSE(resp.empty()) << "hung up on: " << line;
+        EXPECT_TRUE(is_error_frame(resp)) << "line: " << line << " -> " << resp;
+    }
+    service::Client ok(d.socket_path());
+    ok.ping();
+}
+
+TEST(Fuzz, EmptyLinesAreIgnored) {
+    service::Daemon d(daemon_config("t_fuzz_empty.sock"));
+    RawConn conn(d.socket_path());
+    ASSERT_TRUE(conn.send_all("\n\n\n{\"verb\":\"ping\"}\n"));
+    const std::string resp = conn.read_line();
+    const Frame f = service::parse_frame(resp);
+    EXPECT_TRUE(f.ok());
+    EXPECT_EQ(f.verb, "ping");
+}
+
+TEST(Fuzz, OversizedUnterminatedLineClosesConnection) {
+    service::Daemon d(daemon_config("t_fuzz_big.sock"));
+    RawConn conn(d.socket_path());
+    // > kMaxFrameBytes without a newline: the daemon must answer one
+    // oversized_frame error and close — never buffer unboundedly.
+    const std::string blob(service::kMaxFrameBytes + 512, 'x');
+    ASSERT_TRUE(conn.send_all(blob));
+    const std::string resp = conn.read_line();
+    ASSERT_FALSE(resp.empty());
+    const Frame f = service::parse_frame(resp);
+    EXPECT_FALSE(f.ok());
+    EXPECT_EQ(f.str("code"), service::err::kOversized);
+    EXPECT_TRUE(conn.at_eof());
+
+    service::Client ok(d.socket_path());
+    ok.ping();
+}
+
+TEST(Fuzz, MalformedSubmitsGetStructuredCodes) {
+    service::Daemon d(daemon_config("t_fuzz_submit.sock"));
+    service::Client c(d.socket_path());
+    const auto expect_code = [&](Frame req, const char* code) {
+        try {
+            c.rpc(req);
+            ADD_FAILURE() << "accepted: " << service::to_line(req);
+        } catch (const service::RemoteError& e) {
+            EXPECT_EQ(e.code(), code) << service::to_line(req);
+        }
+    };
+    Frame unknown_field(service::verb::kSubmit);
+    unknown_field.add("fitness", "OneMax");
+    unknown_field.add("bogus", std::uint64_t{1});
+    expect_code(unknown_field, service::err::kUnknownField);
+
+    Frame bad_backend(service::verb::kSubmit);
+    bad_backend.add("backend", "quantum");
+    expect_code(bad_backend, service::err::kBadField);
+
+    Frame bad_type(service::verb::kSubmit);
+    bad_type.add("pop", "lots");
+    expect_code(bad_type, service::err::kBadField);
+
+    expect_code(Frame("no_such_verb"), service::err::kUnknownVerb);
+    c.ping();  // all rejections left the connection usable
+}
+
+TEST(Fuzz, RandomFieldSoupNeverCrashesTheValidator) {
+    // Structured fuzz: syntactically valid frames with random keys/values
+    // hammer the submit validator; every outcome must be an ack or a
+    // structured rejection on a still-usable connection.
+    service::Daemon d(daemon_config("t_fuzz_soup.sock"));
+    service::Client c(d.socket_path());
+    Lcg rng{0x061F'FFFF'A0A0'2961ull};
+    const char* keys[] = {"fitness", "pop",   "gens",    "backend", "words",
+                          "islands", "seed",  "xover",   "mut",     "interval",
+                          "count",   "policy", "bogus_a", "bogus_b"};
+    const char* strs[] = {"OneMax", "rtl", "behavioral", "gates", "ring", "garbage", ""};
+    int accepted = 0;
+    for (int i = 0; i < 48; ++i) {
+        Frame req(service::verb::kSubmit);
+        const unsigned nfields = 1 + rng.next() % 6;
+        for (unsigned k = 0; k < nfields; ++k) {
+            const char* key = keys[rng.next() % std::size(keys)];
+            if (rng.next() & 1)
+                req.add(key, rng.next() % 4096);
+            else
+                req.add(key, strs[rng.next() % std::size(strs)]);
+        }
+        try {
+            const Frame ack = c.rpc(req);
+            ++accepted;
+            c.cancel(ack.u64("id"));  // don't leave random long jobs running
+        } catch (const service::RemoteError&) {
+            // structured rejection — fine
+        }
+    }
+    c.ping();
+    d.scheduler().wait_idle();
+    // Sanity: the soup produced both outcomes, so both paths were fuzzed.
+    EXPECT_GT(accepted, 0);
+    EXPECT_LT(accepted, 48);
+}
+
+}  // namespace

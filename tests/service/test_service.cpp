@@ -1,0 +1,290 @@
+// End-to-end daemon behavior through the REAL socket stack: an in-process
+// Daemon (poll loop + worker pool) driven by the Client that gaipctl and
+// the --daemon tool paths use. Covers the full verb set, job lifecycle on
+// every backend, cooperative cancellation (queued and mid-generation),
+// deadline expiry, admission control, and streaming semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/params.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "trace/event.hpp"
+
+namespace {
+
+using namespace gaip;
+using service::Client;
+using service::Frame;
+using service::JobSpec;
+
+service::ServerConfig daemon_config(const std::string& socket, unsigned workers = 2,
+                                    std::size_t max_queue = 64) {
+    service::ServerConfig cfg;
+    cfg.socket_path = socket;
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.max_queue = max_queue;
+    return cfg;
+}
+
+JobSpec small_job(service::JobBackend backend, std::uint16_t seed = 0x2961) {
+    JobSpec spec;
+    spec.fn = fitness::FitnessId::kOneMax;
+    spec.params = core::resolve_parameters(
+        0, {.pop_size = 16, .n_gens = 8, .xover_threshold = 12, .mut_threshold = 1,
+            .seed = seed});
+    spec.backend = backend;
+    return spec;
+}
+
+/// A behavioral job long enough to still be running whenever we get around
+/// to cancelling it (cancel checks happen at generation boundaries, so it
+/// stops promptly regardless).
+JobSpec long_job() {
+    JobSpec spec = small_job(service::JobBackend::kBehavioral);
+    spec.params.n_gens = 50'000'000;
+    spec.params.pop_size = 128;
+    return spec;
+}
+
+Frame wait_terminal(Client& c, std::uint64_t id) {
+    for (int i = 0; i < 6000; ++i) {
+        const Frame f = c.status(id);
+        const std::string st = f.str("state");
+        if (st != "queued" && st != "running") return f;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ADD_FAILURE() << "job " << id << " never reached a terminal state";
+    return c.status(id);
+}
+
+TEST(Service, PingStatsAndUnknowns) {
+    service::Daemon d(daemon_config("t_svc_ping.sock"));
+    Client c(d.socket_path());
+    c.ping();  // throws on failure
+
+    const Frame st = c.stats();
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.u64("submitted"), 0u);
+    EXPECT_TRUE(st.has("uptime_s"));
+
+    // Unknown verb -> structured rejection, connection stays usable.
+    try {
+        c.rpc(Frame("frobnicate"));
+        FAIL() << "unknown verb accepted";
+    } catch (const service::RemoteError& e) {
+        EXPECT_EQ(e.code(), service::err::kUnknownVerb);
+    }
+    c.ping();
+
+    // Unknown ids.
+    try {
+        c.status(9999);
+        FAIL() << "status of unknown id accepted";
+    } catch (const service::RemoteError& e) {
+        EXPECT_EQ(e.code(), service::err::kNotFound);
+    }
+    EXPECT_EQ(c.cancel(9999), service::CancelOutcome::kNotFound);
+}
+
+TEST(Service, EveryBackendRunsToDone) {
+    service::Daemon d(daemon_config("t_svc_backends.sock"));
+    Client c(d.socket_path());
+
+    for (const auto backend :
+         {service::JobBackend::kBehavioral, service::JobBackend::kGates,
+          service::JobBackend::kRtl}) {
+        const Frame end = c.run_job(small_job(backend));
+        EXPECT_EQ(end.str("state"), "done") << service::to_line(end);
+        EXPECT_EQ(end.str("backend"), service::job_backend_name(backend));
+        EXPECT_TRUE(end.has("best_fitness"));
+        EXPECT_EQ(end.u64("generations"), 8u);
+    }
+
+    // Island ensemble and a supervised single-engine job ride the same path.
+    JobSpec island = small_job(service::JobBackend::kRtl);
+    island.islands = 4;
+    island.migration.interval = 4;
+    island.migration.count = 2;
+    EXPECT_EQ(c.run_job(island).str("state"), "done");
+
+    JobSpec sup = small_job(service::JobBackend::kRtl);
+    sup.supervise = true;
+    const Frame sup_end = c.run_job(sup);
+    EXPECT_EQ(sup_end.str("state"), "done");
+    EXPECT_EQ(sup_end.str("status"), "ok");
+
+    const Frame st = c.stats();
+    EXPECT_EQ(st.u64("submitted"), 5u);
+    EXPECT_EQ(st.u64("done"), 5u);
+    EXPECT_EQ(st.u64("failed"), 0u);
+    EXPECT_EQ(st.u64("done_rtl"), 3u);
+    EXPECT_EQ(st.u64("done_behavioral"), 1u);
+    EXPECT_EQ(st.u64("done_gates"), 1u);
+    EXPECT_EQ(st.u64("done_islands"), 1u);
+    EXPECT_EQ(st.u64("done_supervised"), 1u);
+}
+
+TEST(Service, SubmitAckEchoesEffectiveValues) {
+    service::Daemon d(daemon_config("t_svc_echo.sock"));
+    Client c(d.socket_path());
+    Frame req(service::verb::kSubmit);
+    req.add("fitness", "OneMax");
+    req.add("pop", std::uint64_t{500});  // clamps to 128
+    req.add("gens", std::uint64_t{2});
+    req.add("seed", std::uint64_t{0});   // remaps to 1
+    const Frame ack = c.rpc(req);
+    EXPECT_TRUE(ack.ok());
+    EXPECT_GE(ack.u64("id"), 1u);
+    EXPECT_EQ(ack.u64("pop"), 128u);
+    EXPECT_EQ(ack.u64("seed"), 1u);
+    wait_terminal(c, ack.u64("id"));
+}
+
+TEST(Service, CancelMidGeneration) {
+    service::Daemon d(daemon_config("t_svc_cancel.sock"));
+    Client c(d.socket_path());
+    const std::uint64_t id = c.submit(long_job());
+
+    // Wait until a worker actually picked it up, then cancel mid-run.
+    for (int i = 0; i < 2000 && c.status(id).str("state") == "queued"; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_EQ(c.status(id).str("state"), "running");
+    EXPECT_EQ(c.cancel(id), service::CancelOutcome::kCancelled);
+
+    const Frame f = wait_terminal(c, id);
+    EXPECT_EQ(f.str("state"), "cancelled");
+    EXPECT_EQ(c.cancel(id), service::CancelOutcome::kTooLate);  // already terminal
+    EXPECT_EQ(c.stats().u64("cancelled"), 1u);
+}
+
+TEST(Service, CancelQueuedJob) {
+    service::Daemon d(daemon_config("t_svc_cancelq.sock", /*workers=*/1));
+    Client c(d.socket_path());
+    const std::uint64_t blocker = c.submit(long_job());
+    const std::uint64_t victim = c.submit(small_job(service::JobBackend::kBehavioral));
+
+    EXPECT_EQ(c.cancel(victim), service::CancelOutcome::kCancelled);
+    EXPECT_EQ(c.status(victim).str("state"), "cancelled");  // immediate, never ran
+
+    EXPECT_EQ(c.cancel(blocker), service::CancelOutcome::kCancelled);
+    wait_terminal(c, blocker);
+}
+
+TEST(Service, DeadlineExpiry) {
+    service::Daemon d(daemon_config("t_svc_deadline.sock"));
+    Client c(d.socket_path());
+    JobSpec spec = long_job();
+    spec.deadline_ms = 80;
+    const std::uint64_t id = c.submit(spec);
+
+    const Frame f = wait_terminal(c, id);
+    EXPECT_EQ(f.str("state"), "expired");
+    EXPECT_GE(c.stats().u64("deadline_misses"), 1u);
+    EXPECT_EQ(c.stats().u64("expired"), 1u);
+}
+
+TEST(Service, QueueFullRejection) {
+    // One worker blocked + a one-slot queue: the third submit must be
+    // rejected by admission control, not buffered.
+    service::Daemon d(daemon_config("t_svc_full.sock", /*workers=*/1, /*max_queue=*/1));
+    Client c(d.socket_path());
+    const std::uint64_t blocker = c.submit(long_job());
+    for (int i = 0; i < 2000 && c.status(blocker).str("state") == "queued"; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t queued = c.submit(small_job(service::JobBackend::kBehavioral));
+
+    try {
+        c.submit(small_job(service::JobBackend::kBehavioral));
+        FAIL() << "submit beyond max_queue accepted";
+    } catch (const service::RemoteError& e) {
+        EXPECT_EQ(e.code(), service::err::kQueueFull);
+    }
+    EXPECT_EQ(c.stats().u64("rejected"), 1u);
+
+    c.cancel(queued);
+    c.cancel(blocker);
+    wait_terminal(c, blocker);
+}
+
+TEST(Service, StreamLiveJobCarriesEvents) {
+    // One worker pinned on a blocker guarantees the victim is still queued
+    // when the stream attaches — the stream must then carry the victim's
+    // full per-generation telemetry once the blocker is cancelled.
+    service::Daemon d(daemon_config("t_svc_stream.sock", /*workers=*/1));
+    Client c(d.socket_path());
+    const std::uint64_t blocker = c.submit(long_job());
+    for (int i = 0; i < 2000 && c.status(blocker).str("state") == "queued"; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    JobSpec spec = small_job(service::JobBackend::kBehavioral);
+    spec.params.n_gens = 32;
+    const std::uint64_t victim = c.submit(spec);
+
+    std::thread unblock([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        Client c2(d.socket_path());
+        c2.cancel(blocker);
+    });
+    std::vector<trace::TraceEvent> events;
+    const Frame end =
+        c.stream(victim, [&](const trace::TraceEvent& e) { events.push_back(e); });
+    unblock.join();
+    EXPECT_EQ(end.verb, "stream_end");
+    EXPECT_EQ(end.str("state"), "done");
+    EXPECT_FALSE(events.empty());
+}
+
+TEST(Service, StreamOnTerminalJobEndsImmediately) {
+    service::Daemon d(daemon_config("t_svc_stream2.sock"));
+    Client c(d.socket_path());
+    const Frame done = c.run_job(small_job(service::JobBackend::kGates));
+    const std::uint64_t id = done.u64("id");
+
+    // The job is long finished; stream must answer ack + stream_end without
+    // blocking (no sink ever attaches).
+    std::vector<trace::TraceEvent> events;
+    const Frame end = c.stream(id, [&](const trace::TraceEvent& e) { events.push_back(e); });
+    EXPECT_EQ(end.str("state"), "done");
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(Service, ListShowsEveryJob) {
+    service::Daemon d(daemon_config("t_svc_list.sock"));
+    Client c(d.socket_path());
+    std::vector<std::uint64_t> ids;
+    for (int i = 0; i < 3; ++i) ids.push_back(c.submit(small_job(service::JobBackend::kGates)));
+    for (const auto id : ids) wait_terminal(c, id);
+
+    c.send(Frame(service::verb::kList));
+    std::size_t rows = 0;
+    for (;;) {
+        const Frame f = c.read_frame();
+        if (f.verb == service::verb::kList) {
+            EXPECT_TRUE(f.ok());
+            EXPECT_EQ(f.u64("count"), 3u);
+            break;
+        }
+        EXPECT_EQ(f.verb, "job");
+        ++rows;
+    }
+    EXPECT_EQ(rows, 3u);
+}
+
+TEST(Service, ShutdownVerbStopsTheDaemon) {
+    service::ServerConfig cfg = daemon_config("t_svc_down.sock");
+    auto server = std::make_unique<service::Server>(cfg);
+    std::thread t([&] { server->run(); });
+    {
+        Client c(cfg.socket_path);
+        c.shutdown();
+    }
+    t.join();  // run() must return because of the verb, not stop()
+    server.reset();
+    EXPECT_THROW(Client bad(cfg.socket_path), service::ConnectError);
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include "core/behavioral.hpp"
 #include "fitness/functions.hpp"
 #include "fitness/rom_builder.hpp"
+#include "service/client.hpp"
 #include "system/ga_system.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -40,6 +41,7 @@ struct Options {
     unsigned runs = 1;
     std::string csv_path;
     std::string vcd_path;
+    std::string daemon_socket;
 };
 
 const std::map<std::string, fitness::FitnessId>& fitness_by_name() {
@@ -74,6 +76,7 @@ void usage() {
         "  --csv PATH       write per-generation best/avg fitness CSV\n"
         "  --vcd PATH       dump a VCD waveform of the GA module (RTL only)\n"
         "  --runs N         repeat with N derived seeds; report summary stats\n"
+        "  --daemon SOCKET  run the job through a gaipd daemon (thin client)\n"
         "  --quiet          print only the result line\n");
 }
 
@@ -168,6 +171,10 @@ bool parse(int argc, char** argv, Options& opt) {
             const char* s = need_value();
             if (s == nullptr || !parse_u32(s, v) || v == 0) return false;
             opt.runs = v;
+        } else if (a == "--daemon") {
+            const char* s = need_value();
+            if (s == nullptr) return false;
+            opt.daemon_socket = s;
         } else if (a == "--quiet") {
             opt.quiet = true;
         } else {
@@ -221,11 +228,57 @@ int run_summary(const Options& opt) {
     return 0;
 }
 
+// Thin-client mode: ship the job to a gaipd daemon and render its final
+// status frame like a local run. Exit codes follow the service contract
+// (4 = cannot connect, 5 = malformed response, 1 = job/remote error).
+int run_daemon(const Options& opt) {
+    if (opt.runs > 1 || opt.external || !opt.csv_path.empty() || !opt.vcd_path.empty()) {
+        std::fprintf(stderr,
+                     "gacli: --daemon runs plain single jobs only "
+                     "(no --runs/--external/--csv/--vcd)\n");
+        return 1;
+    }
+    try {
+        service::JobSpec spec;
+        spec.fn = opt.fn;
+        spec.params = core::resolve_parameters(opt.preset, opt.params);
+        if (opt.preset != 0) spec.params.seed = prng::kPresetSeeds[opt.preset - 1];
+        spec.backend = opt.behavioral    ? service::JobBackend::kBehavioral
+                       : opt.gate_level ? service::JobBackend::kGates
+                                        : service::JobBackend::kRtl;
+        service::Client client(opt.daemon_socket);
+        const service::Frame res = client.run_job(spec);
+        const auto opt_info = fitness::grid_optimum(opt.fn);
+        const std::uint64_t best = res.u64("best_fitness");
+        std::printf("%s best=%llu (optimum %u, %.2f%%) candidate=0x%04llX evaluations=%llu"
+                    " [daemon job %llu, %s]\n",
+                    fitness::fitness_name(opt.fn).c_str(),
+                    static_cast<unsigned long long>(best), opt_info.best_value,
+                    100.0 * static_cast<double>(best) /
+                        std::max<unsigned>(1, opt_info.best_value),
+                    static_cast<unsigned long long>(res.u64("best_candidate")),
+                    static_cast<unsigned long long>(res.u64("evaluations")),
+                    static_cast<unsigned long long>(res.u64("id")),
+                    service::job_backend_name(spec.backend));
+        return 0;
+    } catch (const service::ConnectError& e) {
+        std::fprintf(stderr, "gacli: %s\n", e.what());
+        return 4;
+    } catch (const service::MalformedResponse& e) {
+        std::fprintf(stderr, "gacli: %s\n", e.what());
+        return 5;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gacli: %s\n", e.what());
+        return 1;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     Options opt;
     if (!parse(argc, argv, opt)) return 1;
+    if (!opt.daemon_socket.empty()) return run_daemon(opt);
 
     try {
         if (opt.runs > 1) return run_summary(opt);

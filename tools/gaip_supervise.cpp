@@ -26,6 +26,7 @@
 #include "core/ga_core.hpp"
 #include "fault/fault_model.hpp"
 #include "fitness/functions.hpp"
+#include "service/client.hpp"
 #include "supervisor/supervisor.hpp"
 #include "system/ga_system.hpp"
 #include "trace/jsonl.hpp"
@@ -73,9 +74,11 @@ void usage() {
         "\n"
         "  fault demo / output:\n"
         "    --flip REG:BIT:CYC   plant an SEU into replica 0's primary attempt\n"
+        "    --daemon SOCKET      run supervised through a gaipd daemon (thin client)\n"
         "    -o PATH              stream supervisor decisions as JSONL\n"
         "\n"
-        "exit status: 0 = ok, 3 = ok-degraded, 1 = aborted, 2 = error\n");
+        "exit status: 0 = ok, 3 = ok-degraded, 1 = aborted, 2 = error\n"
+        "             with --daemon also: 4 = cannot connect, 5 = malformed response\n");
 }
 
 bool parse_u64(const char* s, std::uint64_t& out) {
@@ -110,6 +113,63 @@ bool validate_writable(const std::string& path, const char* what) {
         return false;
     }
     return true;
+}
+
+/// Thin-client mode: submit the job with supervise=1 and let the daemon's
+/// MissionSupervisor run it under the daemon's supervision policy; sup_*
+/// events stream back into -o. --flip/--nmr/--seeds are local-only and
+/// rejected by the caller.
+int run_via_daemon(const supervisor::SupervisorConfig& cfg, const std::string& socket,
+                   const std::string& out_path) {
+    try {
+        service::JobSpec spec;
+        spec.fn = cfg.fn;
+        spec.params = core::resolve_parameters(0, cfg.params);
+        spec.supervise = true;
+        switch (cfg.backend) {
+            case supervisor::BackendKind::kRtl: spec.backend = service::JobBackend::kRtl; break;
+            case supervisor::BackendKind::kBehavioral:
+                spec.backend = service::JobBackend::kBehavioral;
+                break;
+            case supervisor::BackendKind::kGateLane:
+                spec.backend = service::JobBackend::kGates;
+                break;
+        }
+        std::unique_ptr<trace::JsonlSink> sink;
+        if (!out_path.empty()) {
+            if (!validate_writable(out_path, "output file")) return 2;
+            sink = std::make_unique<trace::JsonlSink>(out_path);
+        }
+        service::Client client(socket);
+        const service::Frame res = client.run_job(spec, [&](const trace::TraceEvent& e) {
+            if (sink) sink->on_event(e);
+        });
+        if (sink) sink->flush();
+        const std::string status = res.str("status", "ok");
+        std::printf("status=%s best=%llu cand=%llu gens=%llu rollbacks=%llu retries=%llu"
+                    " [daemon job %llu]\n",
+                    status.c_str(), static_cast<unsigned long long>(res.u64("best_fitness")),
+                    static_cast<unsigned long long>(res.u64("best_candidate")),
+                    static_cast<unsigned long long>(res.u64("generations")),
+                    static_cast<unsigned long long>(res.u64("rollbacks")),
+                    static_cast<unsigned long long>(res.u64("retries")),
+                    static_cast<unsigned long long>(res.u64("id")));
+        return status == "ok-degraded" ? 3 : 0;
+    } catch (const service::ConnectError& e) {
+        std::fprintf(stderr, "gaip-supervise: %s\n", e.what());
+        return 4;
+    } catch (const service::MalformedResponse& e) {
+        std::fprintf(stderr, "gaip-supervise: %s\n", e.what());
+        return 5;
+    } catch (const service::RemoteError& e) {
+        // An aborted supervised job surfaces as a failed job (exit 1, same
+        // as a local abort).
+        std::fprintf(stderr, "gaip-supervise: %s\n", e.what());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gaip-supervise: %s\n", e.what());
+        return 2;
+    }
 }
 
 }  // namespace
@@ -154,6 +214,7 @@ int main(int argc, char** argv) {
                       .mut_threshold = 1, .seed = 0x2961};
         std::optional<fault::FaultSite> flip;
         std::string out_path;
+        std::string daemon_socket;
 
         for (int i = 2; i < argc; ++i) {
             const std::string a = argv[i];
@@ -258,6 +319,10 @@ int main(int argc, char** argv) {
                     return 2;
                 }
                 flip = fault::FaultSite{spec.substr(0, c1), static_cast<unsigned>(bit), cyc};
+            } else if (a == "--daemon") {
+                const char* s = need_value(i);
+                if (s == nullptr) return 2;
+                daemon_socket = s;
             } else if (a == "-o" || a == "--out") {
                 const char* s = need_value(i);
                 if (s == nullptr) return 2;
@@ -271,6 +336,15 @@ int main(int argc, char** argv) {
         if (flip.has_value() && cfg.backend != supervisor::BackendKind::kRtl) {
             std::fprintf(stderr, "gaip-supervise: --flip requires the rtl backend\n");
             return 2;
+        }
+        if (!daemon_socket.empty()) {
+            if (flip.has_value() || cfg.nmr != 1 || !cfg.replica_seeds.empty()) {
+                std::fprintf(stderr,
+                             "gaip-supervise: --daemon does not support "
+                             "--flip/--nmr/--seeds\n");
+                return 2;
+            }
+            return run_via_daemon(cfg, daemon_socket, out_path);
         }
         std::unique_ptr<trace::JsonlSink> sink;
         if (!out_path.empty()) {

@@ -28,6 +28,7 @@
 #include "fault/seu_injector.hpp"
 #include "gates/jit.hpp"
 #include "fitness/functions.hpp"
+#include "service/client.hpp"
 #include "system/ga_system.hpp"
 #include "trace/diff.hpp"
 #include "trace/event.hpp"
@@ -67,6 +68,8 @@ void usage() {
         "                       gates = gate-level GA module in the system\n"
         "                       lanes = lane 0 of the 64-lane batched gate sim\n"
         "    --flip REG:BIT:CYC plant an SEU (rtl backend; adds fault events)\n"
+        "    --daemon SOCKET    record through a gaipd daemon (thin client;\n"
+        "                       exit 4 = cannot connect, 5 = malformed response)\n"
         "    -o PATH            output JSONL (default trace.jsonl)\n"
         "    --vcd PATH         also dump a VCD waveform\n"
         "\n"
@@ -127,11 +130,52 @@ struct RecordOptions {
     std::optional<fault::FaultSite> flip;
     std::string out_path = "trace.jsonl";
     std::string vcd_path;
+    std::string daemon_socket;
 };
+
+/// Thin-client recording: the daemon runs the job and streams its trace
+/// events back; we append them to the JSONL file exactly as a local record
+/// would have.
+int record_via_daemon(const RecordOptions& opt) {
+    if (opt.flip.has_value() || !opt.vcd_path.empty()) {
+        std::fprintf(stderr, "gaip-trace: --daemon does not support --flip/--vcd\n");
+        return 2;
+    }
+    try {
+        service::JobSpec spec;
+        spec.fn = opt.fn;
+        spec.params = core::resolve_parameters(opt.preset, opt.params);
+        if (opt.preset != 0) spec.params.seed = prng::kPresetSeeds[opt.preset - 1];
+        spec.backend = opt.backend == "rtl" ? service::JobBackend::kRtl
+                                            : service::JobBackend::kGates;
+        trace::JsonlSink sink(opt.out_path);
+        service::Client client(opt.daemon_socket);
+        const service::Frame res =
+            client.run_job(spec, [&](const trace::TraceEvent& e) { sink.on_event(e); });
+        sink.flush();
+        std::printf("daemon job %llu (%s): best=%llu cand=%llu, %llu events -> %s\n",
+                    static_cast<unsigned long long>(res.u64("id")), opt.backend.c_str(),
+                    static_cast<unsigned long long>(res.u64("best_fitness")),
+                    static_cast<unsigned long long>(res.u64("best_candidate")),
+                    static_cast<unsigned long long>(sink.events_written()),
+                    opt.out_path.c_str());
+        return 0;
+    } catch (const service::ConnectError& e) {
+        std::fprintf(stderr, "gaip-trace: %s\n", e.what());
+        return 4;
+    } catch (const service::MalformedResponse& e) {
+        std::fprintf(stderr, "gaip-trace: %s\n", e.what());
+        return 5;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gaip-trace: %s\n", e.what());
+        return 2;
+    }
+}
 
 int cmd_record(const RecordOptions& opt) {
     if (!validate_writable(opt.out_path, "output file")) return 2;
     if (!opt.vcd_path.empty() && !validate_writable(opt.vcd_path, "VCD file")) return 2;
+    if (!opt.daemon_socket.empty()) return record_via_daemon(opt);
     if (opt.flip.has_value()) {
         if (opt.backend != "rtl") {
             std::fprintf(stderr, "gaip-trace: --flip requires the rtl backend\n");
@@ -324,6 +368,10 @@ int main(int argc, char** argv) {
                     }
                     opt.flip = fault::FaultSite{spec.substr(0, c1),
                                                 static_cast<unsigned>(bit), cyc};
+                } else if (a == "--daemon") {
+                    const char* s = need_value(i);
+                    if (s == nullptr) return 2;
+                    opt.daemon_socket = s;
                 } else if (a == "-o" || a == "--out") {
                     const char* s = need_value(i);
                     if (s == nullptr) return 2;

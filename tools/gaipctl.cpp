@@ -1,0 +1,249 @@
+// gaipctl — control client for gaipd (the bessctl of this repo).
+//
+//   gaipctl ping
+//   gaipctl submit --fitness OneMax --pop 32 --gens 64 [--follow]
+//   gaipctl status 3
+//   gaipctl list
+//   gaipctl cancel 3
+//   gaipctl stream 3
+//   gaipctl stats
+//   gaipctl shutdown
+//
+// All output is the daemon's own newline-delimited JSON, one frame or
+// streamed trace event per line — pipe it to jq or the trace tools.
+//
+// Exit status (scripts rely on the split — see docs/GAIPD.md):
+//   0  success           2  usage error
+//   1  remote/job error  4  cannot connect to the daemon
+//                        5  daemon answered a malformed frame
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "trace/jsonl.hpp"
+
+namespace {
+
+using namespace gaip;
+using service::Frame;
+
+void usage() {
+    std::printf(
+        "usage: gaipctl [-s SOCKET] VERB [args]\n"
+        "  -s, --socket PATH  daemon socket (default gaipd.sock)\n"
+        "verbs:\n"
+        "  ping                liveness check\n"
+        "  submit [FIELDS] [--follow]\n"
+        "                      queue a job; --follow streams it to completion\n"
+        "  status ID           one job's record\n"
+        "  list                every job the daemon knows\n"
+        "  cancel ID           cooperative cancel\n"
+        "  stream ID           follow a job's trace events until it ends\n"
+        "  stats               aggregate daemon counters\n"
+        "  shutdown            stop the daemon\n"
+        "submit fields (all optional; names match the submit frame schema):\n"
+        "  --fitness NAME --backend rtl|behavioral|gates --pop N --gens N\n"
+        "  --xover T --mut T --seed S --words W --islands N --topology ring|star\n"
+        "  --interval G --count N --policy worst|random --mig-seed S\n"
+        "  --supervise --deadline-ms N\n");
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+    try {
+        out = std::stoull(s, nullptr, 0);
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+void print_frame(const Frame& f) { std::printf("%s\n", service::to_line(f).c_str()); }
+
+void print_event(const trace::TraceEvent& e) {
+    std::printf("%s\n", trace::to_json_line(e).c_str());
+    std::fflush(stdout);
+}
+
+/// Field names the submit verb forwards verbatim (value parsed as number) or
+/// as a string. The daemon owns validation; gaipctl only shapes the frame.
+struct SubmitField {
+    const char* flag;
+    const char* key;
+    bool numeric;
+};
+constexpr SubmitField kSubmitFields[] = {
+    {"--fitness", "fitness", false}, {"--backend", "backend", false},
+    {"--pop", "pop", true},          {"--gens", "gens", true},
+    {"--xover", "xover", true},      {"--mut", "mut", true},
+    {"--seed", "seed", true},        {"--words", "words", true},
+    {"--islands", "islands", true},  {"--topology", "topology", false},
+    {"--interval", "interval", true},{"--count", "count", true},
+    {"--policy", "policy", false},   {"--mig-seed", "mig_seed", true},
+    {"--deadline-ms", "deadline_ms", true},
+};
+
+/// Shape the submit frame from CLI flags (daemon owns validation of the
+/// values; unknown flags and non-numbers are usage errors here, caught
+/// BEFORE connecting). Returns 0 and fills `req`/`follow`, or exit code 2.
+int build_submit_frame(const std::vector<std::string>& args, Frame& req, bool& follow) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& a = args[i];
+        if (a == "--follow") {
+            follow = true;
+            continue;
+        }
+        if (a == "--supervise") {
+            req.add("supervise", std::uint64_t{1});
+            continue;
+        }
+        const SubmitField* field = nullptr;
+        for (const auto& f : kSubmitFields)
+            if (a == f.flag) field = &f;
+        if (field == nullptr) {
+            std::fprintf(stderr, "gaipctl: unknown option '%s'\n", a.c_str());
+            return 2;
+        }
+        if (i + 1 >= args.size()) {
+            std::fprintf(stderr, "gaipctl: %s needs a value\n", a.c_str());
+            return 2;
+        }
+        const std::string& val = args[++i];
+        if (field->numeric) {
+            std::uint64_t v = 0;
+            if (!parse_u64(val.c_str(), v)) {
+                std::fprintf(stderr, "gaipctl: %s wants a number, got '%s'\n", a.c_str(),
+                             val.c_str());
+                return 2;
+            }
+            req.add(field->key, v);
+        } else {
+            req.add(field->key, val);
+        }
+    }
+    return 0;
+}
+
+int run(int argc, char** argv) {
+    std::string socket_path = "gaipd.sock";
+    int i = 1;
+    for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "-s" || a == "--socket") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "gaipctl: %s needs a value\n", a.c_str());
+                return 2;
+            }
+            socket_path = argv[++i];
+        } else {
+            break;
+        }
+    }
+    if (i >= argc) {
+        usage();
+        return 2;
+    }
+    const std::string verb = argv[i++];
+    std::vector<std::string> args(argv + i, argv + argc);
+
+    auto need_id = [&](std::uint64_t& id) {
+        if (args.size() != 1 || !parse_u64(args[0].c_str(), id)) {
+            std::fprintf(stderr, "gaipctl: %s wants one job id\n", verb.c_str());
+            return false;
+        }
+        return true;
+    };
+
+    // Validate everything local (verb, ids, submit flags) BEFORE touching
+    // the socket, so usage errors exit 2 even when no daemon is running.
+    const bool known = verb == "ping" || verb == "submit" || verb == "status" ||
+                       verb == "list" || verb == "cancel" || verb == "stream" ||
+                       verb == "stats" || verb == "shutdown";
+    if (!known) {
+        std::fprintf(stderr, "gaipctl: unknown verb '%s'\n", verb.c_str());
+        usage();
+        return 2;
+    }
+    Frame submit_req(service::verb::kSubmit);
+    bool follow = false;
+    std::uint64_t id = 0;
+    if (verb == "submit") {
+        const int rc = build_submit_frame(args, submit_req, follow);
+        if (rc != 0) return rc;
+    } else if (verb == "status" || verb == "cancel" || verb == "stream") {
+        if (!need_id(id)) return 2;
+    } else if (!args.empty()) {
+        std::fprintf(stderr, "gaipctl: %s takes no arguments\n", verb.c_str());
+        return 2;
+    }
+
+    service::Client c(socket_path);
+    if (verb == "ping") {
+        c.ping();
+        std::printf("pong\n");
+        return 0;
+    } else if (verb == "submit") {
+        const Frame ack = c.rpc(submit_req);
+        print_frame(ack);
+        if (!follow) return 0;
+        const Frame end = c.stream(ack.u64("id"), print_event);
+        print_frame(end);
+        return end.str("state") == "done" ? 0 : 1;
+    } else if (verb == "status") {
+        print_frame(c.status(id));
+        return 0;
+    } else if (verb == "list") {
+        c.send(Frame(service::verb::kList));
+        for (;;) {
+            const Frame f = c.read_frame();
+            print_frame(f);
+            if (f.verb == service::verb::kList) return f.ok() ? 0 : 1;
+        }
+    } else if (verb == "cancel") {
+        switch (c.cancel(id)) {
+            case service::CancelOutcome::kCancelled: std::printf("cancelled\n"); return 0;
+            case service::CancelOutcome::kTooLate: std::printf("too late\n"); return 1;
+            case service::CancelOutcome::kNotFound:
+                std::fprintf(stderr, "gaipctl: no such job %llu\n",
+                             static_cast<unsigned long long>(id));
+                return 1;
+        }
+        return 1;
+    } else if (verb == "stream") {
+        const Frame end = c.stream(id, print_event);
+        print_frame(end);
+        return end.str("state") == "done" ? 0 : 1;
+    } else if (verb == "stats") {
+        print_frame(c.stats());
+        return 0;
+    } else if (verb == "shutdown") {
+        c.shutdown();
+        std::printf("ok\n");
+        return 0;
+    }
+    return 2;  // unreachable: verbs validated above
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        return run(argc, argv);
+    } catch (const service::ConnectError& e) {
+        std::fprintf(stderr, "gaipctl: %s\n", e.what());
+        return 4;
+    } catch (const service::MalformedResponse& e) {
+        std::fprintf(stderr, "gaipctl: %s\n", e.what());
+        return 5;
+    } catch (const service::RemoteError& e) {
+        std::fprintf(stderr, "gaipctl: %s: %s\n", e.code().c_str(), e.what());
+        return 1;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gaipctl: %s\n", e.what());
+        return 1;
+    }
+}

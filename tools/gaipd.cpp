@@ -1,0 +1,129 @@
+// gaipd — the GA IP core daemon: accepts GA job requests over a Unix-domain
+// socket (newline-delimited JSON, docs/GAIPD.md) and schedules them onto a
+// pool of worker threads, packing independent gate-level jobs as lanes of a
+// shared compiled-netlist lane block.
+//
+//   gaipd --socket gaipd.sock --workers 4 --metrics gaipd_metrics.jsonl
+//
+// Runs in the foreground until SIGINT/SIGTERM or a `shutdown` verb.
+// Exit status: 0 on clean shutdown, 1 on socket errors, 2 on bad arguments.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/server.hpp"
+
+namespace {
+
+using namespace gaip;
+
+service::Server* g_server = nullptr;
+
+void on_signal(int) {
+    if (g_server != nullptr) g_server->stop();  // async-signal-safe (pipe write)
+}
+
+void usage() {
+    std::printf(
+        "usage: gaipd [options]\n"
+        "  --socket PATH      Unix-domain socket to listen on (default gaipd.sock)\n"
+        "  --workers N        worker threads (default 1)\n"
+        "  --max-queue N      admission-control queue bound (default 1024)\n"
+        "  --max-batch N      gate-job lanes packed per batch (default 256)\n"
+        "  --gate-backend K   auto | interp | jit (gate-lane evaluation engine)\n"
+        "  --metrics PATH     append job lifecycle metrics as JSONL\n"
+        "  --quiet            do not announce the socket on stderr\n");
+}
+
+bool parse_u32(const char* s, std::uint32_t& out) {
+    try {
+        out = static_cast<std::uint32_t>(std::stoul(s, nullptr, 0));
+        return true;
+    } catch (...) {
+        return false;
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    service::ServerConfig cfg;
+    cfg.announce = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "gaipd: %s needs a value\n", a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        std::uint32_t v = 0;
+        if (a == "--help" || a == "-h") {
+            usage();
+            return 0;
+        } else if (a == "--socket") {
+            const char* s = need_value();
+            if (s == nullptr) return 2;
+            cfg.socket_path = s;
+        } else if (a == "--workers") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v) || v == 0) {
+                std::fprintf(stderr, "gaipd: --workers wants a number >= 1\n");
+                return 2;
+            }
+            cfg.scheduler.workers = v;
+        } else if (a == "--max-queue") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v) || v == 0) {
+                std::fprintf(stderr, "gaipd: --max-queue wants a number >= 1\n");
+                return 2;
+            }
+            cfg.scheduler.max_queue = v;
+        } else if (a == "--max-batch") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v) || v == 0) {
+                std::fprintf(stderr, "gaipd: --max-batch wants a number >= 1\n");
+                return 2;
+            }
+            cfg.scheduler.max_batch_lanes = v;
+        } else if (a == "--gate-backend") {
+            const char* s = need_value();
+            if (s == nullptr) return 2;
+            if (std::strcmp(s, "auto") == 0) cfg.scheduler.gate_backend = gates::Backend::kAuto;
+            else if (std::strcmp(s, "interp") == 0)
+                cfg.scheduler.gate_backend = gates::Backend::kInterp;
+            else if (std::strcmp(s, "jit") == 0) cfg.scheduler.gate_backend = gates::Backend::kJit;
+            else {
+                std::fprintf(stderr, "gaipd: unknown gate backend '%s'\n", s);
+                return 2;
+            }
+        } else if (a == "--metrics") {
+            const char* s = need_value();
+            if (s == nullptr) return 2;
+            cfg.metrics_path = s;
+        } else if (a == "--quiet") {
+            cfg.announce = false;
+        } else {
+            std::fprintf(stderr, "gaipd: unknown option '%s'\n", a.c_str());
+            usage();
+            return 2;
+        }
+    }
+
+    try {
+        service::Server server(std::move(cfg));
+        g_server = &server;
+        struct sigaction sa{};
+        sa.sa_handler = on_signal;
+        ::sigaction(SIGINT, &sa, nullptr);
+        ::sigaction(SIGTERM, &sa, nullptr);
+        server.run();
+        g_server = nullptr;
+        return 0;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "gaipd: %s\n", e.what());
+        return 1;
+    }
+}
