@@ -8,9 +8,19 @@
 // must GROW from the 1-job baseline (the monotone gate, mirroring
 // bench_island_scaling's).
 //
+// A recovery-time measurement rides along (the durability cost headline):
+// submit a burst of journaled jobs to a FORKED daemon, SIGKILL it, restart
+// on the same journal, and time how long until every job is terminal
+// again (`recovery_*` keys).
+//
 // Results land in bench_out/BENCH_service.json for CI trend tracking.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -58,6 +68,87 @@ Level run_level(const std::string& socket, unsigned n, std::uint32_t gens) {
     return {n, wall, n / wall, static_cast<double>(n) * gens / wall};
 }
 
+struct Recovery {
+    unsigned jobs;
+    double submit_s;       ///< burst submission wall time (journaled admits)
+    double recover_wall_s; ///< restart -> every job terminal again
+    std::uint64_t restored;
+    std::uint64_t readmitted;
+    bool all_terminal;
+};
+
+/// Crash-recovery timing: fork a journaled daemon, submit `n` jobs,
+/// SIGKILL it mid-flight, restart on the same journal in-process, and
+/// time until every job id reports a terminal state.
+Recovery run_recovery(unsigned n, unsigned workers) {
+    const std::string dir = "bench_gaipd_recovery.j";
+    const std::string socket = "bench_gaipd_rec.sock";
+    std::filesystem::remove_all(dir);
+
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        service::ServerConfig cfg;
+        cfg.socket_path = socket;
+        cfg.journal_dir = dir;
+        cfg.scheduler.workers = workers;
+        cfg.scheduler.max_queue = 4096;
+        service::Server server(std::move(cfg));
+        server.run();
+        _exit(0);
+    }
+
+    Recovery r{};
+    r.jobs = n;
+    service::RetryPolicy policy;
+    policy.base_ms = 20;
+    policy.max_ms = 200;
+    if (!service::ping_wait(socket, 30.0, policy)) {
+        std::fprintf(stderr, "recovery: forked daemon never came up\n");
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        return r;
+    }
+
+    std::vector<std::uint64_t> ids;
+    ids.reserve(n);
+    {
+        service::Client c = service::Client::dial(socket, policy);
+        const service::JobSpec spec = job_spec();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned i = 0; i < n; ++i) ids.push_back(c.submit(spec));
+        r.submit_s = seconds_since(t0);
+    }
+    ::kill(pid, SIGKILL);  // mid-flight: some done, some running, most queued
+    ::waitpid(pid, nullptr, 0);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    service::ServerConfig cfg;
+    cfg.socket_path = socket;
+    cfg.journal_dir = dir;
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.max_queue = 4096;
+    service::Daemon daemon(cfg);
+    service::Client c(daemon.socket_path());
+    r.all_terminal = true;
+    for (const std::uint64_t id : ids) {
+        for (;;) {
+            const std::string st = c.status(id).str("state");
+            if (st != "queued" && st != "running") break;
+            if (seconds_since(t0) > 300.0) {
+                r.all_terminal = false;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+    }
+    r.recover_wall_s = seconds_since(t0);
+    const service::ServiceStats stats = daemon.scheduler().stats();
+    r.restored = stats.restored;
+    r.readmitted = stats.readmitted;
+    daemon.stop();
+    return r;
+}
+
 }  // namespace
 
 int main() {
@@ -65,6 +156,15 @@ int main() {
                   "gaipd control plane: concurrent GA jobs over the socket stack");
 
     const unsigned workers = std::max(2u, std::thread::hardware_concurrency() / 2);
+
+    // Recovery first: fork() must happen while this process is still
+    // single-threaded (the in-process Daemon spawns worker threads).
+    const Recovery rec = run_recovery(64, workers);
+    std::printf("recovery: %u jobs, submit %.3fs, kill -9, all-terminal again in %.3fs "
+                "(%llu restored, %llu re-run)\n",
+                rec.jobs, rec.submit_s, rec.recover_wall_s,
+                static_cast<unsigned long long>(rec.restored),
+                static_cast<unsigned long long>(rec.readmitted));
     service::ServerConfig cfg;
     cfg.socket_path = "bench_gaipd.sock";
     cfg.scheduler.workers = workers;
@@ -97,6 +197,13 @@ int main() {
     report.set("throughput_monotone_1_to_64", static_cast<std::uint64_t>(monotone ? 1 : 0));
     std::printf("monotone gens/s 1 -> 8 -> 64: %s\n", monotone ? "yes" : "NO");
 
+    report.set("recovery_jobs", std::uint64_t{rec.jobs})
+        .set("recovery_submit_s", rec.submit_s)
+        .set("recovery_wall_s", rec.recover_wall_s)
+        .set("recovery_restored", rec.restored)
+        .set("recovery_readmitted", rec.readmitted)
+        .set("recovery_all_terminal", std::uint64_t{rec.all_terminal ? 1u : 0u});
+
     const service::ServiceStats stats = daemon.scheduler().stats();
     report.set("total_done", stats.done)
         .set("total_failed", stats.failed)
@@ -109,5 +216,5 @@ int main() {
 
     report.write(bench::out_path("BENCH_service.json"));
     daemon.stop();
-    return monotone && stats.failed == 0 ? 0 : 1;
+    return monotone && stats.failed == 0 && rec.all_terminal ? 0 : 1;
 }

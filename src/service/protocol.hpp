@@ -64,6 +64,8 @@ inline constexpr const char* kBadField = "bad_field";            ///< wrong type
 inline constexpr const char* kQueueFull = "queue_full";          ///< admission control rejection
 inline constexpr const char* kNotFound = "not_found";            ///< no such job id
 inline constexpr const char* kShuttingDown = "shutting_down";    ///< daemon stopping
+inline constexpr const char* kOverloaded = "overloaded";         ///< load shed: retry later
+inline constexpr const char* kTooManyConns = "too_many_connections";  ///< per-client/total cap
 }  // namespace err
 
 /// Thrown by the parsers/validators; the server turns it into an ok:0

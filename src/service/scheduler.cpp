@@ -88,7 +88,9 @@ std::uint64_t Scheduler::submit(const JobSpec& spec) {
     JobPtr j;
     {
         std::lock_guard<std::mutex> lk(mu_);
-        if (stopping_) throw ProtocolError(err::kShuttingDown, "daemon is shutting down");
+        if (stopping_ || draining_)
+            throw ProtocolError(err::kShuttingDown,
+                                draining_ ? "daemon is draining" : "daemon is shutting down");
         if (queue_.size() >= cfg_.max_queue) {
             ++counters_.rejected;
             trace::TraceEvent e("job_reject", 0, 0);
@@ -103,6 +105,9 @@ std::uint64_t Scheduler::submit(const JobSpec& spec) {
         j->rec.submitted = Clock::now();
         if (spec.deadline_ms != 0)
             j->deadline = j->rec.submitted + std::chrono::milliseconds(spec.deadline_ms);
+        // Write-ahead: the journal record lands before the job can run (or
+        // be acknowledged), so a crash never loses an accepted job.
+        if (cfg_.journal != nullptr) cfg_.journal->record_submit(j->rec);
         jobs_[j->rec.id] = j;
         queue_.push_back(j);
         ++counters_.submitted;
@@ -151,6 +156,72 @@ std::vector<JobRecord> Scheduler::list() const {
     std::sort(out.begin(), out.end(),
               [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
     return out;
+}
+
+void Scheduler::restore_terminal(const JobRecord& rec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto j = std::make_shared<Job>();
+    j->rec = rec;
+    {
+        std::lock_guard<std::mutex> slk(j->stream_mu);
+        j->ended = true;
+    }
+    jobs_[rec.id] = std::move(j);
+    next_id_ = std::max(next_id_, rec.id + 1);
+    ++counters_.restored;
+}
+
+void Scheduler::readmit(const JobRecord& rec) {
+    JobPtr j;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_ || draining_) return;
+        j = std::make_shared<Job>();
+        j->rec.id = rec.id;
+        j->rec.spec = rec.spec;
+        j->rec.state = JobState::kQueued;
+        j->rec.submitted = Clock::now();
+        if (rec.spec.deadline_ms != 0)
+            j->deadline = j->rec.submitted + std::chrono::milliseconds(rec.spec.deadline_ms);
+        jobs_[j->rec.id] = j;
+        queue_.push_back(j);
+        next_id_ = std::max(next_id_, rec.id + 1);
+        ++counters_.submitted;
+        ++counters_.readmitted;
+    }
+    cv_.notify_one();
+    trace::TraceEvent e("job_readmit", 0, 0);
+    e.add("id", rec.id);
+    e.add("backend", job_backend_name(rec.spec.backend));
+    emit_metric(std::move(e));
+}
+
+void Scheduler::begin_drain() {
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        draining_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool Scheduler::draining() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return draining_;
+}
+
+void Scheduler::wait_drained() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [&] { return active_ == 0; });
+}
+
+std::size_t Scheduler::queue_depth() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+}
+
+std::uint64_t Scheduler::next_id() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_id_;
 }
 
 ServiceStats Scheduler::stats() const {
@@ -223,10 +294,15 @@ void Scheduler::stop() {
         std::lock_guard<std::mutex> lk(mu_);
         if (stopping_ && workers_.empty()) return;
         stopping_ = true;
-        orphans.assign(queue_.begin(), queue_.end());
-        queue_.clear();
-        for (const auto& [id, j] : jobs_)
-            if (j->rec.state == JobState::kRunning) j->cancel.store(true, std::memory_order_relaxed);
+        if (!draining_) {
+            // Drain mode preserves queued jobs: they stay journaled as
+            // pending and are recovered (re-admitted) on the next boot.
+            orphans.assign(queue_.begin(), queue_.end());
+            queue_.clear();
+            for (const auto& [id, j] : jobs_)
+                if (j->rec.state == JobState::kRunning)
+                    j->cancel.store(true, std::memory_order_relaxed);
+        }
     }
     cv_.notify_all();
     for (const JobPtr& j : orphans) finish(j, JobState::kCancelled, {});
@@ -269,6 +345,9 @@ void Scheduler::finish(const JobPtr& j, JobState state, const JobOutcome& outcom
                 break;
             default: break;
         }
+        // Write-ahead: the terminal record is durable before the end
+        // callbacks (and thus any client-visible ack) can observe it.
+        if (cfg_.journal != nullptr) cfg_.journal->record_terminal(j->rec);
         snapshot = j->rec;
     }
     const char* metric_kind = "job_done";
@@ -303,11 +382,10 @@ void Scheduler::worker_main(unsigned worker_idx) {
         JobPtr single;
         {
             std::unique_lock<std::mutex> lk(mu_);
-            cv_.wait(lk, [&] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty()) {
-                if (stopping_) return;
-                continue;
-            }
+            cv_.wait(lk, [&] { return stopping_ || draining_ || !queue_.empty(); });
+            // Drain: leave queued jobs where they are (journaled pending).
+            if (stopping_ || draining_) return;
+            if (queue_.empty()) continue;
             JobPtr j = queue_.front();
             queue_.pop_front();
             if (batchable(j->rec.spec)) {
@@ -333,10 +411,12 @@ void Scheduler::worker_main(unsigned worker_idx) {
             for (const JobPtr& t : batch) {
                 t->rec.state = JobState::kRunning;
                 t->rec.started = now;
+                if (cfg_.journal != nullptr) cfg_.journal->record_start(t->rec.id);
             }
             if (single) {
                 single->rec.state = JobState::kRunning;
                 single->rec.started = now;
+                if (cfg_.journal != nullptr) cfg_.journal->record_start(single->rec.id);
             }
         }
         const auto start_metric = [&](const JobPtr& t) {
@@ -353,13 +433,13 @@ void Scheduler::worker_main(unsigned worker_idx) {
             run_gate_batch(std::move(batch), worker_idx);
             std::lock_guard<std::mutex> lk(mu_);
             active_ -= n;
-            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+            if (active_ == 0) idle_cv_.notify_all();  // wait_idle / wait_drained
         }
         if (single) {
             run_single(single, worker_idx);
             std::lock_guard<std::mutex> lk(mu_);
             active_ -= 1;
-            if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+            if (active_ == 0) idle_cv_.notify_all();
         }
     }
 }

@@ -40,6 +40,7 @@
 
 #include "gates/compiled.hpp"
 #include "service/job.hpp"
+#include "service/journal.hpp"
 #include "trace/event.hpp"
 
 namespace gaip::bench {
@@ -62,6 +63,10 @@ struct SchedulerConfig {
     /// Lifecycle metrics stream (job_submit/job_start/job_done/...);
     /// borrowed, may be null. The scheduler serializes its calls.
     trace::TraceSink* metrics = nullptr;
+    /// Write-ahead job journal; borrowed, may be null. Every lifecycle
+    /// transition is journaled BEFORE it takes effect (submit before the
+    /// job enters the queue, terminal before the end callbacks fire).
+    Journal* journal = nullptr;
 };
 
 /// Aggregate daemon counters (the `stats` verb + the metrics stream).
@@ -85,6 +90,8 @@ struct ServiceStats {
     std::uint64_t done_supervised = 0;  ///< subset with supervise = 1
     std::uint64_t gate_batches = 0;     ///< BatchGateRunner launches
     std::uint64_t gate_lanes = 0;       ///< lanes across those launches
+    std::uint64_t restored = 0;         ///< terminal jobs recovered from the journal
+    std::uint64_t readmitted = 0;       ///< interrupted jobs re-run after recovery
     double uptime_s = 0;
 };
 
@@ -99,6 +106,34 @@ public:
     /// Enqueue one validated job; returns its id. Throws
     /// ProtocolError(queue_full | shutting_down).
     std::uint64_t submit(const JobSpec& spec);
+
+    /// Journal recovery, restore side: register a terminal record from a
+    /// previous daemon life so `status`/`list` can re-report it. Does not
+    /// re-count it in the done/failed/... totals (it was counted when it
+    /// ran); tracked as `restored`. Id allocation resumes past it.
+    void restore_terminal(const JobRecord& rec);
+
+    /// Journal recovery, re-run side: re-admit an interrupted job with its
+    /// ORIGINAL id and re-run it (specs fully determine runs, so the
+    /// result is bit-identical to the uninterrupted one). The deadline
+    /// clock restarts at re-admission. No journal append — the caller
+    /// compacts the journal around recovery.
+    void readmit(const JobRecord& rec);
+
+    /// Drain mode (`shutdown` with drain): stop picking up queued jobs and
+    /// reject new submits (shutting_down), but let running jobs finish.
+    /// Queued jobs stay journaled as pending and are recovered on the next
+    /// boot. Follow with wait_drained() + stop().
+    void begin_drain();
+    bool draining() const;
+    /// Block until every worker is idle (queued jobs may remain in drain).
+    void wait_drained();
+
+    /// Current queue depth / admission bound (overload-tier decisions).
+    std::size_t queue_depth() const;
+    std::size_t max_queue() const noexcept { return cfg_.max_queue; }
+    /// Next id to be allocated (journal rotation headers).
+    std::uint64_t next_id() const;
 
     /// Cooperative cancel (see file comment).
     CancelOutcome cancel(std::uint64_t id);
@@ -159,6 +194,7 @@ private:
     std::uint64_t next_id_ = 1;
     std::size_t active_ = 0;  ///< jobs currently on workers
     bool stopping_ = false;
+    bool draining_ = false;  ///< drain mode: no pickups, queued jobs preserved
     ServiceStats counters_{};  ///< terminal-state counters (queued/running derived)
 
     std::mutex metrics_mu_;

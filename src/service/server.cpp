@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -16,46 +17,75 @@ namespace gaip::service {
 
 namespace {
 
-/// How long one write may wait for a stalled client to drain its socket
-/// buffer before the connection is declared dead. Generous: a slow reader
-/// under CPU contention recovers within milliseconds; only a truly wedged
-/// client (stopped process, abandoned fd) burns the full budget.
-constexpr int kWriteStallMs = 5000;
-
 /// Thread-safe line writer over one client fd. Shared between the poll
 /// thread (frame responses) and worker threads (streamed events + the
 /// stream_end frame), and outlives the connection entry so an end callback
 /// firing after close is a safe no-op.
+///
+/// NEVER blocks: what the non-blocking socket cannot take immediately goes
+/// into a bounded outbox the poll thread drains on POLLOUT. A consumer
+/// that falls more than the bound behind is marked overflowed — the poll
+/// loop evicts it (slow-consumer shedding) instead of letting it wedge a
+/// worker thread.
 class ConnWriter {
 public:
-    explicit ConnWriter(int fd) : fd_(fd) {}
+    ConnWriter(int fd, std::size_t max_outbox, int wake_fd)
+        : fd_(fd), max_outbox_(max_outbox), wake_fd_(wake_fd) {}
 
     bool write_line(const std::string& line) {
         std::lock_guard<std::mutex> lk(mu_);
-        if (fd_ < 0) return false;
+        if (fd_ < 0 || dead_) return false;
         std::string out = line;
         out += '\n';
         std::size_t off = 0;
-        while (off < out.size()) {
-            const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+        if (outbox_.size() == ob_off_) {
+            // Outbox empty: send opportunistically (the fast path — a
+            // healthy client takes the whole line here).
+            while (off < out.size()) {
+                const ssize_t n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+                if (n < 0) {
+                    if (errno == EINTR) continue;
+                    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+                    dead_ = true;
+                    return false;
+                }
+                off += static_cast<std::size_t>(n);
+            }
+            if (off == out.size()) return true;
+        }
+        if (outbox_.size() - ob_off_ + (out.size() - off) > max_outbox_) {
+            dead_ = true;  // slow consumer: evict, never block
+            overflowed_ = true;
+            return false;
+        }
+        outbox_.append(out, off, std::string::npos);
+        nudge();  // wake the poll loop so it subscribes POLLOUT
+        return true;
+    }
+
+    /// Poll-thread drain (POLLOUT / periodic). False = connection is dead.
+    bool flush() {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (fd_ < 0 || dead_) return false;
+        while (ob_off_ < outbox_.size()) {
+            const ssize_t n =
+                ::send(fd_, outbox_.data() + ob_off_, outbox_.size() - ob_off_, MSG_NOSIGNAL);
             if (n < 0) {
                 if (errno == EINTR) continue;
-                // The fd is non-blocking: a full socket buffer (client
-                // briefly descheduled while a worker streams events) is
-                // backpressure, not death. Block THIS writer until the
-                // client drains or the stall budget says it never will.
-                if (errno == EAGAIN || errno == EWOULDBLOCK) {
-                    pollfd p{fd_, POLLOUT, 0};
-                    if (::poll(&p, 1, kWriteStallMs) > 0 &&
-                        (p.revents & (POLLERR | POLLHUP | POLLNVAL)) == 0)
-                        continue;
-                }
+                if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
                 dead_ = true;
                 return false;
             }
-            off += static_cast<std::size_t>(n);
+            ob_off_ += static_cast<std::size_t>(n);
         }
+        outbox_.clear();
+        ob_off_ = 0;
         return true;
+    }
+
+    bool wants_flush() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return fd_ >= 0 && !dead_ && ob_off_ < outbox_.size();
     }
 
     void close_fd() {
@@ -69,10 +99,27 @@ public:
         return dead_ || fd_ < 0;
     }
 
+    bool overflowed() const {
+        std::lock_guard<std::mutex> lk(mu_);
+        return overflowed_;
+    }
+
 private:
+    void nudge() noexcept {
+        if (wake_fd_ >= 0) {
+            const char b = 'f';
+            [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &b, 1);
+        }
+    }
+
     mutable std::mutex mu_;
     int fd_;
+    std::size_t max_outbox_;
+    int wake_fd_;
+    std::string outbox_;
+    std::size_t ob_off_ = 0;  ///< bytes of outbox_ already sent
     bool dead_ = false;
+    bool overflowed_ = false;
 };
 
 /// Forwards one job's trace events to the client as raw event lines
@@ -95,6 +142,7 @@ void set_nonblocking(int fd) {
 
 struct Server::Conn {
     int fd = -1;
+    pid_t client_pid = 0;  ///< SO_PEERCRED (per-client connection cap key)
     std::string inbuf;
     std::shared_ptr<ConnWriter> writer;
     /// Streams opened on this connection: (job id, sink) pairs detached +
@@ -106,9 +154,41 @@ struct Server::Conn {
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {
     if (!cfg_.metrics_path.empty())
         metrics_ = std::make_unique<trace::JsonlSink>(cfg_.metrics_path);
+
+    // Durability: open the journal and replay the previous life BEFORE the
+    // socket exists, so a recovering daemon never acks anything it could
+    // still lose.
+    JournalReplay replay;
+    if (!cfg_.journal_dir.empty()) {
+        journal_ = std::make_unique<Journal>(cfg_.journal_dir);
+        replay = replay_journal(cfg_.journal_dir);
+        replay_skipped_ = replay.lines_skipped;
+        if (replay.lines_skipped > 0)
+            std::fprintf(stderr,
+                         "gaipd: journal replay: skipped %llu of %llu lines "
+                         "(torn tail / CRC mismatch / bad record)\n",
+                         static_cast<unsigned long long>(replay.lines_skipped),
+                         static_cast<unsigned long long>(replay.lines_total));
+    }
+
     SchedulerConfig sc = cfg_.scheduler;
     sc.metrics = metrics_.get();
+    sc.journal = journal_.get();
     sched_ = std::make_unique<Scheduler>(sc);
+
+    if (journal_ && replay.lines_total > 0) {
+        // Compact around the recovered set FIRST: the snapshot is taken
+        // from the replay itself, so terminal records appended by re-run
+        // jobs can never race the rename and be lost.
+        std::vector<JobRecord> live = replay.terminal;
+        live.insert(live.end(), replay.pending.begin(), replay.pending.end());
+        journal_->rotate(live, replay.max_id + 1);
+    }
+    for (const JobRecord& rec : replay.terminal) sched_->restore_terminal(rec);
+    for (const JobRecord& rec : replay.pending) sched_->readmit(rec);
+    if (cfg_.announce && (!replay.terminal.empty() || !replay.pending.empty()))
+        std::fprintf(stderr, "gaipd: journal recovery: %zu terminal restored, %zu re-admitted\n",
+                     replay.terminal.size(), replay.pending.size());
 
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -169,6 +249,14 @@ void Server::stop() noexcept {
     }
 }
 
+void Server::request_rotate() noexcept {
+    rotate_requested_.store(true, std::memory_order_relaxed);
+    if (wake_w_ >= 0) {
+        const char b = 'r';
+        [[maybe_unused]] const ssize_t n = ::write(wake_w_, &b, 1);
+    }
+}
+
 void Server::close_conn(Conn& c) {
     if (c.fd < 0) return;
     for (auto& [id, sink] : c.streams) sched_->detach_stream(id, sink.get());
@@ -178,13 +266,62 @@ void Server::close_conn(Conn& c) {
     c.closing = true;
 }
 
+void Server::accept_conns() {
+    for (;;) {
+        const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        set_nonblocking(cfd);
+
+        pid_t pid = 0;
+        ucred cred{};
+        socklen_t len = sizeof(cred);
+        if (::getsockopt(cfd, SOL_SOCKET, SO_PEERCRED, &cred, &len) == 0) pid = cred.pid;
+
+        // Overload tier 0: connection caps. A fresh socket's buffer is
+        // empty, so the rejection frame goes out before the close.
+        std::size_t total = 0, same_client = 0;
+        for (const auto& c : conns_)
+            if (c->fd >= 0) {
+                ++total;
+                if (pid != 0 && c->client_pid == pid) ++same_client;
+            }
+        const bool over_total = cfg_.max_conns != 0 && total >= cfg_.max_conns;
+        const bool over_client =
+            cfg_.max_conns_per_client != 0 && same_client >= cfg_.max_conns_per_client;
+        if (over_total || over_client) {
+            ++conns_rejected_;
+            Frame f = error_frame("error", err::kTooManyConns,
+                                  over_total ? "connection limit reached"
+                                             : "per-client connection limit reached");
+            f.add("retry_after_ms", retry_after_ms());
+            std::string line = to_line(f);
+            line += '\n';
+            [[maybe_unused]] const ssize_t n = ::send(cfd, line.data(), line.size(), MSG_NOSIGNAL);
+            ::close(cfd);
+            continue;
+        }
+
+        auto c = std::make_unique<Conn>();
+        c->fd = cfd;
+        c->client_pid = pid;
+        c->writer = std::make_shared<ConnWriter>(cfd, cfg_.max_outbox_bytes, wake_w_);
+        conns_.push_back(std::move(c));
+    }
+}
+
 void Server::run() {
     while (!stop_.load(std::memory_order_relaxed)) {
         std::vector<pollfd> fds;
         fds.push_back({listen_fd_, POLLIN, 0});
         fds.push_back({wake_r_, POLLIN, 0});
         for (const auto& c : conns_)
-            if (c->fd >= 0) fds.push_back({c->fd, POLLIN, 0});
+            if (c->fd >= 0)
+                fds.push_back({c->fd,
+                               static_cast<short>(POLLIN | (c->writer->wants_flush() ? POLLOUT : 0)),
+                               0});
 
         const int rc = ::poll(fds.data(), fds.size(), 100);
         if (rc < 0 && errno != EINTR) break;
@@ -192,37 +329,48 @@ void Server::run() {
         // Periodic housekeeping: queued jobs whose deadline passed.
         sched_->expire_overdue();
 
+        // SIGHUP (or operator request): compact + reopen the journal.
+        if (rotate_requested_.exchange(false, std::memory_order_relaxed) && journal_)
+            journal_->rotate(sched_->list(), sched_->next_id());
+
         if (rc > 0) {
             if (fds[1].revents & POLLIN) {
                 char buf[64];
                 while (::read(wake_r_, buf, sizeof(buf)) > 0) {
                 }
             }
-            if (fds[0].revents & POLLIN) {
-                for (;;) {
-                    const int cfd = ::accept(listen_fd_, nullptr, nullptr);
-                    if (cfd < 0) break;
-                    set_nonblocking(cfd);
-                    auto c = std::make_unique<Conn>();
-                    c->fd = cfd;
-                    c->writer = std::make_shared<ConnWriter>(cfd);
-                    conns_.push_back(std::move(c));
-                }
-            }
+            if (fds[0].revents & POLLIN) accept_conns();
             std::size_t fi = 2;
             for (auto& c : conns_) {
                 if (c->fd < 0) continue;
-                if (fi < fds.size() && fds[fi].fd == c->fd &&
-                    (fds[fi].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
-                    handle_readable(*c);
+                if (fi < fds.size() && fds[fi].fd == c->fd) {
+                    if ((fds[fi].revents & POLLOUT) != 0) c->writer->flush();
+                    if ((fds[fi].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                        handle_readable(*c);
+                }
                 ++fi;
             }
         }
-        // Drop closed / dead-writer connections.
+        // Opportunistic drain for conns that buffered between poll rounds.
+        for (auto& c : conns_)
+            if (c->fd >= 0 && c->writer->wants_flush()) c->writer->flush();
+
+        // Drop closed / dead-writer connections; an outbox overflow is a
+        // slow-consumer eviction and counts the streams it held as shed.
         std::erase_if(conns_, [this](const std::unique_ptr<Conn>& c) {
-            if (c->fd >= 0 && c->writer->dead()) close_conn(*c);
+            if (c->fd >= 0 && c->writer->dead()) {
+                if (c->writer->overflowed()) {
+                    ++slow_evicted_;
+                    streams_shed_ += c->streams.size();
+                }
+                close_conn(*c);
+            }
             return c->fd < 0;
         });
+
+        // Drain shutdown: once every worker went idle, the queued jobs are
+        // journaled pending (recovered next boot) and the daemon exits.
+        if (draining_ && sched_->stats().running == 0) stop();
     }
 }
 
@@ -308,6 +456,14 @@ void Server::handle_line(Conn& c, const std::string& line) {
             c.writer->write_line(to_line(f));
         } else if (req.verb == verb::kStream) {
             if (!req.has("id")) throw ProtocolError(err::kBadField, "stream wants an 'id'");
+            // Overload tier 1: past 75% queue occupancy new stream
+            // subscriptions are refused (with a retry hint) — observers
+            // are shed before jobs are.
+            const std::size_t depth = sched_->queue_depth();
+            if (depth * 4 >= sched_->max_queue() * 3)
+                throw ProtocolError(err::kOverloaded,
+                                    "daemon overloaded (" + std::to_string(depth) +
+                                        " queued); no new streams — retry later");
             const std::uint64_t id = req.u64("id");
             auto sink = std::make_unique<ConnStreamSink>(c.writer);
             std::shared_ptr<ConnWriter> w = c.writer;
@@ -365,18 +521,71 @@ void Server::handle_line(Conn& c, const std::string& line) {
             f.add("done_supervised", s.done_supervised);
             f.add("gate_batches", s.gate_batches);
             f.add("gate_lanes", s.gate_lanes);
+            f.add("restored", s.restored);
+            f.add("readmitted", s.readmitted);
+            f.add("streams_shed", streams_shed_);
+            f.add("slow_evicted", slow_evicted_);
+            f.add("conns_rejected", conns_rejected_);
+            if (journal_) {
+                const JournalStats js = journal_->stats();
+                f.add("journal_records", js.records_written);
+                f.add("journal_write_errors", js.write_errors);
+                f.add("journal_rotations", js.rotations);
+                f.add("journal_degraded", std::uint64_t{js.degraded ? 1u : 0u});
+                f.add("journal_replay_skipped", replay_skipped_);
+            }
             f.add("uptime_s", s.uptime_s);
             c.writer->write_line(to_line(f));
         } else if (req.verb == verb::kShutdown) {
-            c.writer->write_line(to_line(ok_frame(verb::kShutdown)));
-            stop();
+            const bool drain = req.u64("drain", 0) != 0;
+            Frame ack = ok_frame(verb::kShutdown);
+            if (drain) ack.add("drain", std::uint64_t{1});
+            c.writer->write_line(to_line(ack));
+            if (drain) {
+                // Graceful drain: stop admitting, let running jobs finish,
+                // leave the queue journaled as pending. The poll loop
+                // exits once the workers go idle.
+                sched_->begin_drain();
+                draining_ = true;
+            } else {
+                stop();
+            }
         } else {
             throw ProtocolError(err::kUnknownVerb, "unknown verb '" + req.verb + "'");
         }
     } catch (const ProtocolError& ex) {
-        c.writer->write_line(to_line(error_frame(req.verb, ex.code(), ex.what())));
+        Frame f = error_frame(req.verb, ex.code(), ex.what());
+        const bool overload = ex.code() == err::kQueueFull || ex.code() == err::kOverloaded;
+        if (overload) f.add("retry_after_ms", retry_after_ms());
+        c.writer->write_line(to_line(f));
+        // Overload tier 2: the queue is FULL — shed every stream
+        // subscriber so the cycles they cost go to finishing jobs.
+        if (ex.code() == err::kQueueFull) shed_streams();
     } catch (const std::exception& ex) {
         c.writer->write_line(to_line(error_frame(req.verb, err::kBadFrame, ex.what())));
+    }
+}
+
+std::uint64_t Server::retry_after_ms() const {
+    // Grows with queue depth so a thundering herd spreads out; bounded so
+    // clients never park for more than ~5 s.
+    const std::size_t depth = sched_->queue_depth();
+    return 100 + 10 * static_cast<std::uint64_t>(std::min<std::size_t>(depth, 490));
+}
+
+void Server::shed_streams() {
+    for (auto& c : conns_) {
+        if (c->fd < 0) continue;
+        for (auto& [id, sink] : c->streams) {
+            sched_->detach_stream(id, sink.get());
+            Frame f("stream_end");
+            f.add("ok", std::uint64_t{1});
+            f.add("id", id);
+            f.add("state", "shed");
+            c->writer->write_line(to_line(f));
+            ++streams_shed_;
+        }
+        c->streams.clear();
     }
 }
 

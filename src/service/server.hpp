@@ -27,6 +27,21 @@ struct ServerConfig {
     /// event (job_submit/job_start/job_done/job_cancel/job_expire/
     /// job_fail/job_reject), same grammar as the telemetry streams.
     std::string metrics_path;
+    /// Write-ahead journal directory ("" = durability off). On boot the
+    /// daemon replays DIR/journal.jsonl: terminal jobs are restored
+    /// (re-reportable via status/list), interrupted jobs are re-admitted
+    /// through the normal clamp/reject path and re-run, then the journal
+    /// is compacted. Torn/corrupt lines are skipped with a counted
+    /// warning, never fatal.
+    std::string journal_dir;
+    /// Connection caps (overload tier 0). 0 = unlimited.
+    std::size_t max_conns = 256;
+    /// Per-client (SO_PEERCRED pid) connection cap. 0 = unlimited.
+    std::size_t max_conns_per_client = 32;
+    /// Per-connection outbound buffer bound. A consumer that falls this
+    /// far behind is EVICTED (slow-consumer shedding) — workers never
+    /// block on a stalled client socket.
+    std::size_t max_outbox_bytes = std::size_t{1} << 20;
     /// Announce the listening socket on stderr.
     bool announce = false;
 };
@@ -48,7 +63,12 @@ public:
     /// from signal handlers (one pipe write).
     void stop() noexcept;
 
+    /// Ask the poll thread to compact/reopen the journal (SIGHUP). Safe
+    /// from any thread and from signal handlers (flag + pipe write).
+    void request_rotate() noexcept;
+
     Scheduler& scheduler() noexcept { return *sched_; }
+    Journal* journal() noexcept { return journal_.get(); }
     const std::string& socket_path() const noexcept { return cfg_.socket_path; }
 
 private:
@@ -57,14 +77,27 @@ private:
     void handle_readable(Conn& c);
     void handle_line(Conn& c, const std::string& line);
     void close_conn(Conn& c);
+    void accept_conns();
+    /// Overload tier 2: drop every stream subscriber (stream_end state
+    /// "shed") so job capacity is preserved at the subscribers' expense.
+    void shed_streams();
+    std::uint64_t retry_after_ms() const;
 
     ServerConfig cfg_;
     std::unique_ptr<trace::JsonlSink> metrics_;
+    std::unique_ptr<Journal> journal_;
     std::unique_ptr<Scheduler> sched_;
     int listen_fd_ = -1;
-    int wake_r_ = -1, wake_w_ = -1;  ///< self-pipe for stop()
+    int wake_r_ = -1, wake_w_ = -1;  ///< self-pipe for stop()/rotate/flush nudges
     std::atomic<bool> stop_{false};
+    std::atomic<bool> rotate_requested_{false};
+    bool draining_ = false;  ///< poll thread only: shutdown drain in progress
     std::vector<std::unique_ptr<Conn>> conns_;
+    // Robustness counters (reported by `stats`, poll thread only).
+    std::uint64_t streams_shed_ = 0;    ///< subscriptions dropped by shedding/eviction
+    std::uint64_t slow_evicted_ = 0;    ///< connections evicted on outbox overflow
+    std::uint64_t conns_rejected_ = 0;  ///< connection-cap rejections
+    std::uint64_t replay_skipped_ = 0;  ///< torn/corrupt journal lines skipped on boot
 };
 
 /// In-process daemon — scheduler + server + serving thread — so tests and

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "service/journal.hpp"
 #include "service/protocol.hpp"
 
 namespace fs = std::filesystem;
@@ -128,9 +129,15 @@ TEST(Docs, GaipdDocumentsEveryVerb) {
          {gaip::service::err::kBadFrame, gaip::service::err::kOversized,
           gaip::service::err::kUnknownVerb, gaip::service::err::kUnknownField,
           gaip::service::err::kBadField, gaip::service::err::kQueueFull,
-          gaip::service::err::kNotFound, gaip::service::err::kShuttingDown})
+          gaip::service::err::kNotFound, gaip::service::err::kShuttingDown,
+          gaip::service::err::kOverloaded, gaip::service::err::kTooManyConns})
         EXPECT_NE(doc.find(backtick(code)), std::string::npos)
             << "docs/GAIPD.md does not document the `" << code << "` error code";
+    // The journal record grammar is a recovery contract: every record kind
+    // must be documented (the durability section's format table).
+    for (const char* kind : gaip::service::kJournalKinds)
+        EXPECT_NE(doc.find(backtick(kind)), std::string::npos)
+            << "docs/GAIPD.md does not document the `" << kind << "` journal record";
 }
 
 TEST(Docs, IndexLinksEveryDocsPage) {

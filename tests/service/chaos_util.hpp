@@ -1,0 +1,92 @@
+// Chaos-test harness: spawn, kill -9, and reap REAL gaipd processes — the
+// out-of-process half of the durability story that the in-process Daemon
+// cannot exercise (SIGKILL mid-append, journal recovery across an execve).
+// The daemon binary path is injected at compile time via GAIPD_BIN.
+#pragma once
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+
+namespace chaos {
+
+/// One spawned daemon process. Not RAII on purpose: tests kill/reap
+/// explicitly, and a leaked child is reaped by the fixture's terminate().
+struct Gaipd {
+    pid_t pid = -1;
+    std::string socket;
+};
+
+/// fork + exec `gaipd --socket SOCKET --quiet EXTRA...`.
+inline Gaipd spawn_gaipd(const std::string& socket, const std::vector<std::string>& extra) {
+    std::vector<std::string> args = {GAIPD_BIN, "--socket", socket, "--quiet"};
+    args.insert(args.end(), extra.begin(), extra.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    Gaipd g;
+    g.socket = socket;
+    g.pid = ::fork();
+    if (g.pid == 0) {
+        ::execv(argv[0], argv.data());
+        _exit(127);  // exec failed: the parent's wait_ready() will time out
+    }
+    return g;
+}
+
+/// Readiness probe: poll `ping` with backoff until the daemon answers.
+inline bool wait_ready(const Gaipd& g, double seconds = 30.0) {
+    gaip::service::RetryPolicy p;
+    p.base_ms = 20;
+    p.max_ms = 200;
+    p.op_deadline_ms = 2000;
+    return gaip::service::ping_wait(g.socket, seconds, p);
+}
+
+/// The chaos primitive: SIGKILL — no atexit, no flush, no goodbye.
+inline void kill9(Gaipd& g) {
+    if (g.pid <= 0) return;
+    ::kill(g.pid, SIGKILL);
+    int st = 0;
+    ::waitpid(g.pid, &st, 0);
+    g.pid = -1;
+}
+
+/// Graceful stop: SIGTERM + reap. Returns the raw wait status.
+inline int terminate(Gaipd& g) {
+    if (g.pid <= 0) return -1;
+    ::kill(g.pid, SIGTERM);
+    int st = 0;
+    ::waitpid(g.pid, &st, 0);
+    g.pid = -1;
+    return st;
+}
+
+/// Reap a daemon expected to exit by itself (drain shutdown). Blocks;
+/// the suite's ctest TIMEOUT is the liveness oracle.
+inline int reap(Gaipd& g) {
+    if (g.pid <= 0) return -1;
+    int st = 0;
+    ::waitpid(g.pid, &st, 0);
+    g.pid = -1;
+    return st;
+}
+
+/// Dial with a short bounded policy — chaos tests reconnect constantly.
+inline gaip::service::Client dial(const std::string& socket) {
+    gaip::service::RetryPolicy p;
+    p.attempts = 8;
+    p.base_ms = 25;
+    p.max_ms = 400;
+    return gaip::service::Client::dial(socket, p);
+}
+
+}  // namespace chaos

@@ -274,6 +274,121 @@ TEST(Service, ListShowsEveryJob) {
     EXPECT_EQ(rows, 3u);
 }
 
+TEST(Service, SlowStreamConsumerIsEvictedNeverBlocksScheduler) {
+    // A subscriber that stops reading must be EVICTED once its outbox
+    // bound fills — the workers and every other client keep moving.
+    service::ServerConfig cfg = daemon_config("t_svc_slow.sock");
+    cfg.max_outbox_bytes = 4096;  // tiny: a stalled reader overflows fast
+    service::Daemon d(cfg);
+
+    Client slow(d.socket_path());
+    const std::uint64_t id = slow.submit(long_job());
+    Frame sub(service::verb::kStream);
+    sub.add("id", id);
+    slow.send(sub);
+    // ... and now the slow consumer goes to lunch: it never reads again.
+
+    Client c(d.socket_path());
+    bool evicted = false;
+    for (int i = 0; i < 6000 && !evicted; ++i) {
+        evicted = c.stats().u64("slow_evicted") >= 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(evicted) << service::to_line(c.stats());
+    EXPECT_GE(c.stats().u64("streams_shed"), 1u);
+
+    // Scheduler is unobstructed: a fresh job runs to done while the
+    // flooded job is still spinning.
+    EXPECT_EQ(c.run_job(small_job(service::JobBackend::kGates)).str("state"), "done");
+
+    // The evicted consumer's connection is really gone: draining the
+    // kernel-buffered backlog ends in EOF, not another control frame.
+    try {
+        for (;;) slow.read_frame();
+    } catch (const service::MalformedResponse&) {
+    } catch (const service::ConnectError&) {
+    }
+
+    c.cancel(id);
+    wait_terminal(c, id);
+}
+
+TEST(Service, PerClientConnectionCapRejects) {
+    service::ServerConfig cfg = daemon_config("t_svc_caps.sock");
+    cfg.max_conns_per_client = 2;
+    service::Daemon d(cfg);
+
+    Client a(d.socket_path());
+    Client b(d.socket_path());
+    a.ping();
+    b.ping();
+
+    // The third connection from this pid is turned away with a structured
+    // rejection carrying a retry hint, then closed.
+    Client over(d.socket_path());
+    try {
+        over.ping();
+        FAIL() << "connection beyond the per-client cap accepted";
+    } catch (const service::RemoteError& e) {
+        EXPECT_EQ(e.code(), service::err::kTooManyConns);
+    } catch (const service::ConnectError&) {
+        // close won the race with our ping write — equally fine
+    } catch (const service::MalformedResponse&) {
+    }
+    EXPECT_GE(a.stats().u64("conns_rejected"), 1u);
+    a.ping();  // existing connections are untouched
+    b.ping();
+}
+
+TEST(Service, QueueFullShedsStreamsAndHintsRetry) {
+    service::Daemon d(daemon_config("t_svc_shed.sock", /*workers=*/1, /*max_queue=*/4));
+    Client c(d.socket_path());
+    const std::uint64_t blocker = c.submit(long_job());
+    for (int i = 0; i < 2000 && c.status(blocker).str("state") == "queued"; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const std::uint64_t queued = c.submit(small_job(service::JobBackend::kBehavioral));
+
+    // A subscriber watching the queued job while the queue is still below
+    // the 75% stream-admission threshold (tier 1), to be shed on tier 2.
+    Client watcher(d.socket_path());
+    Frame end;
+    std::thread watch([&] { end = watcher.stream(queued); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    // Fill the queue to the brim (depth 4 of 4)...
+    std::vector<std::uint64_t> filler;
+    for (int i = 0; i < 3; ++i)
+        filler.push_back(c.submit(small_job(service::JobBackend::kBehavioral)));
+
+    // ... tier 1: new stream subscriptions are now refused ...
+    Client late(d.socket_path());
+    Frame sub(service::verb::kStream);
+    sub.add("id", queued);
+    late.send(sub);
+    const Frame refused = late.read_frame();
+    EXPECT_FALSE(refused.ok());
+    EXPECT_EQ(refused.str("code"), service::err::kOverloaded);
+
+    // ... tier 2: the over-capacity submit is rejected with a bounded
+    // retry_after_ms hint and existing subscribers are shed.
+    c.send(service::submit_frame(small_job(service::JobBackend::kBehavioral)));
+    const Frame rej = c.read_frame();
+    EXPECT_FALSE(rej.ok());
+    EXPECT_EQ(rej.str("code"), service::err::kQueueFull);
+    EXPECT_GE(rej.u64("retry_after_ms"), 100u);
+    EXPECT_LE(rej.u64("retry_after_ms"), 5100u);
+
+    watch.join();
+    EXPECT_EQ(end.verb, "stream_end");
+    EXPECT_EQ(end.str("state"), "shed");
+    EXPECT_GE(c.stats().u64("streams_shed"), 1u);
+
+    for (const auto id : filler) c.cancel(id);
+    c.cancel(queued);
+    c.cancel(blocker);
+    wait_terminal(c, blocker);
+}
+
 TEST(Service, ShutdownVerbStopsTheDaemon) {
     service::ServerConfig cfg = daemon_config("t_svc_down.sock");
     auto server = std::make_unique<service::Server>(cfg);

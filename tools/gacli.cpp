@@ -246,7 +246,9 @@ int run_daemon(const Options& opt) {
         spec.backend = opt.behavioral    ? service::JobBackend::kBehavioral
                        : opt.gate_level ? service::JobBackend::kGates
                                         : service::JobBackend::kRtl;
-        service::Client client(opt.daemon_socket);
+        service::RetryPolicy policy;
+        policy.attempts = 3;  // backoff dial keeps a dead daemon fast to diagnose
+        service::Client client = service::Client::dial(opt.daemon_socket, policy);
         const service::Frame res = client.run_job(spec);
         const auto opt_info = fitness::grid_optimum(opt.fn);
         const std::uint64_t best = res.u64("best_fitness");

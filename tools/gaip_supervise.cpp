@@ -140,7 +140,9 @@ int run_via_daemon(const supervisor::SupervisorConfig& cfg, const std::string& s
             if (!validate_writable(out_path, "output file")) return 2;
             sink = std::make_unique<trace::JsonlSink>(out_path);
         }
-        service::Client client(socket);
+        service::RetryPolicy policy;
+        policy.attempts = 3;  // backoff dial keeps a dead daemon fast to diagnose
+        service::Client client = service::Client::dial(socket, policy);
         const service::Frame res = client.run_job(spec, [&](const trace::TraceEvent& e) {
             if (sink) sink->on_event(e);
         });

@@ -149,7 +149,9 @@ int record_via_daemon(const RecordOptions& opt) {
         spec.backend = opt.backend == "rtl" ? service::JobBackend::kRtl
                                             : service::JobBackend::kGates;
         trace::JsonlSink sink(opt.out_path);
-        service::Client client(opt.daemon_socket);
+        service::RetryPolicy policy;
+        policy.attempts = 3;  // backoff dial keeps a dead daemon fast to diagnose
+        service::Client client = service::Client::dial(opt.daemon_socket, policy);
         const service::Frame res =
             client.run_job(spec, [&](const trace::TraceEvent& e) { sink.on_event(e); });
         sink.flush();

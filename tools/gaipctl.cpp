@@ -15,7 +15,13 @@
 // Exit status (scripts rely on the split — see docs/GAIPD.md):
 //   0  success           2  usage error
 //   1  remote/job error  4  cannot connect to the daemon
-//                        5  daemon answered a malformed frame
+//   6  op deadline hit   5  daemon answered a malformed frame
+//
+// Resilience: connects retry with exponential backoff + jitter
+// (--retries/--backoff-ms), ops can carry a deadline (--timeout-ms),
+// `ping --wait N` polls until the daemon answers (readiness probe), and
+// `stream`/`submit --follow` survive a daemon restart mid-stream by
+// reconnecting and resuming the same job id.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -31,18 +37,25 @@ using service::Frame;
 
 void usage() {
     std::printf(
-        "usage: gaipctl [-s SOCKET] VERB [args]\n"
+        "usage: gaipctl [-s SOCKET] [--retries N] [--backoff-ms N] [--timeout-ms N] VERB [args]\n"
         "  -s, --socket PATH  daemon socket (default gaipd.sock)\n"
+        "  --retries N        connect/stream retry budget (default 3)\n"
+        "  --backoff-ms N     first retry delay; doubles, jittered (default 50)\n"
+        "  --timeout-ms N     per-operation deadline; exit 6 when hit (default none)\n"
         "verbs:\n"
-        "  ping                liveness check\n"
+        "  ping [--wait N]     liveness check; --wait polls up to N seconds\n"
+        "                      until the daemon answers (readiness probe)\n"
         "  submit [FIELDS] [--follow]\n"
         "                      queue a job; --follow streams it to completion\n"
+        "                      (resumes across a daemon restart)\n"
         "  status ID           one job's record\n"
         "  list                every job the daemon knows\n"
         "  cancel ID           cooperative cancel\n"
-        "  stream ID           follow a job's trace events until it ends\n"
+        "  stream ID           follow a job's trace events until it ends;\n"
+        "                      reconnects + resumes across a daemon restart\n"
         "  stats               aggregate daemon counters\n"
-        "  shutdown            stop the daemon\n"
+        "  shutdown [--drain]  stop the daemon; --drain finishes running jobs\n"
+        "                      and journals the queue for the next boot\n"
         "submit fields (all optional; names match the submit frame schema):\n"
         "  --fitness NAME --backend rtl|behavioral|gates --pop N --gens N\n"
         "  --xover T --mut T --seed S --words W --islands N --topology ring|star\n"
@@ -127,18 +140,47 @@ int build_submit_frame(const std::vector<std::string>& args, Frame& req, bool& f
 
 int run(int argc, char** argv) {
     std::string socket_path = "gaipd.sock";
+    service::RetryPolicy policy;
+    policy.attempts = 3;  // keep a dead-daemon diagnosis fast (~150 ms)
     int i = 1;
     for (; i < argc; ++i) {
         const std::string a = argv[i];
+        auto need_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "gaipctl: %s needs a value\n", a.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        std::uint64_t v = 0;
         if (a == "--help" || a == "-h") {
             usage();
             return 0;
         } else if (a == "-s" || a == "--socket") {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "gaipctl: %s needs a value\n", a.c_str());
+            const char* s = need_value();
+            if (s == nullptr) return 2;
+            socket_path = s;
+        } else if (a == "--retries") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u64(s, v) || v == 0) {
+                std::fprintf(stderr, "gaipctl: --retries wants a number >= 1\n");
                 return 2;
             }
-            socket_path = argv[++i];
+            policy.attempts = static_cast<unsigned>(v);
+        } else if (a == "--backoff-ms") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u64(s, v)) {
+                std::fprintf(stderr, "gaipctl: --backoff-ms wants a number\n");
+                return 2;
+            }
+            policy.base_ms = static_cast<unsigned>(v);
+        } else if (a == "--timeout-ms") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u64(s, v)) {
+                std::fprintf(stderr, "gaipctl: --timeout-ms wants a number\n");
+                return 2;
+            }
+            policy.op_deadline_ms = v;
         } else {
             break;
         }
@@ -170,18 +212,48 @@ int run(int argc, char** argv) {
     }
     Frame submit_req(service::verb::kSubmit);
     bool follow = false;
+    bool drain = false;
+    double wait_s = -1;
     std::uint64_t id = 0;
     if (verb == "submit") {
         const int rc = build_submit_frame(args, submit_req, follow);
         if (rc != 0) return rc;
     } else if (verb == "status" || verb == "cancel" || verb == "stream") {
         if (!need_id(id)) return 2;
+    } else if (verb == "ping" && args.size() == 2 && args[0] == "--wait") {
+        try {
+            wait_s = std::stod(args[1]);
+        } catch (...) {
+            wait_s = -1;
+        }
+        if (wait_s < 0) {
+            std::fprintf(stderr, "gaipctl: ping --wait wants a number of seconds\n");
+            return 2;
+        }
+    } else if (verb == "shutdown" && args.size() == 1 && args[0] == "--drain") {
+        drain = true;
     } else if (!args.empty()) {
-        std::fprintf(stderr, "gaipctl: %s takes no arguments\n", verb.c_str());
+        std::fprintf(stderr, "gaipctl: bad arguments for '%s'\n", verb.c_str());
         return 2;
     }
 
-    service::Client c(socket_path);
+    // Readiness probe and resilient stream manage their own connections
+    // (they may have to dial more than once).
+    if (verb == "ping" && wait_s >= 0) {
+        if (service::ping_wait(socket_path, wait_s, policy)) {
+            std::printf("pong\n");
+            return 0;
+        }
+        std::fprintf(stderr, "gaipctl: daemon did not answer within %.3f s\n", wait_s);
+        return 4;
+    }
+    if (verb == "stream") {
+        const Frame end = service::stream_with_resume(socket_path, id, policy, print_event);
+        print_frame(end);
+        return end.str("state") == "done" ? 0 : 1;
+    }
+
+    service::Client c = service::Client::dial(socket_path, policy);
     if (verb == "ping") {
         c.ping();
         std::printf("pong\n");
@@ -190,7 +262,8 @@ int run(int argc, char** argv) {
         const Frame ack = c.rpc(submit_req);
         print_frame(ack);
         if (!follow) return 0;
-        const Frame end = c.stream(ack.u64("id"), print_event);
+        const Frame end =
+            service::stream_with_resume(socket_path, ack.u64("id"), policy, print_event);
         print_frame(end);
         return end.str("state") == "done" ? 0 : 1;
     } else if (verb == "status") {
@@ -213,16 +286,14 @@ int run(int argc, char** argv) {
                 return 1;
         }
         return 1;
-    } else if (verb == "stream") {
-        const Frame end = c.stream(id, print_event);
-        print_frame(end);
-        return end.str("state") == "done" ? 0 : 1;
     } else if (verb == "stats") {
         print_frame(c.stats());
         return 0;
     } else if (verb == "shutdown") {
-        c.shutdown();
-        std::printf("ok\n");
+        Frame req(service::verb::kShutdown);
+        if (drain) req.add("drain", std::uint64_t{1});
+        c.rpc(req);
+        std::printf(drain ? "draining\n" : "ok\n");
         return 0;
     }
     return 2;  // unreachable: verbs validated above
@@ -233,6 +304,9 @@ int run(int argc, char** argv) {
 int main(int argc, char** argv) {
     try {
         return run(argc, argv);
+    } catch (const service::TimeoutError& e) {
+        std::fprintf(stderr, "gaipctl: %s\n", e.what());
+        return 6;
     } catch (const service::ConnectError& e) {
         std::fprintf(stderr, "gaipctl: %s\n", e.what());
         return 4;

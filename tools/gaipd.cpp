@@ -5,8 +5,10 @@
 //
 //   gaipd --socket gaipd.sock --workers 4 --metrics gaipd_metrics.jsonl
 //
-// Runs in the foreground until SIGINT/SIGTERM or a `shutdown` verb.
+// Runs in the foreground until SIGINT/SIGTERM or a `shutdown` verb; SIGHUP
+// compacts + reopens the journal (log-rotation discipline).
 // Exit status: 0 on clean shutdown, 1 on socket errors, 2 on bad arguments.
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -18,10 +20,16 @@ namespace {
 
 using namespace gaip;
 
-service::Server* g_server = nullptr;
+/// Touched from signal handlers: atomic so the store in main() is never
+/// torn/reordered against a concurrently delivered signal.
+std::atomic<service::Server*> g_server{nullptr};
 
-void on_signal(int) {
-    if (g_server != nullptr) g_server->stop();  // async-signal-safe (pipe write)
+void on_signal(int sig) {
+    service::Server* s = g_server.load(std::memory_order_acquire);
+    if (s == nullptr) return;
+    // Both paths are async-signal-safe: flag + one pipe write.
+    if (sig == SIGHUP) s->request_rotate();
+    else s->stop();
 }
 
 void usage() {
@@ -33,6 +41,12 @@ void usage() {
         "  --max-batch N      gate-job lanes packed per batch (default 256)\n"
         "  --gate-backend K   auto | interp | jit (gate-lane evaluation engine)\n"
         "  --metrics PATH     append job lifecycle metrics as JSONL\n"
+        "  --journal DIR      write-ahead job journal; replayed on boot (crash\n"
+        "                     recovery: finished jobs restored, interrupted re-run)\n"
+        "  --max-conns N      total connection cap (default 256; 0 = unlimited)\n"
+        "  --max-conns-per-client N  per-client (pid) cap (default 32; 0 = unlimited)\n"
+        "  --max-outbox BYTES per-connection write buffer; a consumer further\n"
+        "                     behind is evicted (default 1048576)\n"
         "  --quiet            do not announce the socket on stderr\n");
 }
 
@@ -103,6 +117,31 @@ int main(int argc, char** argv) {
             const char* s = need_value();
             if (s == nullptr) return 2;
             cfg.metrics_path = s;
+        } else if (a == "--journal") {
+            const char* s = need_value();
+            if (s == nullptr) return 2;
+            cfg.journal_dir = s;
+        } else if (a == "--max-conns") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v)) {
+                std::fprintf(stderr, "gaipd: --max-conns wants a number\n");
+                return 2;
+            }
+            cfg.max_conns = v;
+        } else if (a == "--max-conns-per-client") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v)) {
+                std::fprintf(stderr, "gaipd: --max-conns-per-client wants a number\n");
+                return 2;
+            }
+            cfg.max_conns_per_client = v;
+        } else if (a == "--max-outbox") {
+            const char* s = need_value();
+            if (s == nullptr || !parse_u32(s, v) || v == 0) {
+                std::fprintf(stderr, "gaipd: --max-outbox wants a number >= 1\n");
+                return 2;
+            }
+            cfg.max_outbox_bytes = v;
         } else if (a == "--quiet") {
             cfg.announce = false;
         } else {
@@ -114,13 +153,14 @@ int main(int argc, char** argv) {
 
     try {
         service::Server server(std::move(cfg));
-        g_server = &server;
+        g_server.store(&server, std::memory_order_release);
         struct sigaction sa{};
         sa.sa_handler = on_signal;
         ::sigaction(SIGINT, &sa, nullptr);
         ::sigaction(SIGTERM, &sa, nullptr);
+        ::sigaction(SIGHUP, &sa, nullptr);
         server.run();
-        g_server = nullptr;
+        g_server.store(nullptr, std::memory_order_release);
         return 0;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "gaipd: %s\n", e.what());
